@@ -1,0 +1,87 @@
+// Ablation: detection granularity and the false-sharing blind spot.
+//
+// The TLB mechanism observes sharing at *page* granularity: "any access to
+// the same memory page is considered as communication, regardless of the
+// offset" (paper Sec. IV-C). This bench quantifies what that costs:
+//
+//  1. For the NPB kernels, compare the page-granularity ground truth the
+//     mechanism aims at with a cache-line-granularity ground truth — if the
+//     two agree, page granularity loses nothing for these apps.
+//  2. On an adversarial false-sharing workload (threads interleave on
+//     disjoint cache lines of shared pages), page-level detection reports a
+//     dense matrix while line-level truth reports none.
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "npb/synthetic.hpp"
+
+int main() {
+  using namespace tlbmap;
+  const SuiteConfig defaults;
+  WorkloadParams params;
+  params.iter_scale = defaults.detect_iter_scale;
+
+  std::printf("== ablation: page vs cache-line sharing granularity\n\n");
+  TextTable table({"app", "page-vs-line cosine", "page-vs-line rank",
+                   "SM-vs-line cosine"});
+  for (const std::string& app : npb_workload_names()) {
+    const auto workload = make_npb_workload(app, params);
+    Pipeline pipe(MachineConfig::harpertown());
+    pipe.sm_config() = defaults.sm;
+    pipe.oracle_config().granularity_shift = 12;  // pages
+    const auto page_oracle =
+        pipe.detect(*workload, Pipeline::Mechanism::kOracle, 1);
+    pipe.oracle_config().granularity_shift = 6;  // cache lines
+    const auto line_oracle =
+        pipe.detect(*workload, Pipeline::Mechanism::kOracle, 1);
+    const auto sm =
+        pipe.detect(*workload, Pipeline::Mechanism::kSoftwareManaged, 1);
+    table.add_row(
+        {app,
+         fmt_double(CommMatrix::cosine_similarity(page_oracle.matrix,
+                                                  line_oracle.matrix)),
+         fmt_double(CommMatrix::rank_correlation(page_oracle.matrix,
+                                                 line_oracle.matrix)),
+         fmt_double(CommMatrix::cosine_similarity(sm.matrix,
+                                                  line_oracle.matrix))});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("High page-vs-line agreement means page granularity is a "
+              "sound proxy for these applications: their page sharing is "
+              "real data sharing.\n\n");
+
+  std::printf("== adversarial false sharing (disjoint lines, shared "
+              "pages)\n\n");
+  SyntheticSpec spec;
+  spec.pattern = SyntheticSpec::Pattern::kFalseShare;
+  spec.shared_pages = 32;
+  spec.shared_accesses = 4096;
+  spec.private_pages = 64;
+  spec.iterations = 6;
+  const auto fs = make_synthetic(spec);
+  Pipeline pipe(MachineConfig::harpertown());
+  pipe.sm_config().sample_threshold = 3;
+  pipe.oracle_config().granularity_shift = 12;
+  const auto page_oracle = pipe.detect(*fs, Pipeline::Mechanism::kOracle, 1);
+  pipe.oracle_config().granularity_shift = 6;
+  const auto line_oracle = pipe.detect(*fs, Pipeline::Mechanism::kOracle, 1);
+  const auto sm = pipe.detect(*fs, Pipeline::Mechanism::kSoftwareManaged, 1);
+
+  TextTable fs_table({"detector", "total matrix weight"});
+  fs_table.add_row({"page-granularity oracle",
+                    fmt_count(static_cast<double>(page_oracle.matrix.total()))});
+  fs_table.add_row({"SM (TLB, page granularity)",
+                    fmt_count(static_cast<double>(sm.matrix.total()))});
+  fs_table.add_row({"line-granularity oracle (truth)",
+                    fmt_count(static_cast<double>(line_oracle.matrix.total()))});
+  std::printf("%s\n", fs_table.str().c_str());
+  std::printf(
+      "The TLB mechanism inherits the page-granularity view: it cannot tell\n"
+      "interleaved-but-disjoint lines from true sharing. (For *placement*\n"
+      "this is usually harmless — false sharing also benefits from\n"
+      "co-locating its threads, since the falsely shared lines ping-pong\n"
+      "between the caches either way.)\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Figure 5: communication patterns of the NPB applications detected by the
+// hardware-managed TLB mechanism (periodic all-pairs TLB sweeps).
+#include "suite_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tlbmap;
+  const SuiteResult suite = bench::load_suite(argc, argv);
+
+  std::printf("== Figure 5: communication patterns, hardware-managed TLB "
+              "(HM)\n");
+  std::printf("TLB: %zu entries, %zu-way; sweep every %llu cycles\n\n",
+              suite.config.machine.tlb.entries, suite.config.machine.tlb.ways,
+              static_cast<unsigned long long>(suite.config.hm.interval));
+  for (const AppExperiment& app : suite.apps) {
+    std::printf("-- %s  (sweeps: %llu, accuracy vs oracle: cosine %s, "
+                "rank %s)\n%s\n",
+                app.app.c_str(),
+                static_cast<unsigned long long>(app.hm_detection.searches),
+                fmt_double(CommMatrix::cosine_similarity(
+                               app.hm_detection.matrix,
+                               app.oracle_detection.matrix))
+                    .c_str(),
+                fmt_double(CommMatrix::rank_correlation(
+                               app.hm_detection.matrix,
+                               app.oracle_detection.matrix))
+                    .c_str(),
+                app.hm_detection.matrix.heatmap().c_str());
+  }
+  return 0;
+}

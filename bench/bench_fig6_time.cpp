@@ -1,0 +1,33 @@
+// Figure 6: execution time of the NPB applications under the SM/HM-derived
+// thread mappings, normalised to the OS (random placement) scheduler.
+// Also echoes the simulated machine configuration (paper Table II / Fig. 3).
+#include "suite_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tlbmap;
+  const SuiteResult suite = bench::load_suite(argc, argv);
+  const MachineConfig& m = suite.config.machine;
+
+  std::printf("== Table II / Figure 3: simulated machine\n");
+  TextTable cfg({"parameter", "L1 cache", "L2 cache"});
+  cfg.add_row({"size", std::to_string(m.l1.size_bytes / 1024) + " KB",
+               std::to_string(m.l2.size_bytes / (1024 * 1024)) + " MB"});
+  cfg.add_row({"number", std::to_string(m.num_cores()) + " (per core)",
+               std::to_string(m.num_l2()) + " (shared by " +
+                   std::to_string(m.cores_per_l2) + " cores)"});
+  cfg.add_row({"line size", std::to_string(m.l1.line_size) + " B",
+               std::to_string(m.l2.line_size) + " B"});
+  cfg.add_row({"associativity", std::to_string(m.l1.ways) + " ways",
+               std::to_string(m.l2.ways) + " ways"});
+  cfg.add_row({"latency", std::to_string(m.l1.latency) + " cycles",
+               std::to_string(m.l2.latency) + " cycles"});
+  cfg.add_row({"protocol", "write-through", "write-back, MESI"});
+  std::printf("%s", cfg.str().c_str());
+  std::printf("topology: %d sockets x %d cores; TLB %zu entries %zu-way\n\n",
+              m.num_sockets, m.cores_per_socket, m.tlb.entries, m.tlb.ways);
+
+  bench::print_normalized_figure(suite, Metric::kTimeSeconds,
+                                 "== Figure 6: execution time",
+                                 "metric: seconds at 2.33 GHz");
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Figure 7: cache-line invalidations due to the coherence protocol,
+// normalised to the OS scheduler baseline.
+#include "suite_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tlbmap;
+  const SuiteResult suite = bench::load_suite(argc, argv);
+  bench::print_normalized_figure(
+      suite, Metric::kInvalidations,
+      "== Figure 7: cache line invalidations",
+      "metric: invalidation count per run");
+  return 0;
+}

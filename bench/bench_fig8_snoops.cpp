@@ -1,0 +1,12 @@
+// Figure 8: snoop transactions (cache-to-cache transfers), normalised to
+// the OS scheduler baseline.
+#include "suite_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tlbmap;
+  const SuiteResult suite = bench::load_suite(argc, argv);
+  bench::print_normalized_figure(suite, Metric::kSnoops,
+                                 "== Figure 8: snoop transactions",
+                                 "metric: snoop transaction count per run");
+  return 0;
+}

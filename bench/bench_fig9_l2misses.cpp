@@ -1,0 +1,12 @@
+// Figure 9: L2 cache misses, normalised to the OS scheduler baseline.
+// (L1 caches are private and do not benefit from mapping — paper Sec. VI-B.)
+#include "suite_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tlbmap;
+  const SuiteResult suite = bench::load_suite(argc, argv);
+  bench::print_normalized_figure(suite, Metric::kL2Misses,
+                                 "== Figure 9: L2 cache misses",
+                                 "metric: L2 miss count per run");
+  return 0;
+}

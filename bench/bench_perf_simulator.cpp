@@ -1,0 +1,98 @@
+// Engineering bench: simulator throughput (google-benchmark).
+//
+// Not a paper artefact — this measures the reproduction itself: simulated
+// accesses per second for the main access paths, how much an attached
+// detector costs the simulation, and how machine size scales. Useful when
+// sizing workloads or hunting regressions in the hot path.
+#include <memory>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "detect/oracle_detector.hpp"
+#include "detect/sm_detector.hpp"
+#include "npb/synthetic.hpp"
+#include "sim/machine.hpp"
+
+namespace {
+
+using namespace tlbmap;
+
+SyntheticSpec bench_spec(int threads) {
+  SyntheticSpec spec;
+  spec.pattern = SyntheticSpec::Pattern::kRing;
+  spec.num_threads = threads;
+  spec.private_pages = 64;
+  spec.shared_pages = 8;
+  spec.iterations = 2;
+  return spec;
+}
+
+MachineConfig machine_for_threads(int threads) {
+  MachineConfig c = MachineConfig::harpertown();
+  if (threads > c.num_cores()) {
+    c.num_sockets = (threads + c.cores_per_socket - 1) / c.cores_per_socket;
+  }
+  return c;
+}
+
+std::uint64_t run_once(int threads, MachineObserver* observer) {
+  const auto workload = make_synthetic(bench_spec(threads));
+  Machine machine(machine_for_threads(threads));
+  std::vector<std::unique_ptr<ThreadStream>> streams;
+  for (ThreadId t = 0; t < threads; ++t) {
+    streams.push_back(workload->stream(t, 1));
+  }
+  Machine::RunConfig cfg;
+  for (int t = 0; t < threads; ++t) cfg.thread_to_core.push_back(t);
+  cfg.observer = observer;
+  return machine.run(std::move(streams), cfg).accesses;
+}
+
+void BM_SimulatorThroughput(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  std::uint64_t accesses = 0;
+  for (auto _ : state) {
+    accesses += run_once(threads, nullptr);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(accesses));
+}
+BENCHMARK(BM_SimulatorThroughput)->Arg(2)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SimulatorWithSmDetector(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  std::uint64_t accesses = 0;
+  for (auto _ : state) {
+    // The detector needs the machine it observes; rebuild per iteration.
+    const auto workload = make_synthetic(bench_spec(threads));
+    Machine machine(machine_for_threads(threads));
+    SmDetector sm(machine, threads, SmDetectorConfig{10, 231});
+    std::vector<std::unique_ptr<ThreadStream>> streams;
+    for (ThreadId t = 0; t < threads; ++t) {
+      streams.push_back(workload->stream(t, 1));
+    }
+    Machine::RunConfig cfg;
+    for (int t = 0; t < threads; ++t) cfg.thread_to_core.push_back(t);
+    cfg.observer = &sm;
+    accesses += machine.run(std::move(streams), cfg).accesses;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(accesses));
+}
+BENCHMARK(BM_SimulatorWithSmDetector)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SimulatorWithOracle(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  std::uint64_t accesses = 0;
+  for (auto _ : state) {
+    OracleDetector oracle(threads);
+    accesses += run_once(threads, &oracle);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(accesses));
+}
+BENCHMARK(BM_SimulatorWithOracle)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

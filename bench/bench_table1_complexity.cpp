@@ -1,0 +1,126 @@
+// Table I: comparison of the SM and HM mechanisms, including the measured
+// cost scaling of their search routines.
+//
+// The paper derives Theta(P) per sampled miss for SM (probe one TLB set in
+// each of the other P-1 cores) and Theta(P^2 * S) per sweep for HM (compare
+// every pair of TLBs set by set). This bench first prints the qualitative
+// table, then measures both routines with google-benchmark while sweeping
+// the core count P and the TLB size S — the reported complexity columns
+// should be visible in the timings.
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "core/report.hpp"
+#include "sim/tlb.hpp"
+
+namespace {
+
+using namespace tlbmap;
+
+std::vector<Tlb> make_tlbs(int cores, std::size_t entries, std::size_t ways,
+                           std::uint64_t seed) {
+  TlbConfig cfg;
+  cfg.entries = entries;
+  cfg.ways = ways;
+  std::vector<Tlb> tlbs;
+  tlbs.reserve(static_cast<std::size_t>(cores));
+  std::mt19937_64 rng(seed);
+  for (int c = 0; c < cores; ++c) {
+    Tlb tlb(cfg);
+    // Fill with a mix of private and shared pages so probes hit sometimes.
+    for (std::size_t i = 0; i < entries; ++i) {
+      const bool shared = (rng() % 4) == 0;
+      const PageNum page = shared ? rng() % (entries * 2)
+                                  : (static_cast<PageNum>(c) << 32) + rng() % (entries * 2);
+      tlb.insert(page);
+    }
+    tlbs.push_back(std::move(tlb));
+  }
+  return tlbs;
+}
+
+// SM: one sampled miss on core 0 probes one set of each other TLB.
+void BM_SmSearch(benchmark::State& state) {
+  const int cores = static_cast<int>(state.range(0));
+  const std::size_t entries = static_cast<std::size_t>(state.range(1));
+  auto tlbs = make_tlbs(cores, entries, 4, 42);
+  std::mt19937_64 rng(7);
+  std::uint64_t matches = 0;
+  for (auto _ : state) {
+    const PageNum page = rng() % (entries * 2);
+    for (int other = 1; other < cores; ++other) {
+      matches += tlbs[static_cast<std::size_t>(other)].contains(page) ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetComplexityN(cores);
+}
+
+// HM: one periodic sweep compares all pairs of TLBs, set by set.
+void BM_HmSweep(benchmark::State& state) {
+  const int cores = static_cast<int>(state.range(0));
+  const std::size_t entries = static_cast<std::size_t>(state.range(1));
+  auto tlbs = make_tlbs(cores, entries, 4, 42);
+  std::uint64_t matches = 0;
+  for (auto _ : state) {
+    for (int a = 0; a < cores; ++a) {
+      for (int b = a + 1; b < cores; ++b) {
+        for (std::size_t set = 0; set < tlbs[0].num_sets(); ++set) {
+          for (const TlbEntry& ea :
+               tlbs[static_cast<std::size_t>(a)].set_entries(set)) {
+            if (!ea.valid) continue;
+            for (const TlbEntry& eb :
+                 tlbs[static_cast<std::size_t>(b)].set_entries(set)) {
+              if (eb.valid && eb.page == ea.page) {
+                ++matches;
+                break;
+              }
+            }
+          }
+        }
+      }
+    }
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetComplexityN(cores);
+}
+
+BENCHMARK(BM_SmSearch)
+    ->ArgsProduct({{2, 4, 8, 16, 32, 64}, {64}})
+    ->ArgNames({"P", "S"});
+BENCHMARK(BM_SmSearch)
+    ->ArgsProduct({{8}, {16, 64, 256, 1024}})
+    ->ArgNames({"P", "S"});  // SM is ~flat in S (set-associative probe)
+BENCHMARK(BM_HmSweep)
+    ->ArgsProduct({{2, 4, 8, 16, 32}, {64}})
+    ->ArgNames({"P", "S"});  // quadratic in P
+BENCHMARK(BM_HmSweep)
+    ->ArgsProduct({{8}, {16, 64, 256, 1024}})
+    ->ArgNames({"P", "S"});  // linear in S
+
+void print_table1() {
+  using tlbmap::TextTable;
+  std::printf("== Table I: proposed mechanism, SM vs HM\n\n");
+  TextTable t({"", "software-managed TLB", "hardware-managed TLB"});
+  t.add_row({"example architecture", "SPARC, MIPS", "Intel x86/x86-64"});
+  t.add_row({"trigger", "every n-th TLB miss", "every n million cycles"});
+  t.add_row({"paper's n", "100", "10,000,000"});
+  t.add_row({"TLBs searched", "miss core vs all others",
+             "all possible pairs"});
+  t.add_row({"complexity (set-assoc.)", "Theta(P)", "Theta(P^2 * S)"});
+  t.add_row({"hardware change needed", "no", "yes (TLB read instruction)"});
+  std::printf("%s\n", t.str().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

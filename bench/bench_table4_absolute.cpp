@@ -1,0 +1,43 @@
+// Table IV: execution time and absolute rates (invalidations, snoop
+// transactions and L2 misses per second) per application and mapping.
+#include "suite_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tlbmap;
+  const SuiteResult suite = bench::load_suite(argc, argv);
+
+  std::printf("== Table IV: absolute values per mapping (means over %d "
+              "runs)\n\n",
+              suite.config.repetitions);
+
+  const struct {
+    Metric metric;
+    const char* label;
+    bool count;
+  } kRows[] = {
+      {Metric::kTimeSeconds, "execution time (s)", false},
+      {Metric::kInvalidationsPerSec, "invalidations / s", true},
+      {Metric::kSnoopsPerSec, "snoop transactions / s", true},
+      {Metric::kL2MissesPerSec, "L2 misses / s", true},
+  };
+
+  for (const auto& row : kRows) {
+    std::printf("-- %s\n", row.label);
+    std::vector<std::string> header = {"mapping"};
+    for (const AppExperiment& app : suite.apps) header.push_back(app.app);
+    TextTable t(header);
+    for (const char* mapping : {"OS", "SM", "HM"}) {
+      std::vector<std::string> cells = {mapping};
+      for (const AppExperiment& app : suite.apps) {
+        const MappingRuns& runs = mapping == std::string("OS")   ? app.os_runs
+                                  : mapping == std::string("SM") ? app.sm_runs
+                                                                 : app.hm_runs;
+        const double v = summarize_runs(runs, row.metric).mean;
+        cells.push_back(row.count ? fmt_count(v) : fmt_double(v, 4));
+      }
+      t.add_row(std::move(cells));
+    }
+    std::printf("%s\n", t.str().c_str());
+  }
+  return 0;
+}

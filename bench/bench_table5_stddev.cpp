@@ -1,0 +1,45 @@
+// Table V: relative standard deviations of the performance experiments.
+// The paper's headline observation reproduced here: the OS baseline has
+// much higher execution-time variance than the communication-aware
+// mappings, because the unaware scheduler lands on a different (often bad)
+// placement every run.
+#include "suite_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tlbmap;
+  const SuiteResult suite = bench::load_suite(argc, argv);
+
+  std::printf("== Table V: standard deviations (relative to the mean, over "
+              "%d runs)\n\n",
+              suite.config.repetitions);
+
+  const struct {
+    Metric metric;
+    const char* label;
+  } kRows[] = {
+      {Metric::kTimeSeconds, "execution time"},
+      {Metric::kInvalidationsPerSec, "invalidations"},
+      {Metric::kSnoopsPerSec, "snoop transactions"},
+      {Metric::kL2MissesPerSec, "L2 misses"},
+  };
+
+  for (const auto& row : kRows) {
+    std::printf("-- %s\n", row.label);
+    std::vector<std::string> header = {"mapping"};
+    for (const AppExperiment& app : suite.apps) header.push_back(app.app);
+    TextTable t(header);
+    for (const char* mapping : {"OS", "SM", "HM"}) {
+      std::vector<std::string> cells = {mapping};
+      for (const AppExperiment& app : suite.apps) {
+        const MappingRuns& runs = mapping == std::string("OS")   ? app.os_runs
+                                  : mapping == std::string("SM") ? app.sm_runs
+                                                                 : app.hm_runs;
+        cells.push_back(
+            fmt_percent(summarize_runs(runs, row.metric).rel_stddev(), 2));
+      }
+      t.add_row(std::move(cells));
+    }
+    std::printf("%s\n", t.str().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Shared plumbing for the paper-reproduction bench binaries.
+//
+// Every figure/table bench runs (or loads from cache) the same evaluation
+// suite — see core/experiment.hpp — so the first binary executed pays the
+// simulation cost and the rest reuse its results. Pass --fresh to bypass
+// the cache, --reps N to change the repetition count, --apps A,B,... to
+// restrict the workload set.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+
+namespace tlbmap::bench {
+
+/// Set by parse_suite_args when --csv is passed: figures additionally emit
+/// machine-readable CSV after the human-readable table.
+inline bool g_emit_csv = false;
+
+inline SuiteConfig parse_suite_args(int argc, char** argv) {
+  SuiteConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fresh") {
+      config.use_cache = false;
+    } else if (arg == "--csv") {
+      g_emit_csv = true;
+    } else if (arg == "--reps" && i + 1 < argc) {
+      config.repetitions = std::atoi(argv[++i]);
+    } else if (arg == "--apps" && i + 1 < argc) {
+      config.apps.clear();
+      std::stringstream list(argv[++i]);
+      std::string app;
+      while (std::getline(list, app, ',')) {
+        if (!app.empty()) config.apps.push_back(app);
+      }
+    } else if (arg == "--help") {
+      std::printf("usage: %s [--fresh] [--csv] [--reps N] [--apps A,B,...]\n",
+                  argv[0]);
+      std::exit(0);
+    }
+  }
+  return config;
+}
+
+inline SuiteResult load_suite(int argc, char** argv) {
+  const SuiteConfig config = parse_suite_args(argc, argv);
+  return run_suite(config, &std::cerr);
+}
+
+/// Prints one of the paper's normalised figures (6-9): per app, the metric
+/// under each mapping divided by the OS baseline mean, with ASCII bars.
+inline void print_normalized_figure(const SuiteResult& suite, Metric metric,
+                                    const char* title, const char* unit) {
+  std::printf("%s\n(normalized to the OS scheduler baseline; lower is "
+              "better; %s)\n\n",
+              title, unit);
+  TextTable table({"app", "OS", "SM", "HM", "OS stddev", "SM", "HM"});
+  for (const AppExperiment& app : suite.apps) {
+    const double sm = app.normalized(app.sm_runs, metric);
+    const double hm = app.normalized(app.hm_runs, metric);
+    table.add_row({app.app, "1.000", fmt_double(sm), fmt_double(hm),
+                   fmt_percent(summarize_runs(app.os_runs, metric).rel_stddev()),
+                   fmt_percent(summarize_runs(app.sm_runs, metric).rel_stddev()),
+                   fmt_percent(summarize_runs(app.hm_runs, metric).rel_stddev())});
+  }
+  std::printf("%s\n", table.str().c_str());
+  if (g_emit_csv) {
+    CsvTable csv({"app", "mapping", "normalized", "rel_stddev"});
+    for (const AppExperiment& app : suite.apps) {
+      csv.add_row({app.app, "OS", "1.0",
+                   fmt_double(summarize_runs(app.os_runs, metric).rel_stddev(),
+                              6)});
+      csv.add_row({app.app, "SM",
+                   fmt_double(app.normalized(app.sm_runs, metric), 6),
+                   fmt_double(summarize_runs(app.sm_runs, metric).rel_stddev(),
+                              6)});
+      csv.add_row({app.app, "HM",
+                   fmt_double(app.normalized(app.hm_runs, metric), 6),
+                   fmt_double(summarize_runs(app.hm_runs, metric).rel_stddev(),
+                              6)});
+    }
+    std::printf("%s\n", csv.str().c_str());
+  }
+  for (const AppExperiment& app : suite.apps) {
+    std::printf("%-3s OS |%s| 1.000\n", app.app.c_str(), bar(1.0).c_str());
+    std::printf("    SM |%s| %s\n",
+                bar(app.normalized(app.sm_runs, metric)).c_str(),
+                fmt_double(app.normalized(app.sm_runs, metric)).c_str());
+    std::printf("    HM |%s| %s\n",
+                bar(app.normalized(app.hm_runs, metric)).c_str(),
+                fmt_double(app.normalized(app.hm_runs, metric)).c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace tlbmap::bench

@@ -1,0 +1,105 @@
+// Custom workload integration: bring your own application model.
+//
+// The library's detectors and mappers work on any Workload — this example
+// defines a 8-stage software pipeline (each thread produces a buffer that
+// the next stage consumes, stage 0 also reads a config block shared with
+// the final stage) *without* using the NPB generators, runs both TLB
+// mechanisms on it, and maps it onto the Harpertown machine.
+//
+// The expected matrix is a chain 0-1-2-...-7 plus a weak (0,7) link; the
+// hierarchical matcher should fold the chain pairwise onto shared L2s.
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "npb/workload.hpp"
+
+namespace {
+
+using namespace tlbmap;
+
+/// An 8-stage pipeline: stage t reads stage t-1's buffer and writes its
+/// own; every stage owns scratch memory besides.
+class PipelineWorkload final : public ProgramWorkload {
+ public:
+  PipelineWorkload()
+      : ProgramWorkload("pipeline", "8-stage producer/consumer chain",
+                        WorkloadParams{8, 1.0, 1.0, 1}) {
+    Arena arena;
+    const auto n = static_cast<std::uint64_t>(params_.num_threads);
+    buffers_ = arena.alloc_pages(kBufferPages * n);
+    scratch_ = arena.alloc_pages(kScratchPages * n);
+    config_ = arena.alloc_pages(1);
+  }
+
+  AccessProgram program(ThreadId t) const override {
+    const int n = params_.num_threads;
+    Phase stage;
+    // Consume the upstream buffer (stage 0 consumes the config block and,
+    // weakly, the last stage's committed output — a feedback loop).
+    if (t > 0) {
+      stage.walks.push_back(
+          sweep(buffers_.slab(t - 1, n), Walk::Mix::kRead, 1, 1));
+    } else {
+      stage.walks.push_back(random_walk(config_, Walk::Mix::kRead, 256, 1, 1));
+      stage.walks.push_back(
+          random_walk(buffers_.slab(n - 1, n), Walk::Mix::kRead, 512, 1, 1));
+    }
+    // Work on private scratch, then produce the own buffer.
+    stage.walks.push_back(random_walk(scratch_.slab(t, n),
+                                      Walk::Mix::kReadWrite, 4096, 2, 1));
+    stage.walks.push_back(
+        sweep(buffers_.slab(t, n), Walk::Mix::kWrite, 1, 1));
+    if (t == n - 1) {
+      stage.walks.push_back(
+          random_walk(config_, Walk::Mix::kReadWrite, 64, 1, 1));
+    }
+
+    AccessProgram prog;
+    prog.phases = {stage};
+    prog.iterations = 8;
+    return prog;
+  }
+
+ private:
+  static constexpr std::uint64_t kBufferPages = 4;
+  static constexpr std::uint64_t kScratchPages = 64;
+  Region buffers_, scratch_, config_;
+};
+
+}  // namespace
+
+int main() {
+  Pipeline pipe(MachineConfig::harpertown());
+  pipe.sm_config().sample_threshold = 5;
+  pipe.hm_config().interval = 100'000;
+  pipe.hm_config().search_cost = 843;
+
+  PipelineWorkload workload;
+  std::printf("== custom workload: %s\n\n", workload.description().c_str());
+
+  const auto sm =
+      pipe.detect(workload, Pipeline::Mechanism::kSoftwareManaged);
+  const auto hm =
+      pipe.detect(workload, Pipeline::Mechanism::kHardwareManaged);
+  std::printf("SM matrix (chain 0-1-...-7 with a (0,7) feedback link):\n%s\n",
+              sm.matrix.heatmap().c_str());
+  std::printf("HM matrix:\n%s\n", hm.matrix.heatmap().c_str());
+
+  const Mapping mapping = pipe.map(sm.matrix);
+  std::printf("mapping: %s\n\n", to_string(mapping).c_str());
+
+  const MachineStats tuned = pipe.evaluate(workload, mapping, 11);
+  const MachineStats worst =
+      pipe.evaluate(workload, Mapping{0, 4, 1, 5, 2, 6, 3, 7}, 11);
+  TextTable table({"placement", "cycles", "invalidations", "snoops"});
+  const auto row = [&](const char* label, const MachineStats& s) {
+    table.add_row({label, fmt_count(static_cast<double>(s.execution_cycles)),
+                   fmt_count(static_cast<double>(s.invalidations)),
+                   fmt_count(static_cast<double>(s.snoop_transactions))});
+  };
+  row("detected + matched", tuned);
+  row("chain split across sockets", worst);
+  std::printf("%s", table.str().c_str());
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Command-line tool over the whole library: detect, map, evaluate, run
+// dynamically, record and replay traces. See core/cli.hpp for the grammar
+// or run `tlbmap_cli --help`.
+#include "core/cli.hpp"
+
+int main(int argc, char** argv) {
+  return tlbmap::run_cli(tlbmap::parse_cli(argc, argv));
+}

@@ -1,0 +1,337 @@
+#include "core/cli.hpp"
+
+#include <cstdio>
+#include <exception>
+#include <iostream>
+#include <sstream>
+
+#include "core/experiment.hpp"
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "npb/workload.hpp"
+#include "sim/trace_file.hpp"
+
+namespace tlbmap {
+
+namespace {
+
+Mapping parse_mapping(const std::string& text, std::string& error) {
+  Mapping mapping;
+  std::stringstream in(text);
+  std::string cell;
+  while (std::getline(in, cell, ',')) {
+    try {
+      std::size_t used = 0;
+      const int core = std::stoi(cell, &used);
+      if (used != cell.size()) throw std::invalid_argument(cell);
+      mapping.push_back(core);
+    } catch (const std::exception&) {
+      error = "bad mapping element: '" + cell + "'";
+      return {};
+    }
+  }
+  if (mapping.empty()) error = "empty mapping";
+  return mapping;
+}
+
+std::vector<std::string> parse_list(const std::string& text) {
+  std::vector<std::string> items;
+  std::stringstream in(text);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) items.push_back(item);
+  }
+  return items;
+}
+
+}  // namespace
+
+std::string cli_usage() {
+  return
+      "usage: tlbmap_cli COMMAND [options]\n"
+      "\n"
+      "commands:\n"
+      "  detect    print the detected communication matrix for one app\n"
+      "  map       detect, then print the derived thread->core mapping\n"
+      "  evaluate  run one app under a given or detected mapping\n"
+      "  dynamic   run with online detection and barrier migration\n"
+      "  suite     run the full evaluation table across apps\n"
+      "  record    capture an app's trace to a directory\n"
+      "  replay    run a captured trace\n"
+      "\n"
+      "options:\n"
+      "  --app NAME           one of BT CG EP FT IS LU MG SP UA (default SP)\n"
+      "  --mechanism M        sm | hm | oracle (default sm)\n"
+      "  --threads N          thread count (default 8)\n"
+      "  --size-scale X       workload array scaling (default 1.0)\n"
+      "  --iter-scale X       workload iteration scaling (default 1.0)\n"
+      "  --reps N             repetitions for evaluate/suite (default 4)\n"
+      "  --seed N             base RNG seed (default 1)\n"
+      "  --numa               use the NUMA machine model\n"
+      "  --apps A,B,...       suite: restrict the application set\n"
+      "  --mapping 0,1,...    evaluate/replay: explicit thread->core list\n"
+      "  --out DIR / --in DIR record/replay trace directory\n";
+}
+
+CliOptions parse_cli(int argc, const char* const* argv) {
+  CliOptions opt;
+  if (argc < 2) {
+    opt.error = "missing command";
+    return opt;
+  }
+  opt.command = argv[1];
+  if (opt.command == "--help" || opt.command == "help") {
+    opt.help = true;
+    return opt;
+  }
+  static const std::vector<std::string> kCommands = {
+      "detect", "map", "evaluate", "dynamic", "suite", "record", "replay"};
+  if (std::find(kCommands.begin(), kCommands.end(), opt.command) ==
+      kCommands.end()) {
+    opt.error = "unknown command: " + opt.command;
+    return opt;
+  }
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        opt.error = "missing value for " + arg;
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    try {
+      if (arg == "--help") {
+        opt.help = true;
+      } else if (arg == "--numa") {
+        opt.numa = true;
+      } else if (arg == "--app") {
+        if (const char* v = next_value()) opt.app = v;
+      } else if (arg == "--mechanism") {
+        if (const char* v = next_value()) opt.mechanism = v;
+      } else if (arg == "--threads") {
+        if (const char* v = next_value()) opt.threads = std::stoi(v);
+      } else if (arg == "--size-scale") {
+        if (const char* v = next_value()) opt.size_scale = std::stod(v);
+      } else if (arg == "--iter-scale") {
+        if (const char* v = next_value()) opt.iter_scale = std::stod(v);
+      } else if (arg == "--reps") {
+        if (const char* v = next_value()) opt.reps = std::stoi(v);
+      } else if (arg == "--seed") {
+        if (const char* v = next_value()) opt.seed = std::stoull(v);
+      } else if (arg == "--apps") {
+        if (const char* v = next_value()) opt.apps = parse_list(v);
+      } else if (arg == "--mapping") {
+        if (const char* v = next_value()) {
+          opt.mapping = parse_mapping(v, opt.error);
+        }
+      } else if (arg == "--out" || arg == "--in") {
+        if (const char* v = next_value()) opt.dir = v;
+      } else {
+        opt.error = "unknown option: " + arg;
+      }
+    } catch (const std::exception&) {
+      opt.error = "bad value for " + arg;
+    }
+    if (!opt.error.empty()) return opt;
+  }
+
+  if (opt.mechanism != "sm" && opt.mechanism != "hm" &&
+      opt.mechanism != "oracle") {
+    opt.error = "unknown mechanism: " + opt.mechanism;
+  }
+  if (opt.threads < 1) opt.error = "threads must be positive";
+  if (opt.reps < 1) opt.error = "reps must be positive";
+  if ((opt.command == "record" || opt.command == "replay") &&
+      opt.dir.empty()) {
+    opt.error = opt.command + " needs --out/--in DIR";
+  }
+  return opt;
+}
+
+namespace {
+
+MachineConfig machine_for(const CliOptions& opt) {
+  return opt.numa ? MachineConfig::numa_harpertown()
+                  : MachineConfig::harpertown();
+}
+
+WorkloadParams params_for(const CliOptions& opt) {
+  WorkloadParams p;
+  p.num_threads = opt.threads;
+  p.size_scale = opt.size_scale;
+  p.iter_scale = opt.iter_scale;
+  return p;
+}
+
+Pipeline::Mechanism mechanism_for(const CliOptions& opt) {
+  if (opt.mechanism == "hm") return Pipeline::Mechanism::kHardwareManaged;
+  if (opt.mechanism == "oracle") return Pipeline::Mechanism::kOracle;
+  return Pipeline::Mechanism::kSoftwareManaged;
+}
+
+Pipeline make_pipeline(const CliOptions& opt) {
+  Pipeline pipe(machine_for(opt));
+  const SuiteConfig defaults;  // trace-scaled detector knobs
+  pipe.sm_config() = defaults.sm;
+  pipe.hm_config() = defaults.hm;
+  return pipe;
+}
+
+DetectionResult detect_for(Pipeline& pipe, const CliOptions& opt) {
+  const auto workload = make_npb_workload(opt.app, params_for(opt));
+  return pipe.detect(*workload, mechanism_for(opt), opt.seed);
+}
+
+void print_stats_row(const char* label, const MachineStats& s) {
+  std::printf("%-22s cycles %-12llu inv %-10llu snoop %-10llu l2miss %llu\n",
+              label, static_cast<unsigned long long>(s.execution_cycles),
+              static_cast<unsigned long long>(s.invalidations),
+              static_cast<unsigned long long>(s.snoop_transactions),
+              static_cast<unsigned long long>(s.l2_misses));
+}
+
+int cmd_detect(const CliOptions& opt) {
+  Pipeline pipe = make_pipeline(opt);
+  const DetectionResult det = detect_for(pipe, opt);
+  std::printf("%s on %s: %llu searches, TLB miss rate %s, overhead %s\n",
+              det.mechanism.c_str(), opt.app.c_str(),
+              static_cast<unsigned long long>(det.searches),
+              fmt_percent(det.stats.tlb_miss_rate(), 3).c_str(),
+              fmt_percent(det.stats.overhead_fraction(), 3).c_str());
+  std::printf("%s", det.matrix.heatmap().c_str());
+  return 0;
+}
+
+int cmd_map(const CliOptions& opt) {
+  Pipeline pipe = make_pipeline(opt);
+  const DetectionResult det = detect_for(pipe, opt);
+  const Mapping mapping = pipe.map(det.matrix);
+  std::printf("%s\n", to_string(mapping).c_str());
+  return 0;
+}
+
+int cmd_evaluate(const CliOptions& opt) {
+  Pipeline pipe = make_pipeline(opt);
+  const auto workload = make_npb_workload(opt.app, params_for(opt));
+  Mapping mapping = opt.mapping;
+  if (mapping.empty()) {
+    mapping = pipe.map(detect_for(pipe, opt).matrix);
+    std::printf("detected mapping: %s\n", to_string(mapping).c_str());
+  }
+  MachineStats total;
+  for (int rep = 0; rep < opt.reps; ++rep) {
+    const MachineStats s = pipe.evaluate(
+        *workload, mapping, opt.seed + static_cast<std::uint64_t>(rep));
+    std::ostringstream label;
+    label << "rep " << rep;
+    print_stats_row(label.str().c_str(), s);
+    total += s;
+  }
+  std::printf("mean time: %s s\n",
+              fmt_double(cycles_to_seconds(total.execution_cycles) /
+                             static_cast<double>(opt.reps),
+                         5)
+                  .c_str());
+  return 0;
+}
+
+int cmd_dynamic(const CliOptions& opt) {
+  Pipeline pipe = make_pipeline(opt);
+  const auto workload = make_npb_workload(opt.app, params_for(opt));
+  const Mapping start = random_mapping(
+      opt.threads, machine_for(opt).num_cores(), opt.seed + 99);
+  OnlineMapperConfig config;
+  const auto result = pipe.evaluate_dynamic(*workload, start, config,
+                                            opt.seed);
+  print_stats_row("dynamic", result.stats);
+  std::printf("migrations %d (decisions %d), final: %s\n", result.migrations,
+              result.remap_decisions,
+              to_string(result.final_mapping).c_str());
+  const MachineStats still = pipe.evaluate(*workload, start, opt.seed);
+  print_stats_row("static start", still);
+  return 0;
+}
+
+int cmd_suite(const CliOptions& opt) {
+  SuiteConfig config;
+  config.machine = machine_for(opt);
+  config.workload = params_for(opt);
+  config.repetitions = opt.reps;
+  config.base_seed = opt.seed;
+  if (!opt.apps.empty()) config.apps = opt.apps;
+  const SuiteResult result = run_suite(config, &std::cerr);
+  TextTable table({"app", "time SM/OS", "time HM/OS", "inv SM/OS",
+                   "snoop SM/OS", "L2 SM/OS"});
+  for (const AppExperiment& app : result.apps) {
+    table.add_row({app.app,
+                   fmt_double(app.normalized(app.sm_runs,
+                                             Metric::kTimeSeconds)),
+                   fmt_double(app.normalized(app.hm_runs,
+                                             Metric::kTimeSeconds)),
+                   fmt_double(app.normalized(app.sm_runs,
+                                             Metric::kInvalidations)),
+                   fmt_double(app.normalized(app.sm_runs, Metric::kSnoops)),
+                   fmt_double(app.normalized(app.sm_runs,
+                                             Metric::kL2Misses))});
+  }
+  std::printf("%s", table.str().c_str());
+  return 0;
+}
+
+int cmd_record(const CliOptions& opt) {
+  const auto workload = make_npb_workload(opt.app, params_for(opt));
+  const auto buffers = record_workload(*workload, opt.seed);
+  save_recording(buffers, opt.dir);
+  std::size_t bytes = 0;
+  std::uint64_t accesses = 0;
+  for (const auto& b : buffers) bytes += b.size();
+  for (ThreadId t = 0; t < workload->num_threads(); ++t) {
+    accesses += workload->accesses_of(t);
+  }
+  std::printf("recorded %s: %llu accesses, %zu bytes (%.2f B/access) in %s\n",
+              opt.app.c_str(), static_cast<unsigned long long>(accesses),
+              bytes, static_cast<double>(bytes) / static_cast<double>(accesses),
+              opt.dir.c_str());
+  return 0;
+}
+
+int cmd_replay(const CliOptions& opt) {
+  RecordedWorkload workload(load_recording(opt.dir));
+  Pipeline pipe = make_pipeline(opt);
+  Mapping mapping = opt.mapping;
+  if (mapping.empty()) mapping = identity_mapping(workload.num_threads());
+  const MachineStats s = pipe.evaluate(workload, mapping, opt.seed);
+  print_stats_row("replay", s);
+  return 0;
+}
+
+}  // namespace
+
+int run_cli(const CliOptions& options) {
+  if (options.help) {
+    std::printf("%s", cli_usage().c_str());
+    return 0;
+  }
+  if (!options.ok()) {
+    std::printf("error: %s\n\n%s", options.error.c_str(),
+                cli_usage().c_str());
+    return 2;
+  }
+  try {
+    if (options.command == "detect") return cmd_detect(options);
+    if (options.command == "map") return cmd_map(options);
+    if (options.command == "evaluate") return cmd_evaluate(options);
+    if (options.command == "dynamic") return cmd_dynamic(options);
+    if (options.command == "suite") return cmd_suite(options);
+    if (options.command == "record") return cmd_record(options);
+    if (options.command == "replay") return cmd_replay(options);
+  } catch (const std::exception& e) {
+    std::printf("error: %s\n", e.what());
+    return 1;
+  }
+  return 2;  // unreachable: parse_cli validated the command
+}
+
+}  // namespace tlbmap

@@ -1,0 +1,52 @@
+// Command-line front end for the library, factored as a parse/run pair so
+// the argument handling is unit-testable. The binary lives in
+// examples/tlbmap_cli.cpp.
+//
+// Commands:
+//   detect   --app SP [--mechanism sm|hm|oracle] [--threads N] [--numa]
+//   map      --app SP [--mechanism ...]           print detected mapping
+//   evaluate --app SP --mapping 0,1,2,...         run under a placement
+//   dynamic  --app SP [--reps ...]                online detect + migrate
+//   suite    [--apps BT,SP,...] [--reps N]        figure-6 style table
+//   record   --app SP --out DIR                   capture a trace
+//   replay   --in DIR [--mapping ...]             run a captured trace
+// Common: --size-scale X --iter-scale X --seed N --threads N --numa
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mapping/mapping.hpp"
+
+namespace tlbmap {
+
+struct CliOptions {
+  std::string command;
+  std::string app = "SP";
+  std::string mechanism = "sm";
+  int threads = 8;
+  double size_scale = 1.0;
+  double iter_scale = 1.0;
+  int reps = 4;
+  std::uint64_t seed = 1;
+  bool numa = false;
+  std::vector<std::string> apps;  ///< suite only; empty = all nine
+  Mapping mapping;                ///< evaluate/replay; empty = detect+map
+  std::string dir;                ///< record --out / replay --in
+  bool help = false;
+  std::string error;  ///< non-empty means parsing failed; message inside
+
+  bool ok() const { return error.empty(); }
+};
+
+/// Parses argv (argv[0] ignored). Never throws; failures land in `error`.
+CliOptions parse_cli(int argc, const char* const* argv);
+
+std::string cli_usage();
+
+/// Executes a parsed command, printing results to stdout. Returns the
+/// process exit code (0 success, 2 usage error, 1 runtime failure).
+int run_cli(const CliOptions& options);
+
+}  // namespace tlbmap

@@ -1,0 +1,43 @@
+#include "core/dynamic.hpp"
+
+namespace tlbmap {
+
+OnlineMapper::OnlineMapper(Machine& machine, int num_threads,
+                           Mapping initial, OnlineMapperConfig config)
+    : detector_(machine, num_threads, config.detector),
+      mapper_(machine.topology()),
+      topology_(&machine.topology()),
+      config_(config),
+      current_(std::move(initial)) {}
+
+Cycles OnlineMapper::on_access(ThreadId thread, CoreId core, VirtAddr addr,
+                               PageNum page, AccessType type, bool tlb_miss,
+                               Cycles now) {
+  return detector_.on_access(thread, core, addr, page, type, tlb_miss, now);
+}
+
+std::vector<CoreId> OnlineMapper::on_barrier(int barrier_index,
+                                             Cycles /*now*/) {
+  if (config_.remap_every_barriers <= 0 ||
+      barrier_index % config_.remap_every_barriers != 0) {
+    return {};
+  }
+  if (detector_.matrix().total() < config_.min_matrix_total) return {};
+  ++remap_decisions_;
+  Mapping next = mapper_.map(detector_.matrix());
+  const double current_cost =
+      mapping_cost(detector_.matrix(), current_, *topology_);
+  const double next_cost = mapping_cost(detector_.matrix(), next, *topology_);
+  // Age the matrix so the next decision window reflects fresh behaviour.
+  detector_.decay_matrix(config_.decay);
+  if (next == current_) return {};
+  // Hysteresis: a migration must pay for itself.
+  if (next_cost > current_cost * (1.0 - config_.improvement_threshold)) {
+    return {};
+  }
+  current_ = std::move(next);
+  ++migrations_;
+  return current_;
+}
+
+}  // namespace tlbmap

@@ -1,0 +1,68 @@
+// Online (dynamic) thread mapping — the paper's future work, end to end.
+//
+// OnlineMapper attaches to a run as both the detector hook and the
+// migration policy: the software-managed TLB mechanism accumulates the
+// communication matrix while the application executes, and every
+// `remap_every_barriers` barriers the hierarchical matcher is re-run on the
+// current matrix; if the best placement changed, the threads migrate at
+// that barrier. The matrix is aged (multiplicative decay) at each remap so
+// old phases stop dominating — the matrix-level analogue of the TLB's own
+// entry lifetime.
+#pragma once
+
+#include <memory>
+
+#include "detect/sm_detector.hpp"
+#include "mapping/hierarchical.hpp"
+#include "sim/machine.hpp"
+
+namespace tlbmap {
+
+struct OnlineMapperConfig {
+  /// Consider remapping after every this many barriers.
+  int remap_every_barriers = 4;
+  /// Matrix ageing factor applied at each remap decision.
+  double decay = 0.5;
+  /// Skip remapping while the matrix holds fewer total events than this
+  /// (avoids thrashing on startup noise).
+  std::uint64_t min_matrix_total = 32;
+  /// Hysteresis: migrate only when the candidate placement's communication
+  /// cost (under the current matrix) is at least this much lower than the
+  /// current placement's. 0.15 = candidate must be 15 % better. Guards
+  /// against oscillating between near-tie matchings of a noisy matrix.
+  double improvement_threshold = 0.15;
+  SmDetectorConfig detector{/*sample_threshold=*/10, /*search_cost=*/231};
+};
+
+class OnlineMapper final : public MachineObserver, public MigrationPolicy {
+ public:
+  /// `machine` must outlive the mapper; `initial` is the starting placement
+  /// (also what Machine::RunConfig::thread_to_core should be set to).
+  OnlineMapper(Machine& machine, int num_threads, Mapping initial,
+               OnlineMapperConfig config = {});
+
+  // MachineObserver: forward to the embedded SM detector.
+  Cycles on_access(ThreadId thread, CoreId core, VirtAddr addr,
+                   PageNum page, AccessType type, bool tlb_miss,
+                   Cycles now) override;
+  Cycles on_tick(Cycles /*now*/) override { return 0; }
+
+  // MigrationPolicy.
+  std::vector<CoreId> on_barrier(int barrier_index, Cycles now) override;
+
+  const CommMatrix& matrix() const { return detector_.matrix(); }
+  const Mapping& current_mapping() const { return current_; }
+  int migrations() const { return migrations_; }
+  int remap_decisions() const { return remap_decisions_; }
+
+ private:
+  SmDetector detector_;
+  HierarchicalMapper mapper_;
+  const Topology* topology_;
+  OnlineMapperConfig config_;
+  Mapping current_;
+  int migrations_ = 0;
+  int remap_decisions_ = 0;
+};
+
+}  // namespace tlbmap

@@ -1,0 +1,372 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+namespace tlbmap {
+
+namespace {
+
+/// Bump when workload definitions or counter semantics change, so stale
+/// cache entries are never reused across library revisions.
+constexpr int kSchemaVersion = 11;
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void write_stats(std::ostream& out, const MachineStats& s) {
+  out << s.accesses << ' ' << s.reads << ' ' << s.writes << ' ' << s.tlb_hits
+      << ' ' << s.tlb_misses << ' ' << s.l1_hits << ' ' << s.l1_misses << ' '
+      << s.l2_accesses << ' ' << s.l2_hits << ' ' << s.l2_misses << ' '
+      << s.invalidations << ' ' << s.snoop_transactions << ' '
+      << s.writebacks << ' ' << s.memory_fetches << ' '
+      << s.memory_fetches_local << ' ' << s.memory_fetches_remote << ' '
+      << s.intra_socket_messages << ' ' << s.inter_socket_messages << ' '
+      << s.execution_cycles << ' ' << s.detection_overhead_cycles << ' '
+      << s.detector_searches << '\n';
+}
+
+bool read_stats(std::istream& in, MachineStats& s) {
+  in >> s.accesses >> s.reads >> s.writes >> s.tlb_hits >> s.tlb_misses >>
+      s.l1_hits >> s.l1_misses >> s.l2_accesses >> s.l2_hits >> s.l2_misses >>
+      s.invalidations >> s.snoop_transactions >> s.writebacks >>
+      s.memory_fetches >> s.memory_fetches_local >> s.memory_fetches_remote >>
+      s.intra_socket_messages >>
+      s.inter_socket_messages >> s.execution_cycles >>
+      s.detection_overhead_cycles >> s.detector_searches;
+  return static_cast<bool>(in);
+}
+
+void write_matrix(std::ostream& out, const CommMatrix& m) {
+  out << m.size() << '\n';
+  for (ThreadId a = 0; a < m.size(); ++a) {
+    for (ThreadId b = 0; b < m.size(); ++b) {
+      out << m.at(a, b) << (b + 1 == m.size() ? '\n' : ' ');
+    }
+  }
+}
+
+bool read_matrix(std::istream& in, CommMatrix& m) {
+  int n = 0;
+  in >> n;
+  if (!in || n <= 0 || n > 4096) return false;
+  m = CommMatrix(n);
+  for (ThreadId a = 0; a < n; ++a) {
+    for (ThreadId b = 0; b < n; ++b) {
+      std::uint64_t v = 0;
+      in >> v;
+      if (!in) return false;
+      if (a < b) m.add(a, b, v);
+    }
+  }
+  return true;
+}
+
+void write_detection(std::ostream& out, const DetectionResult& d) {
+  out << d.mechanism << ' ' << d.searches << '\n';
+  write_stats(out, d.stats);
+  write_matrix(out, d.matrix);
+}
+
+bool read_detection(std::istream& in, DetectionResult& d) {
+  in >> d.mechanism >> d.searches;
+  if (!in) return false;
+  return read_stats(in, d.stats) && read_matrix(in, d.matrix);
+}
+
+void write_mapping(std::ostream& out, const Mapping& m) {
+  out << m.size();
+  for (const CoreId c : m) out << ' ' << c;
+  out << '\n';
+}
+
+bool read_mapping(std::istream& in, Mapping& m) {
+  std::size_t n = 0;
+  in >> n;
+  if (!in || n > 4096) return false;
+  m.resize(n);
+  for (CoreId& c : m) in >> c;
+  return static_cast<bool>(in);
+}
+
+void write_runs(std::ostream& out, const MappingRuns& r) {
+  out << r.label << ' ' << r.runs.size() << '\n';
+  for (const MachineStats& s : r.runs) write_stats(out, s);
+}
+
+bool read_runs(std::istream& in, MappingRuns& r) {
+  std::size_t n = 0;
+  in >> r.label >> n;
+  if (!in || n > 100000) return false;
+  r.runs.resize(n);
+  for (MachineStats& s : r.runs) {
+    if (!read_stats(in, s)) return false;
+  }
+  return true;
+}
+
+std::filesystem::path cache_dir() {
+  if (const char* dir = std::getenv("TLBMAP_CACHE_DIR")) {
+    return dir;
+  }
+  return std::filesystem::temp_directory_path() / "tlbmap_cache";
+}
+
+bool cache_disabled() {
+  const char* v = std::getenv("TLBMAP_NO_CACHE");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+}  // namespace
+
+double metric_value(const MachineStats& stats, Metric metric) {
+  switch (metric) {
+    case Metric::kTimeSeconds:
+      return cycles_to_seconds(stats.execution_cycles);
+    case Metric::kInvalidations:
+      return static_cast<double>(stats.invalidations);
+    case Metric::kSnoops:
+      return static_cast<double>(stats.snoop_transactions);
+    case Metric::kL2Misses:
+      return static_cast<double>(stats.l2_misses);
+    case Metric::kInvalidationsPerSec:
+      return per_second(stats.invalidations, stats.execution_cycles);
+    case Metric::kSnoopsPerSec:
+      return per_second(stats.snoop_transactions, stats.execution_cycles);
+    case Metric::kL2MissesPerSec:
+      return per_second(stats.l2_misses, stats.execution_cycles);
+  }
+  return 0.0;
+}
+
+Summary summarize_runs(const MappingRuns& runs, Metric metric) {
+  std::vector<double> values;
+  values.reserve(runs.runs.size());
+  for (const MachineStats& s : runs.runs) {
+    values.push_back(metric_value(s, metric));
+  }
+  return summarize(values);
+}
+
+double AppExperiment::normalized(const MappingRuns& runs,
+                                 Metric metric) const {
+  const double base = summarize_runs(os_runs, metric).mean;
+  if (base == 0.0) return 1.0;
+  return summarize_runs(runs, metric).mean / base;
+}
+
+std::string suite_cache_key(const SuiteConfig& c) {
+  std::ostringstream key;
+  key << "v" << kSchemaVersion << '|' << c.machine.num_sockets << ','
+      << c.machine.cores_per_socket << ',' << c.machine.cores_per_l2 << ','
+      << c.machine.page_size << ',' << c.machine.l1.size_bytes << ','
+      << c.machine.l1.ways << ',' << c.machine.l2.size_bytes << ','
+      << c.machine.l2.ways << ',' << c.machine.tlb.entries << ','
+      << c.machine.tlb.ways << ',' << c.machine.tlb.miss_penalty << ','
+      << c.machine.interconnect.snoop_intra_socket << ','
+      << c.machine.interconnect.snoop_inter_socket << ','
+      << c.machine.interconnect.invalidate_intra_socket << ','
+      << c.machine.interconnect.invalidate_inter_socket << ','
+      << c.machine.interconnect.memory_latency << ','
+      << c.machine.interconnect.memory_remote_extra << ','
+      << (c.machine.numa ? 1 : 0) << ','
+      << static_cast<int>(c.machine.numa_policy) << '|'
+      << c.workload.num_threads << ',' << c.workload.size_scale << ','
+      << c.workload.iter_scale << ',' << c.workload.gap_jitter << '|'
+      << c.repetitions << '|' << c.sm.sample_threshold << ','
+      << c.sm.search_cost << '|' << c.hm.interval << ',' << c.hm.search_cost
+      << '|' << c.oracle.window << ',' << c.oracle.granularity_shift << '|' << c.base_seed << '|'
+      << c.detect_iter_scale << '|';
+  for (const std::string& app : c.apps) key << app << ',';
+  std::ostringstream name;
+  name << "suite_" << std::hex << fnv1a(key.str()) << ".txt";
+  return name.str();
+}
+
+std::string serialize_suite(const SuiteResult& result) {
+  std::ostringstream out;
+  out << "tlbmap-suite " << kSchemaVersion << '\n';
+  out << result.apps.size() << '\n';
+  for (const AppExperiment& app : result.apps) {
+    out << app.app << '\n';
+    write_detection(out, app.sm_detection);
+    write_detection(out, app.hm_detection);
+    write_detection(out, app.oracle_detection);
+    write_mapping(out, app.sm_mapping);
+    write_mapping(out, app.hm_mapping);
+    write_runs(out, app.os_runs);
+    write_runs(out, app.sm_runs);
+    write_runs(out, app.hm_runs);
+  }
+  return out.str();
+}
+
+std::optional<SuiteResult> deserialize_suite(const std::string& text,
+                                             const SuiteConfig& config) {
+  std::istringstream in(text);
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  if (magic != "tlbmap-suite" || version != kSchemaVersion) {
+    return std::nullopt;
+  }
+  std::size_t count = 0;
+  in >> count;
+  if (!in || count > 1000) return std::nullopt;
+  SuiteResult result;
+  result.config = config;
+  result.apps.resize(count);
+  for (AppExperiment& app : result.apps) {
+    in >> app.app;
+    if (!read_detection(in, app.sm_detection) ||
+        !read_detection(in, app.hm_detection) ||
+        !read_detection(in, app.oracle_detection) ||
+        !read_mapping(in, app.sm_mapping) ||
+        !read_mapping(in, app.hm_mapping) || !read_runs(in, app.os_runs) ||
+        !read_runs(in, app.sm_runs) || !read_runs(in, app.hm_runs)) {
+      return std::nullopt;
+    }
+  }
+  return result;
+}
+
+SuiteResult run_suite(const SuiteConfig& config, std::ostream* progress) {
+  const bool caching = config.use_cache && !cache_disabled();
+  const std::filesystem::path cache_file =
+      cache_dir() / suite_cache_key(config);
+  if (caching && std::filesystem::exists(cache_file)) {
+    std::ifstream in(cache_file);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    if (auto cached = deserialize_suite(buf.str(), config)) {
+      if (progress != nullptr) {
+        *progress << "[suite] loaded cached results from " << cache_file
+                  << "\n";
+      }
+      return *cached;
+    }
+  }
+
+  SuiteResult result;
+  result.config = config;
+  const int cores = config.machine.num_cores();
+
+  for (std::size_t i = 0; i < config.apps.size(); ++i) {
+    const std::string& name = config.apps[i];
+    const auto workload = make_npb_workload(name, config.workload);
+    // Detection observes a longer trace (the paper detects over the whole
+    // execution of the real benchmark).
+    WorkloadParams detect_params = config.workload;
+    detect_params.iter_scale *= config.detect_iter_scale;
+    const auto detect_workload = make_npb_workload(name, detect_params);
+    AppExperiment app;
+    app.app = workload->name();
+
+    Pipeline pipe(config.machine);
+    pipe.sm_config() = config.sm;
+    pipe.hm_config() = config.hm;
+    pipe.oracle_config() = config.oracle;
+
+    if (progress != nullptr) *progress << "[suite] " << name << ": detect\n";
+    app.sm_detection =
+        pipe.detect(*detect_workload, Pipeline::Mechanism::kSoftwareManaged,
+                    config.base_seed);
+    app.hm_detection =
+        pipe.detect(*detect_workload, Pipeline::Mechanism::kHardwareManaged,
+                    config.base_seed);
+    app.oracle_detection = pipe.detect(
+        *detect_workload, Pipeline::Mechanism::kOracle, config.base_seed);
+
+    app.sm_mapping = pipe.map(app.sm_detection.matrix);
+    app.hm_mapping = pipe.map(app.hm_detection.matrix);
+
+    app.os_runs.label = "OS";
+    app.sm_runs.label = "SM";
+    app.hm_runs.label = "HM";
+    if (progress != nullptr) {
+      *progress << "[suite] " << name << ": evaluate x" << config.repetitions
+                << "\n";
+    }
+    // The evaluation runs are fully independent (each constructs its own
+    // Machine), so they fan out over a small worker pool. Every task writes
+    // a preassigned slot: results are identical for any worker count.
+    const int reps = config.repetitions;
+    app.os_runs.runs.resize(static_cast<std::size_t>(reps));
+    app.sm_runs.runs.resize(static_cast<std::size_t>(reps));
+    app.hm_runs.runs.resize(static_cast<std::size_t>(reps));
+    struct Task {
+      MachineStats* slot;
+      Mapping mapping;
+      std::uint64_t run_seed;
+    };
+    std::vector<Task> tasks;
+    tasks.reserve(static_cast<std::size_t>(reps) * 3);
+    for (int rep = 0; rep < reps; ++rep) {
+      const std::uint64_t run_seed =
+          config.base_seed + 1000 + static_cast<std::uint64_t>(rep);
+      // The OS baseline lands on fresh random cores every run.
+      const Mapping os_mapping = random_mapping(
+          workload->num_threads(), cores,
+          config.base_seed * 7919 + i * 131 +
+              static_cast<std::uint64_t>(rep));
+      tasks.push_back({&app.os_runs.runs[static_cast<std::size_t>(rep)],
+                       os_mapping, run_seed});
+      tasks.push_back({&app.sm_runs.runs[static_cast<std::size_t>(rep)],
+                       app.sm_mapping, run_seed});
+      tasks.push_back({&app.hm_runs.runs[static_cast<std::size_t>(rep)],
+                       app.hm_mapping, run_seed});
+    }
+    int workers = config.parallel_workers > 0
+                      ? config.parallel_workers
+                      : static_cast<int>(std::thread::hardware_concurrency());
+    workers = std::max(1, std::min<int>(workers,
+                                        static_cast<int>(tasks.size())));
+    std::atomic<std::size_t> next_task{0};
+    auto worker_fn = [&] {
+      for (;;) {
+        const std::size_t idx = next_task.fetch_add(1);
+        if (idx >= tasks.size()) return;
+        Task& task = tasks[idx];
+        Pipeline worker_pipe(config.machine);
+        *task.slot =
+            worker_pipe.evaluate(*workload, task.mapping, task.run_seed);
+      }
+    };
+    if (workers == 1) {
+      worker_fn();
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<std::size_t>(workers));
+      for (int w = 0; w < workers; ++w) pool.emplace_back(worker_fn);
+      for (std::thread& t : pool) t.join();
+    }
+    result.apps.push_back(std::move(app));
+  }
+
+  if (caching) {
+    std::error_code ec;
+    std::filesystem::create_directories(cache_dir(), ec);
+    if (!ec) {
+      std::ofstream out(cache_file);
+      out << serialize_suite(result);
+      if (progress != nullptr) {
+        *progress << "[suite] cached results at " << cache_file << "\n";
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace tlbmap

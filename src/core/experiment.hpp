@@ -1,0 +1,106 @@
+// The paper's full evaluation as a reusable harness.
+//
+// run_suite() reproduces the experimental protocol of Sections V/VI for a
+// set of NPB workloads: detect the communication matrix with SM, HM and the
+// full-trace oracle; derive SM/HM thread mappings with the hierarchical
+// Edmonds matcher; then run `repetitions` performance runs per mapping.
+// The OS baseline re-rolls a random placement every repetition (an unaware
+// scheduler), which is also what gives it the paper's high variance.
+//
+// Because several bench binaries consume the same suite (Figures 6-9,
+// Tables IV/V), results are cached on disk keyed by a config hash; set
+// TLBMAP_NO_CACHE=1 (or use_cache=false) to force recomputation, and
+// TLBMAP_CACHE_DIR to relocate the cache (default /tmp/tlbmap_cache).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "sim/stats.hpp"
+
+namespace tlbmap {
+
+struct SuiteConfig {
+  MachineConfig machine{};  // Harpertown defaults (Table II / Fig. 3)
+  WorkloadParams workload{};
+  std::vector<std::string> apps = npb_workload_names();
+  int repetitions = 8;
+  /// Detector knobs, scaled to the short traces: the paper's runs last
+  /// billions of cycles with millions of TLB misses, ours millions of cycles
+  /// with tens of thousands of misses. Sampling 1-in-10 (instead of the
+  /// paper's 1-in-100) and sweeping every 400k cycles (instead of every 10M,
+  /// with the sweep cost scaled by the same 25x to preserve the ~0.84 %
+  /// overhead ratio) restores a comparable number of detection events.
+  /// bench_table3 additionally reports the overheads at the paper's
+  /// unscaled parameters, computed from the measured miss counts.
+  SmDetectorConfig sm{/*sample_threshold=*/10, /*search_cost=*/231};
+  HmDetectorConfig hm{/*interval=*/400'000, /*search_cost=*/3'372};
+  OracleDetectorConfig oracle{};
+  /// Detection runs use iter_scale multiplied by this factor: the paper
+  /// detects over the application's full execution, and longer detection
+  /// traces stand in for that.
+  double detect_iter_scale = 4.0;
+  std::uint64_t base_seed = 42;
+  bool use_cache = true;
+  /// Worker threads for the (independent) evaluation runs. 0 = one per
+  /// hardware core. Results are bit-identical regardless of the worker
+  /// count — each run simulates its own Machine and writes its own slot.
+  int parallel_workers = 0;
+};
+
+/// Repeated performance runs under one mapping policy.
+struct MappingRuns {
+  std::string label;  ///< "OS" / "SM" / "HM"
+  std::vector<MachineStats> runs;
+};
+
+/// Which scalar a summary extracts from a run. Figures 7-9 normalise raw
+/// event counts; Table IV reports the per-second rates.
+enum class Metric {
+  kTimeSeconds,
+  kInvalidations,
+  kSnoops,
+  kL2Misses,
+  kInvalidationsPerSec,
+  kSnoopsPerSec,
+  kL2MissesPerSec,
+};
+
+double metric_value(const MachineStats& stats, Metric metric);
+Summary summarize_runs(const MappingRuns& runs, Metric metric);
+
+struct AppExperiment {
+  std::string app;
+  DetectionResult sm_detection;
+  DetectionResult hm_detection;
+  DetectionResult oracle_detection;
+  Mapping sm_mapping;
+  Mapping hm_mapping;
+  MappingRuns os_runs, sm_runs, hm_runs;
+
+  /// mean(metric under mapping) / mean(metric under OS) — the normalised
+  /// bars of Figures 6-9.
+  double normalized(const MappingRuns& runs, Metric metric) const;
+};
+
+struct SuiteResult {
+  SuiteConfig config;
+  std::vector<AppExperiment> apps;
+};
+
+/// Runs (or loads from cache) the whole evaluation. `progress`, when given,
+/// receives one line per completed step.
+SuiteResult run_suite(const SuiteConfig& config,
+                      std::ostream* progress = nullptr);
+
+/// Cache plumbing (exposed for tests).
+std::string suite_cache_key(const SuiteConfig& config);
+std::string serialize_suite(const SuiteResult& result);
+std::optional<SuiteResult> deserialize_suite(const std::string& text,
+                                             const SuiteConfig& config);
+
+}  // namespace tlbmap

@@ -1,0 +1,96 @@
+#include "core/pipeline.hpp"
+
+#include <stdexcept>
+
+namespace tlbmap {
+
+Pipeline::Pipeline(const MachineConfig& config)
+    : config_(config), topology_(config) {
+  config_.validate();
+}
+
+namespace {
+
+std::vector<std::unique_ptr<ThreadStream>> make_streams(
+    const Workload& workload, std::uint64_t seed) {
+  std::vector<std::unique_ptr<ThreadStream>> streams;
+  streams.reserve(static_cast<std::size_t>(workload.num_threads()));
+  for (ThreadId t = 0; t < workload.num_threads(); ++t) {
+    streams.push_back(workload.stream(t, seed));
+  }
+  return streams;
+}
+
+}  // namespace
+
+DetectionResult Pipeline::detect(const Workload& workload,
+                                 Mechanism mechanism, std::uint64_t seed) {
+  if (workload.num_threads() > topology_.num_cores()) {
+    throw std::invalid_argument("Pipeline::detect: more threads than cores");
+  }
+  Machine machine(config_);
+  std::unique_ptr<Detector> detector;
+  switch (mechanism) {
+    case Mechanism::kSoftwareManaged:
+      detector = std::make_unique<SmDetector>(
+          machine, workload.num_threads(), sm_config_);
+      break;
+    case Mechanism::kHardwareManaged:
+      detector = std::make_unique<HmDetector>(
+          machine, workload.num_threads(), hm_config_);
+      break;
+    case Mechanism::kOracle:
+      detector = std::make_unique<OracleDetector>(workload.num_threads(),
+                                                  oracle_config_);
+      break;
+  }
+
+  Machine::RunConfig run;
+  run.thread_to_core = identity_mapping(workload.num_threads());
+  run.observer = detector.get();
+
+  DetectionResult result;
+  result.stats = machine.run(make_streams(workload, seed), run);
+  result.matrix = detector->matrix();
+  result.searches = detector->searches();
+  result.mechanism = detector->name();
+  return result;
+}
+
+Mapping Pipeline::map(const CommMatrix& matrix) const {
+  HierarchicalMapper mapper(topology_);
+  return mapper.map(matrix);
+}
+
+MachineStats Pipeline::evaluate(const Workload& workload,
+                                const Mapping& mapping, std::uint64_t seed) {
+  if (!is_valid_mapping(mapping, topology_.num_cores())) {
+    throw std::invalid_argument("Pipeline::evaluate: invalid mapping");
+  }
+  Machine machine(config_);
+  Machine::RunConfig run;
+  run.thread_to_core = mapping;
+  return machine.run(make_streams(workload, seed), run);
+}
+
+Pipeline::DynamicRunResult Pipeline::evaluate_dynamic(
+    const Workload& workload, const Mapping& initial,
+    const OnlineMapperConfig& config, std::uint64_t seed) {
+  if (!is_valid_mapping(initial, topology_.num_cores())) {
+    throw std::invalid_argument("Pipeline::evaluate_dynamic: invalid mapping");
+  }
+  Machine machine(config_);
+  OnlineMapper online(machine, workload.num_threads(), initial, config);
+  Machine::RunConfig run;
+  run.thread_to_core = initial;
+  run.observer = &online;
+  run.migration = &online;
+  DynamicRunResult result;
+  result.stats = machine.run(make_streams(workload, seed), run);
+  result.migrations = online.migrations();
+  result.remap_decisions = online.remap_decisions();
+  result.final_mapping = online.current_mapping();
+  return result;
+}
+
+}  // namespace tlbmap

@@ -1,0 +1,94 @@
+// The library's top-level API: detect -> map -> evaluate.
+//
+//   Pipeline pipe(MachineConfig::harpertown());
+//   auto workload = make_npb_workload("SP");
+//   auto det = pipe.detect(*workload, Pipeline::Mechanism::kSoftwareManaged);
+//   Mapping mapping = pipe.map(det.matrix);
+//   MachineStats run = pipe.evaluate(*workload, mapping, /*seed=*/0);
+//
+// Detection executes the workload on the simulated machine with the
+// detector attached (threads pinned in identity order, as in the paper's
+// Simics phase); evaluation re-runs it under a candidate mapping and
+// reports the coherence/timing counters of Figures 6-9.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/dynamic.hpp"
+#include "detect/comm_matrix.hpp"
+#include "detect/hm_detector.hpp"
+#include "detect/oracle_detector.hpp"
+#include "detect/sm_detector.hpp"
+#include "mapping/hierarchical.hpp"
+#include "mapping/mapping.hpp"
+#include "npb/workload.hpp"
+#include "sim/machine.hpp"
+
+namespace tlbmap {
+
+struct DetectionResult {
+  CommMatrix matrix;
+  MachineStats stats;            ///< counters of the detection run
+  std::uint64_t searches = 0;    ///< detector search invocations
+  std::string mechanism;         ///< "SM" / "HM" / "oracle"
+
+  DetectionResult() : matrix(1) {}
+};
+
+class Pipeline {
+ public:
+  enum class Mechanism {
+    kSoftwareManaged,  ///< paper Sec. IV-A
+    kHardwareManaged,  ///< paper Sec. IV-B
+    kOracle,           ///< full-trace ground truth (related work)
+  };
+
+  explicit Pipeline(const MachineConfig& config);
+
+  /// Runs `workload` once with the selected detector attached and returns
+  /// the detected communication matrix plus run statistics.
+  DetectionResult detect(const Workload& workload, Mechanism mechanism,
+                         std::uint64_t seed = 1);
+
+  // Detector knobs (defaults are the paper's parameters).
+  SmDetectorConfig& sm_config() { return sm_config_; }
+  HmDetectorConfig& hm_config() { return hm_config_; }
+  OracleDetectorConfig& oracle_config() { return oracle_config_; }
+
+  /// Hierarchical Edmonds-matching mapping from a communication matrix.
+  Mapping map(const CommMatrix& matrix) const;
+
+  /// Runs `workload` under `mapping` with no detector and returns counters.
+  MachineStats evaluate(const Workload& workload, const Mapping& mapping,
+                        std::uint64_t seed);
+
+  /// Result of a dynamically mapped run (detection + migration online).
+  struct DynamicRunResult {
+    MachineStats stats;
+    int migrations = 0;        ///< placements actually changed
+    int remap_decisions = 0;   ///< matcher invocations
+    Mapping final_mapping;
+  };
+
+  /// Runs `workload` with the OnlineMapper attached: the SM mechanism
+  /// detects while the application runs, and threads migrate at barriers
+  /// whenever the matcher finds a better placement (paper Sec. VII future
+  /// work). Starts from `initial` (e.g. identity or a random placement).
+  DynamicRunResult evaluate_dynamic(const Workload& workload,
+                                    const Mapping& initial,
+                                    const OnlineMapperConfig& config,
+                                    std::uint64_t seed);
+
+  const MachineConfig& config() const { return config_; }
+  const Topology& topology() const { return topology_; }
+
+ private:
+  MachineConfig config_;
+  Topology topology_;
+  SmDetectorConfig sm_config_{};
+  HmDetectorConfig hm_config_{};
+  OracleDetectorConfig oracle_config_{};
+};
+
+}  // namespace tlbmap

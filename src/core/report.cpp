@@ -1,0 +1,120 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace tlbmap {
+
+TextTable::TextTable(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> widths;
+  for (const auto& row : rows_) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::ostringstream out;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    const auto& row = rows_[r];
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      out << row[i];
+      if (i + 1 < row.size()) {
+        out << std::string(widths[i] - row[i].size() + 2, ' ');
+      }
+    }
+    out << '\n';
+    if (r == 0) {
+      std::size_t total = 0;
+      for (const std::size_t w : widths) total += w + 2;
+      out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+    }
+  }
+  return out.str();
+}
+
+CsvTable::CsvTable(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void CsvTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string CsvTable::str() const {
+  std::ostringstream out;
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) out << ',';
+      out << csv_escape(row[i]);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string fmt_double(double v, int precision) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << v;
+  return out.str();
+}
+
+std::string fmt_percent(double fraction, int precision) {
+  return fmt_double(fraction * 100.0, precision) + "%";
+}
+
+std::string fmt_count(double v) {
+  const bool negative = v < 0;
+  std::ostringstream raw;
+  raw.setf(std::ios::fixed);
+  raw.precision(0);
+  raw << std::abs(v);
+  const std::string digits = raw.str();
+  std::string grouped;
+  int since_sep = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (since_sep == 3) {
+      grouped.push_back(',');
+      since_sep = 0;
+    }
+    grouped.push_back(*it);
+    ++since_sep;
+  }
+  if (negative) grouped.push_back('-');
+  std::reverse(grouped.begin(), grouped.end());
+  return grouped;
+}
+
+std::string bar(double fraction, int width) {
+  const double clamped = std::clamp(fraction, 0.0, 2.0);
+  const int filled =
+      static_cast<int>(std::lround(clamped / 2.0 * static_cast<double>(width)));
+  std::string out(static_cast<std::size_t>(filled), '#');
+  out.resize(static_cast<std::size_t>(width), ' ');
+  return out;
+}
+
+}  // namespace tlbmap

@@ -1,0 +1,43 @@
+// Plain-text presentation helpers used by the bench binaries: aligned
+// tables (paper Tables III-V) and normalised bar rows (Figures 6-9).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tlbmap {
+
+/// Column-aligned monospace table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  std::string str() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// CSV rendering of a table (same rows as TextTable; RFC-4180 quoting for
+/// cells containing commas/quotes). For piping bench output into plotting
+/// tools.
+class CsvTable {
+ public:
+  explicit CsvTable(std::vector<std::string> header);
+  void add_row(std::vector<std::string> cells);
+  std::string str() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string fmt_double(double v, int precision = 3);
+/// 0.153 -> "15.3%".
+std::string fmt_percent(double fraction, int precision = 1);
+/// Engineering notation with thousands separators: 12345678 -> "12,345,678".
+std::string fmt_count(double v);
+/// Horizontal bar of width proportional to `fraction` (clamped to [0, ~2]).
+std::string bar(double fraction, int width = 32);
+
+}  // namespace tlbmap

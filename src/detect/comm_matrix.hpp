@@ -1,0 +1,72 @@
+// The communication matrix (paper Sec. III-C): pairwise amount of
+// communication between threads, built by the detectors and consumed by the
+// mapping algorithms. Cell (i, j) counts detected sharing events between
+// threads i and j; the matrix is symmetric with a zero diagonal.
+//
+// Also provides the presentation and accuracy tooling used by the benches:
+// ASCII heatmaps (Figures 4/5) and similarity metrics against a ground-truth
+// matrix (our quantitative extension of the paper's visual comparison).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace tlbmap {
+
+class CommMatrix {
+ public:
+  explicit CommMatrix(int num_threads);
+
+  int size() const { return n_; }
+
+  /// Records `amount` units of communication between two distinct threads.
+  /// Self-communication is meaningless and ignored.
+  void add(ThreadId a, ThreadId b, std::uint64_t amount = 1);
+
+  std::uint64_t at(ThreadId a, ThreadId b) const;
+
+  /// Sum over the upper triangle (each pair counted once).
+  std::uint64_t total() const;
+
+  /// Largest cell value.
+  std::uint64_t max() const;
+
+  /// Cell scaled to [0, 1] by the matrix maximum.
+  double normalized(ThreadId a, ThreadId b) const;
+
+  CommMatrix& operator+=(const CommMatrix& other);
+
+  /// Multiplies every cell by `factor` (ageing for dynamic re-detection).
+  void decay(double factor);
+
+  /// All pairs (a < b) ordered by decreasing communication.
+  std::vector<std::pair<ThreadId, ThreadId>> pairs_by_weight() const;
+
+  /// ASCII heatmap in the style of the paper's Figures 4 and 5: darker
+  /// glyphs mean more communication.
+  std::string heatmap() const;
+
+  /// Cosine similarity of the upper triangles, in [0, 1] ([-1,1] in theory,
+  /// but counts are non-negative). 1 = identical shape.
+  static double cosine_similarity(const CommMatrix& a, const CommMatrix& b);
+
+  /// Spearman rank correlation of the upper triangles, in [-1, 1]. Robust to
+  /// the (arbitrary) magnitude differences between detectors.
+  static double rank_correlation(const CommMatrix& a, const CommMatrix& b);
+
+ private:
+  std::size_t index(ThreadId a, ThreadId b) const {
+    return static_cast<std::size_t>(a) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(b);
+  }
+  std::vector<double> upper_triangle() const;
+
+  int n_;
+  std::vector<std::uint64_t> cells_;
+};
+
+}  // namespace tlbmap

@@ -1,0 +1,42 @@
+// Common base for the communication-pattern detectors. A detector is a
+// MachineObserver that accumulates a CommMatrix while a workload runs and
+// accounts for the cycles its own searches cost (paper Sec. VI-C).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "detect/comm_matrix.hpp"
+#include "sim/machine.hpp"
+#include "sim/types.hpp"
+
+namespace tlbmap {
+
+class Detector : public MachineObserver {
+ public:
+  explicit Detector(int num_threads) : matrix_(num_threads) {}
+
+  const CommMatrix& matrix() const { return matrix_; }
+
+  /// Number of times the detection routine actually ran (SM: sampled
+  /// searches; HM: periodic sweeps).
+  std::uint64_t searches() const { return searches_; }
+
+  /// TLB misses observed (Table III's miss statistics are derived from the
+  /// machine counters; this tracks what the detector itself saw).
+  std::uint64_t misses_seen() const { return misses_seen_; }
+
+  virtual std::string name() const = 0;
+
+  void reset_matrix() { matrix_ = CommMatrix(matrix_.size()); }
+
+  /// Ages the accumulated matrix (dynamic re-detection support).
+  void decay_matrix(double factor) { matrix_.decay(factor); }
+
+ protected:
+  CommMatrix matrix_;
+  std::uint64_t searches_ = 0;
+  std::uint64_t misses_seen_ = 0;
+};
+
+}  // namespace tlbmap

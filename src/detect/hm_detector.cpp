@@ -1,0 +1,58 @@
+#include "detect/hm_detector.hpp"
+
+namespace tlbmap {
+
+HmDetector::HmDetector(Machine& machine, int num_threads,
+                       HmDetectorConfig config)
+    : Detector(num_threads), machine_(&machine), config_(config) {}
+
+Cycles HmDetector::on_access(ThreadId /*thread*/, CoreId /*core*/,
+                             VirtAddr /*addr*/, PageNum /*page*/,
+                             AccessType /*type*/, bool tlb_miss,
+                             Cycles /*now*/) {
+  if (tlb_miss) ++misses_seen_;
+  return 0;
+}
+
+Cycles HmDetector::on_tick(Cycles now) {
+  // Figure 1b: if not enough time passed since the last search, return.
+  // `now` is a per-thread clock and may jitter backwards slightly relative
+  // to the previous call; the >= comparison handles that safely.
+  if (now < last_sweep_ + config_.interval) return 0;
+  last_sweep_ = now;
+  sweep();
+  return config_.search_cost;
+}
+
+void HmDetector::sweep() {
+  ++searches_;
+  const Topology& topo = machine_->topology();
+  const MemoryHierarchy& hier = machine_->hierarchy();
+  // All possible pairs of TLBs (the SM mechanism's locality argument does
+  // not apply: nothing tells the kernel *which* TLB changed).
+  for (CoreId a = 0; a < topo.num_cores(); ++a) {
+    const ThreadId ta = machine_->thread_on(a);
+    if (ta == kNoThread) continue;
+    for (CoreId b = a + 1; b < topo.num_cores(); ++b) {
+      const ThreadId tb = machine_->thread_on(b);
+      if (tb == kNoThread) continue;
+      const Tlb& tlb_a = hier.tlb(a);
+      const Tlb& tlb_b = hier.tlb(b);
+      // Same geometry on every core: walk sets in lockstep and compare only
+      // within a set — Theta(S * ways^2) per pair.
+      for (std::size_t set = 0; set < tlb_a.num_sets(); ++set) {
+        for (const TlbEntry& ea : tlb_a.set_entries(set)) {
+          if (!ea.valid) continue;
+          for (const TlbEntry& eb : tlb_b.set_entries(set)) {
+            if (eb.valid && eb.page == ea.page) {
+              matrix_.add(ta, tb);
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace tlbmap

@@ -1,0 +1,49 @@
+// Hardware-managed TLB mechanism (paper Sec. IV-B, Figure 1b).
+//
+// x86-style TLBs are refilled by a hardware page walker, so the OS never
+// sees misses. The paper proposes a small ISA extension that lets the kernel
+// read TLB contents; the kernel then periodically (every `interval` cycles,
+// 10M in the paper) compares **all pairs** of TLBs and increments the
+// communication matrix per matching entry. Sets are walked in lockstep, so
+// one sweep is Theta(P^2 * S) for set-associative TLBs.
+#pragma once
+
+#include <cstdint>
+
+#include "detect/detector.hpp"
+#include "sim/machine.hpp"
+
+namespace tlbmap {
+
+struct HmDetectorConfig {
+  /// Cycles between sweeps (the paper's n = 10,000,000).
+  Cycles interval = 10'000'000;
+  /// Cycles one full sweep costs (paper measures 84,297 for 8 cores); the
+  /// machine stalls every thread for this long, modelling the kernel-wide
+  /// interruption.
+  Cycles search_cost = 84'297;
+};
+
+class HmDetector final : public Detector {
+ public:
+  HmDetector(Machine& machine, int num_threads, HmDetectorConfig config = {});
+
+  Cycles on_access(ThreadId thread, CoreId core, VirtAddr addr,
+                   PageNum page, AccessType type, bool tlb_miss,
+                   Cycles now) override;
+  Cycles on_tick(Cycles now) override;
+
+  std::string name() const override { return "HM"; }
+  const HmDetectorConfig& config() const { return config_; }
+
+  /// Runs one sweep immediately (exposed for tests and for the dynamic
+  /// migration example, which re-detects on demand).
+  void sweep();
+
+ private:
+  Machine* machine_;
+  HmDetectorConfig config_;
+  Cycles last_sweep_ = 0;
+};
+
+}  // namespace tlbmap

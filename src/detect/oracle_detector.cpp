@@ -1,0 +1,32 @@
+#include "detect/oracle_detector.hpp"
+
+namespace tlbmap {
+
+OracleDetector::OracleDetector(int num_threads, OracleDetectorConfig config)
+    : Detector(num_threads), config_(config), num_threads_(num_threads) {}
+
+Cycles OracleDetector::on_access(ThreadId thread, CoreId /*core*/,
+                                 VirtAddr addr, PageNum /*page*/,
+                                 AccessType /*type*/, bool tlb_miss,
+                                 Cycles /*now*/) {
+  if (tlb_miss) ++misses_seen_;
+  ++access_count_;
+  const std::uint64_t unit = addr >> config_.granularity_shift;
+  auto [it, inserted] = last_touch_.try_emplace(
+      unit, static_cast<std::size_t>(num_threads_), 0);
+  std::vector<std::uint64_t>& touches = it->second;
+  for (ThreadId other = 0; other < num_threads_; ++other) {
+    if (other == thread || touches[static_cast<std::size_t>(other)] == 0) {
+      continue;
+    }
+    const std::uint64_t age =
+        access_count_ - touches[static_cast<std::size_t>(other)];
+    if (config_.window == 0 || age <= config_.window) {
+      matrix_.add(thread, other);
+    }
+  }
+  touches[static_cast<std::size_t>(thread)] = access_count_;
+  return 0;
+}
+
+}  // namespace tlbmap

@@ -1,0 +1,33 @@
+#include "detect/sm_detector.hpp"
+
+namespace tlbmap {
+
+SmDetector::SmDetector(Machine& machine, int num_threads,
+                       SmDetectorConfig config)
+    : Detector(num_threads), machine_(&machine), config_(config) {}
+
+Cycles SmDetector::on_access(ThreadId thread, CoreId core,
+                             VirtAddr /*addr*/, PageNum page,
+                             AccessType /*type*/, bool tlb_miss,
+                             Cycles /*now*/) {
+  if (!tlb_miss) return 0;
+  ++misses_seen_;
+  // Figure 1a: below the threshold, just count the miss and return.
+  if (++miss_counter_ < config_.sample_threshold) return 0;
+  miss_counter_ = 0;
+  ++searches_;
+  // Search every other TLB for the missed page. Tlb::contains probes only
+  // the page's set, so the whole sweep is Theta(P * associativity).
+  const Topology& topo = machine_->topology();
+  for (CoreId other = 0; other < topo.num_cores(); ++other) {
+    if (other == core) continue;
+    const ThreadId other_thread = machine_->thread_on(other);
+    if (other_thread == kNoThread) continue;
+    if (machine_->hierarchy().tlb(other).contains(page)) {
+      matrix_.add(thread, other_thread);
+    }
+  }
+  return config_.search_cost;
+}
+
+}  // namespace tlbmap

@@ -1,0 +1,38 @@
+// Dual recursive bipartitioning mapper.
+//
+// The paper (Sec. V-A) notes that methods such as Scotch's dual recursive
+// bipartitioning also solve the mapping problem well; it picks Edmonds
+// matching instead. This is the bipartitioning alternative, implemented for
+// comparison: recursively split the thread set to match the machine tree
+// (sockets, then L2 groups, then cores), each split minimising the
+// communication cut with a greedy seed plus Kernighan-Lin-style refinement.
+//
+// Exists as an ablation comparator for the hierarchical matcher; same
+// contract as HierarchicalMapper::map.
+#pragma once
+
+#include "detect/comm_matrix.hpp"
+#include "mapping/mapping.hpp"
+#include "sim/topology.hpp"
+
+namespace tlbmap {
+
+class BipartitionMapper {
+ public:
+  explicit BipartitionMapper(const Topology& topology);
+
+  /// Maps comm.size() threads onto distinct cores. Requires
+  /// comm.size() <= topology.num_cores() and power-of-two level arities.
+  Mapping map(const CommMatrix& comm) const;
+
+ private:
+  const Topology* topology_;
+};
+
+/// One balanced 2-way split of `members` minimising the communication cut
+/// (exposed for tests). Returns the two halves, each of size
+/// members.size()/2; members.size() must be even.
+std::pair<std::vector<ThreadId>, std::vector<ThreadId>> bisect_min_cut(
+    const CommMatrix& comm, const std::vector<ThreadId>& members);
+
+}  // namespace tlbmap

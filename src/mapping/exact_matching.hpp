@@ -1,0 +1,19 @@
+// Exact maximum-weight perfect matching by bitmask dynamic programming.
+//
+// O(2^N * N) time and O(2^N) space — only feasible for small N, but
+// unconditionally correct. Serves as the test oracle for the blossom
+// implementation and as a fallback for tiny machines.
+#pragma once
+
+#include "mapping/matching.hpp"
+
+namespace tlbmap {
+
+/// Practical upper bound on N for the DP (2^24 doubles of state).
+inline constexpr std::size_t kExactMatchingMaxVertices = 22;
+
+/// Same contract as max_weight_perfect_matching. Throws when N exceeds
+/// kExactMatchingMaxVertices.
+MatchingResult exact_perfect_matching(const WeightMatrix& w);
+
+}  // namespace tlbmap

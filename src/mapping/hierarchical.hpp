@@ -1,0 +1,54 @@
+// Hierarchical thread mapping (paper Sec. V-A).
+//
+// One matching pass pairs the threads that communicate most; when the
+// machine has more hierarchy levels than "two cores per L2" (Harpertown
+// also shares sockets), the matched pairs are collapsed into super-nodes
+// whose pairwise weight is the paper's heuristic
+//     H((x,y),(z,k)) = M(x,z) + M(x,k) + M(y,z) + M(y,k)
+// (generalised here to groups of any size), and the matching re-runs.
+// After enough passes the groups coincide with sockets and the nested merge
+// order is read off onto the core tree.
+//
+// When the application has fewer threads than cores, virtual zero-
+// communication threads pad the matrix and are dropped from the result.
+#pragma once
+
+#include <vector>
+
+#include "detect/comm_matrix.hpp"
+#include "mapping/mapping.hpp"
+#include "mapping/matching.hpp"
+#include "sim/topology.hpp"
+
+namespace tlbmap {
+
+struct HierarchicalMapperConfig {
+  enum class Matcher {
+    kBlossom,  ///< exact Edmonds matching (the paper's choice)
+    kGreedy,   ///< greedy baseline, for the matching-quality ablation
+  };
+  Matcher matcher = Matcher::kBlossom;
+};
+
+class HierarchicalMapper {
+ public:
+  explicit HierarchicalMapper(const Topology& topology,
+                              HierarchicalMapperConfig config = {});
+
+  /// Maps comm.size() threads onto distinct cores. Requires
+  /// comm.size() <= topology.num_cores() and power-of-two level arities.
+  Mapping map(const CommMatrix& comm) const;
+
+  /// The intermediate groupings, one entry per completed matching pass
+  /// (exposed so tests can check that top communicating pairs merge first).
+  std::vector<std::vector<std::vector<ThreadId>>> merge_levels(
+      const CommMatrix& comm) const;
+
+ private:
+  MatchingResult run_matching(const WeightMatrix& w) const;
+
+  const Topology* topology_;
+  HierarchicalMapperConfig config_;
+};
+
+}  // namespace tlbmap

@@ -1,0 +1,78 @@
+#include "mapping/mapping.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <sstream>
+
+namespace tlbmap {
+
+bool is_valid_mapping(const Mapping& mapping, int num_cores) {
+  std::vector<bool> used(static_cast<std::size_t>(num_cores), false);
+  for (const CoreId core : mapping) {
+    if (core < 0 || core >= num_cores) return false;
+    if (used[static_cast<std::size_t>(core)]) return false;
+    used[static_cast<std::size_t>(core)] = true;
+  }
+  return true;
+}
+
+Mapping identity_mapping(int num_threads) {
+  Mapping m(static_cast<std::size_t>(num_threads));
+  std::iota(m.begin(), m.end(), 0);
+  return m;
+}
+
+Mapping random_mapping(int num_threads, int num_cores, std::uint64_t seed) {
+  std::vector<CoreId> cores(static_cast<std::size_t>(num_cores));
+  std::iota(cores.begin(), cores.end(), 0);
+  std::mt19937_64 rng(seed);
+  std::shuffle(cores.begin(), cores.end(), rng);
+  cores.resize(static_cast<std::size_t>(num_threads));
+  return cores;
+}
+
+Mapping round_robin_mapping(const Topology& topology, int num_threads) {
+  Mapping m;
+  m.reserve(static_cast<std::size_t>(num_threads));
+  std::vector<int> next_in_socket(
+      static_cast<std::size_t>(topology.num_sockets()), 0);
+  int socket = 0;
+  for (int t = 0; t < num_threads; ++t) {
+    // Skip full sockets (only matters when threads < cores).
+    while (next_in_socket[static_cast<std::size_t>(socket)] >=
+           topology.cores_per_socket()) {
+      socket = (socket + 1) % topology.num_sockets();
+    }
+    const int slot = next_in_socket[static_cast<std::size_t>(socket)]++;
+    m.push_back(socket * topology.cores_per_socket() + slot);
+    socket = (socket + 1) % topology.num_sockets();
+  }
+  return m;
+}
+
+double mapping_cost(const CommMatrix& comm, const Mapping& mapping,
+                    const Topology& topology) {
+  double cost = 0.0;
+  const int n = comm.size();
+  for (ThreadId a = 0; a < n; ++a) {
+    for (ThreadId b = a + 1; b < n; ++b) {
+      const int dist =
+          topology.distance(mapping[static_cast<std::size_t>(a)],
+                            mapping[static_cast<std::size_t>(b)]);
+      cost += static_cast<double>(comm.at(a, b)) * static_cast<double>(dist);
+    }
+  }
+  return cost;
+}
+
+std::string to_string(const Mapping& mapping) {
+  std::ostringstream out;
+  for (std::size_t t = 0; t < mapping.size(); ++t) {
+    if (t != 0) out << ' ';
+    out << 't' << t << "->c" << mapping[t];
+  }
+  return out.str();
+}
+
+}  // namespace tlbmap

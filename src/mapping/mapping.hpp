@@ -1,0 +1,44 @@
+// Thread-to-core mappings: the type, validity checks, baseline generators
+// (the paper's "OS" scheduler stand-in among them) and a communication-cost
+// metric used to compare mapping quality independently of full simulation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "detect/comm_matrix.hpp"
+#include "sim/topology.hpp"
+#include "sim/types.hpp"
+
+namespace tlbmap {
+
+/// mapping[t] = core that runs thread t.
+using Mapping = std::vector<CoreId>;
+
+/// True iff every thread is placed on a distinct, existing core.
+bool is_valid_mapping(const Mapping& mapping, int num_cores);
+
+/// Thread t on core t.
+Mapping identity_mapping(int num_threads);
+
+/// Uniformly random placement of threads onto distinct cores. This is the
+/// evaluation's "OS" baseline: an unaware scheduler that lands threads on
+/// arbitrary cores, differently on every run (hence the paper's high
+/// OS-variance observations).
+Mapping random_mapping(int num_threads, int num_cores, std::uint64_t seed);
+
+/// Threads dealt across sockets round-robin (a load-balancing-only
+/// scheduler: spreads without regard to communication).
+Mapping round_robin_mapping(const Topology& topology, int num_threads);
+
+/// Total weighted communication distance: sum over thread pairs of
+/// comm(a, b) * hop_distance(core(a), core(b)). Lower is better; used by
+/// tests and the matching-quality ablation.
+double mapping_cost(const CommMatrix& comm, const Mapping& mapping,
+                    const Topology& topology);
+
+/// Human-readable "t0->c3 t1->c5 ..." string for reports.
+std::string to_string(const Mapping& mapping);
+
+}  // namespace tlbmap

@@ -1,0 +1,80 @@
+// BT — Block Tridiagonal solver.
+//
+// 3-D structured grid, 1-D slab decomposition: each thread owns a contiguous
+// slab of the solution array `u` and of the right-hand side `rhs`. Every
+// time step computes the RHS (reading one halo plane from each neighbour's
+// slab edge) and then solves, sweeping its own slab read-write. The
+// communication signature is the classic domain-decomposition band: thread t
+// talks to t-1 and t+1 (paper Fig. 4, BT).
+#include "npb/workload.hpp"
+
+namespace tlbmap {
+namespace {
+
+class BtWorkload final : public ProgramWorkload {
+ public:
+  explicit BtWorkload(const WorkloadParams& p)
+      : ProgramWorkload(
+            "BT",
+            "block tridiagonal solver; slab decomposition, halo exchange",
+            p) {
+    const auto n = static_cast<std::uint64_t>(p.num_threads);
+    Arena arena;
+    // Slabs well beyond the 64-entry TLB reach so translations recur every
+    // sweep (the real W-class grids dwarf the TLB the same way).
+    slab_pages_ = pages(96);
+    u_ = arena.alloc_pages(slab_pages_ * n);
+    rhs_ = arena.alloc_pages(slab_pages_ * n);
+  }
+
+  AccessProgram program(ThreadId t) const override {
+    const int n = params_.num_threads;
+    const std::uint32_t j = params_.gap_jitter;
+    const Region my_u = u_.slab(t, n);
+    const Region my_rhs = rhs_.slab(t, n);
+    // Compute sweeps sample every 8th element: full page coverage at a
+    // realistic access budget.
+    const std::int64_t s = 8;
+
+    // Phase 1: compute_rhs — read u (own slab + neighbour halo planes),
+    // produce rhs.
+    Phase compute_rhs;
+    compute_rhs.walks.push_back(
+        strided_walk(my_u, Walk::Mix::kRead, s, my_u.elems() / s, 1, j));
+    if (t > 0) {
+      compute_rhs.walks.push_back(
+          sweep(u_.slab(t - 1, n).last_pages(kHaloPages),
+                Walk::Mix::kRead, 1, j));
+    }
+    if (t < n - 1) {
+      compute_rhs.walks.push_back(
+          sweep(u_.slab(t + 1, n).first_pages(kHaloPages),
+                Walk::Mix::kRead, 1, j));
+    }
+    compute_rhs.walks.push_back(strided_walk(
+        my_rhs, Walk::Mix::kReadWrite, s, my_rhs.elems() / s, 1, j));
+
+    // Phase 2: x/y/z solves — update the owned slab in place.
+    Phase solve;
+    solve.walks.push_back(
+        strided_walk(my_u, Walk::Mix::kReadWrite, s, my_u.elems() / s, 1, j));
+
+    AccessProgram prog;
+    prog.phases = {compute_rhs, solve};
+    prog.iterations = iters(6);
+    return prog;
+  }
+
+ private:
+  static constexpr std::uint64_t kHaloPages = 2;
+  std::uint64_t slab_pages_;
+  Region u_, rhs_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_bt(const WorkloadParams& params) {
+  return std::make_unique<BtWorkload>(params);
+}
+
+}  // namespace tlbmap

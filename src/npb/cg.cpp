@@ -1,0 +1,73 @@
+// CG — Conjugate Gradient with a banded sparse matrix.
+//
+// Each thread owns a block of matrix rows (private, read-write) and gathers
+// vector entries from a band that overlaps the neighbouring blocks; every
+// iteration ends with dot-product reductions on one hot shared page touched
+// by all threads. The pattern the paper reports: mostly homogeneous (the
+// reductions) with subtle domain-decomposition traces (the band) that only
+// the SM mechanism picks up.
+#include "npb/workload.hpp"
+
+namespace tlbmap {
+namespace {
+
+class CgWorkload final : public ProgramWorkload {
+ public:
+  explicit CgWorkload(const WorkloadParams& p)
+      : ProgramWorkload(
+            "CG",
+            "conjugate gradient; banded gathers plus hot shared reductions",
+            p) {
+    const auto n = static_cast<std::uint64_t>(p.num_threads);
+    Arena arena;
+    rows_pages_ = pages(24);
+    rows_ = arena.alloc_pages(rows_pages_ * n);
+    x_ = arena.alloc_pages(rows_pages_ * n);  // the vector, same split
+    reduction_ = arena.alloc_pages(1);
+  }
+
+  AccessProgram program(ThreadId t) const override {
+    const int n = params_.num_threads;
+    const std::uint32_t j = params_.gap_jitter;
+    const Region my_rows = rows_.slab(t, n);
+
+    // Band window of x: own block extended a few pages into each neighbour
+    // (the matrix band is narrow relative to the block size).
+    const std::uint64_t reach = (rows_pages_ / 16 + 1) * kPageBytes;
+    const Region my_x = x_.slab(t, n);
+    VirtAddr lo = my_x.base;
+    VirtAddr hi = my_x.base + my_x.bytes;
+    if (t > 0) lo -= reach;
+    if (t < n - 1) hi += reach;
+    const Region band{lo, hi - lo};
+
+    Phase spmv;
+    spmv.walks.push_back(strided_walk(my_rows, Walk::Mix::kReadWrite, 8,
+                                      my_rows.elems() / 8, 1, j));
+    spmv.walks.push_back(random_walk(band, Walk::Mix::kRead, 3072, 1, j));
+    // Update the owned x block (neighbours' band gathers will re-fetch it).
+    spmv.walks.push_back(
+        strided_walk(my_x, Walk::Mix::kWrite, 8, my_x.elems() / 8, 1, j));
+
+    Phase reduce;
+    Walk hot = random_walk(reduction_, Walk::Mix::kReadWrite, 256, 0, j);
+    reduce.walks.push_back(hot);
+
+    AccessProgram prog;
+    prog.phases = {spmv, reduce};
+    prog.iterations = iters(10);
+    return prog;
+  }
+
+ private:
+  std::uint64_t rows_pages_;
+  Region rows_, x_, reduction_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_cg(const WorkloadParams& params) {
+  return std::make_unique<CgWorkload>(params);
+}
+
+}  // namespace tlbmap

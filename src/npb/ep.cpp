@@ -1,0 +1,60 @@
+// EP — Embarrassingly Parallel.
+//
+// Each thread generates pseudo-random numbers into private tables with a
+// large compute gap per access; the only shared data is one reduction page
+// written once at the end. The paper uses EP as the negative control: a
+// homogeneous, nearly empty communication matrix where thread mapping can
+// not (and should not) help, and where absolute coherence counters are tiny
+// so run-to-run noise dominates (its Table V stddevs exceed the deltas).
+#include "npb/workload.hpp"
+
+namespace tlbmap {
+namespace {
+
+class EpWorkload final : public ProgramWorkload {
+ public:
+  explicit EpWorkload(const WorkloadParams& p)
+      : ProgramWorkload("EP",
+                        "embarrassingly parallel; private tables, one final "
+                        "reduction",
+                        p) {
+    const auto n = static_cast<std::uint64_t>(p.num_threads);
+    Arena arena;
+    table_pages_ = pages(8);
+    tables_ = arena.alloc_pages(table_pages_ * n);
+    reduction_ = arena.alloc_pages(1);
+  }
+
+  AccessProgram program(ThreadId t) const override {
+    const int n = params_.num_threads;
+    const std::uint32_t j = params_.gap_jitter;
+    const Region mine = tables_.slab(t, n);
+
+    Phase generate;
+    generate.walks.push_back(
+        random_walk(mine, Walk::Mix::kReadWrite, 4096, 6, j));
+    generate.barrier_after = false;  // no synchronisation while generating
+
+    Phase tally;  // runs once at the end (kept outside the iteration count
+                  // by giving it a tiny weight relative to generation)
+    tally.walks.push_back(random_walk(reduction_, Walk::Mix::kReadWrite, 16,
+                                      0, j));
+
+    AccessProgram prog;
+    prog.phases = {generate, tally};
+    prog.iterations = iters(12);
+    return prog;
+  }
+
+ private:
+  std::uint64_t table_pages_;
+  Region tables_, reduction_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_ep(const WorkloadParams& params) {
+  return std::make_unique<EpWorkload>(params);
+}
+
+}  // namespace tlbmap

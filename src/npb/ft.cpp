@@ -1,0 +1,68 @@
+// FT — 3-D Fast Fourier Transform.
+//
+// Per time step each thread transforms its own slab, then the distributed
+// transpose makes every thread read an equal-sized chunk from every other
+// thread's slab: a textbook all-to-all. The resulting communication matrix
+// is homogeneous (paper Sec. VI-A), so thread mapping has nothing to
+// exploit — FT is a control for "communication everywhere, gain nowhere".
+#include "npb/workload.hpp"
+
+namespace tlbmap {
+namespace {
+
+class FtWorkload final : public ProgramWorkload {
+ public:
+  explicit FtWorkload(const WorkloadParams& p)
+      : ProgramWorkload("FT", "3-D FFT; all-to-all transpose, homogeneous",
+                        p) {
+    const auto n = static_cast<std::uint64_t>(p.num_threads);
+    Arena arena;
+    slab_pages_ = pages(64);
+    grid_ = arena.alloc_pages(slab_pages_ * n);
+    scratch_ = arena.alloc_pages(slab_pages_ * n);
+  }
+
+  AccessProgram program(ThreadId t) const override {
+    const int n = params_.num_threads;
+    const std::uint32_t j = params_.gap_jitter;
+    const Region mine = grid_.slab(t, n);
+    const Region my_scratch = scratch_.slab(t, n);
+
+    // Local 1-D FFTs over the owned slab.
+    Phase local_fft;
+    local_fft.walks.push_back(strided_walk(mine, Walk::Mix::kReadWrite, 8,
+                                           mine.elems() / 8, 1, j));
+
+    // Transpose: read chunk t of every other thread's slab, write scratch.
+    Phase transpose;
+    const std::uint64_t chunk_elems =
+        mine.elems() / static_cast<std::uint64_t>(n);
+    for (int other = 0; other < n; ++other) {
+      if (other == t) continue;
+      const Region theirs = grid_.slab(other, n);
+      const Region chunk = theirs.slice_elems(
+          chunk_elems * static_cast<std::uint64_t>(t), chunk_elems);
+      transpose.walks.push_back(
+          strided_walk(chunk, Walk::Mix::kRead, 8, chunk.elems() / 8, 1, j));
+    }
+    transpose.walks.push_back(strided_walk(
+        my_scratch, Walk::Mix::kWrite, 8, my_scratch.elems() / 8, 1, j));
+
+    AccessProgram prog;
+    prog.phases = {local_fft, transpose};
+    prog.iterations = iters(6);
+    return prog;
+  }
+
+ private:
+  std::uint64_t slab_pages_;
+  Region grid_, scratch_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_ft(const WorkloadParams& params) {
+  return std::make_unique<FtWorkload>(params);
+}
+
+}  // namespace tlbmap

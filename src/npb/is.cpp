@@ -1,0 +1,80 @@
+// IS — Integer Sort (bucket sort).
+//
+// Three phases per repetition: histogram private keys with random reads
+// over a large key array, exchange the small per-thread count arrays
+// all-to-all, then scatter keys into rank positions of the global output —
+// a window that straddles the neighbouring slabs. The random sweeps over
+// many pages give IS by far the highest TLB miss rate of the suite, which
+// is why it shows the highest SM overhead in the paper's Table III (4.1 %
+// vs < 1 % for everything else).
+#include "npb/workload.hpp"
+
+namespace tlbmap {
+namespace {
+
+class IsWorkload final : public ProgramWorkload {
+ public:
+  explicit IsWorkload(const WorkloadParams& p)
+      : ProgramWorkload("IS",
+                        "integer bucket sort; random keys, count exchange, "
+                        "rank scatter",
+                        p) {
+    const auto n = static_cast<std::uint64_t>(p.num_threads);
+    Arena arena;
+    keys_pages_ = pages(80);
+    out_pages_ = pages(32);
+    keys_ = arena.alloc_pages(keys_pages_ * n);
+    counts_ = arena.alloc_pages(n);  // one page per thread
+    output_ = arena.alloc_pages(out_pages_ * n);
+  }
+
+  AccessProgram program(ThreadId t) const override {
+    const int n = params_.num_threads;
+    const std::uint32_t j = params_.gap_jitter;
+
+    // Histogram: random reads over the (large, private) key slab.
+    Phase histogram;
+    histogram.walks.push_back(
+        random_walk(keys_.slab(t, n), Walk::Mix::kRead, 8192, 0, j));
+    histogram.walks.push_back(
+        sweep(counts_.slab(t, n), Walk::Mix::kReadWrite, 0, j));
+
+    // Exchange: read every other thread's count page to compute ranks.
+    Phase exchange;
+    for (int other = 0; other < n; ++other) {
+      if (other == t) continue;
+      exchange.walks.push_back(
+          sweep(counts_.slab(other, n), Walk::Mix::kRead, 0, j));
+    }
+
+    // Scatter: write keys into rank positions; ranks spill a few pages into
+    // the neighbouring slabs of the output array.
+    Phase scatter;
+    const Region my_out = output_.slab(t, n);
+    const std::uint64_t spill = (out_pages_ / 16 + 1) * kPageBytes;
+    VirtAddr lo = my_out.base;
+    VirtAddr hi = my_out.base + my_out.bytes;
+    if (t > 0) lo -= spill;
+    if (t < n - 1) hi += spill;
+    const Region window{lo, hi - lo};
+    scatter.walks.push_back(random_walk(window, Walk::Mix::kWrite, 3072, 0,
+                                        j));
+
+    AccessProgram prog;
+    prog.phases = {histogram, exchange, scatter};
+    prog.iterations = iters(5);
+    return prog;
+  }
+
+ private:
+  std::uint64_t keys_pages_, out_pages_;
+  Region keys_, counts_, output_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_is(const WorkloadParams& params) {
+  return std::make_unique<IsWorkload>(params);
+}
+
+}  // namespace tlbmap

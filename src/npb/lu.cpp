@@ -1,0 +1,69 @@
+// LU — Lower-Upper Gauss-Seidel solver.
+//
+// Slab decomposition with halo exchange like BT, plus two LU-specific
+// features the paper calls out (Sec. VI-A): the SSOR wavefront is pipelined
+// through a small shared buffer touched by *every* thread each sweep, and
+// the periodic boundary couples the first and the last thread — the
+// "communication with the most distant threads" only the SM mechanism
+// detects clearly.
+#include "npb/workload.hpp"
+
+namespace tlbmap {
+namespace {
+
+class LuWorkload final : public ProgramWorkload {
+ public:
+  explicit LuWorkload(const WorkloadParams& p)
+      : ProgramWorkload(
+            "LU",
+            "LU-SSOR solver; halos plus periodic wrap and pipeline buffer",
+            p) {
+    const auto n = static_cast<std::uint64_t>(p.num_threads);
+    Arena arena;
+    slab_pages_ = pages(80);
+    u_ = arena.alloc_pages(slab_pages_ * n);
+    pipeline_ = arena.alloc_pages(1);
+  }
+
+  AccessProgram program(ThreadId t) const override {
+    const int n = params_.num_threads;
+    const std::uint32_t j = params_.gap_jitter;
+    const Region my_u = u_.slab(t, n);
+    const std::int64_t s = 8;
+    // Periodic boundary: thread 0's "left" neighbour is thread n-1.
+    const int left = (t + n - 1) % n;
+    const int right = (t + 1) % n;
+
+    Phase rhs;
+    rhs.walks.push_back(
+        strided_walk(my_u, Walk::Mix::kRead, s, my_u.elems() / s, 1, j));
+    rhs.walks.push_back(
+        sweep(u_.slab(left, n).last_pages(1), Walk::Mix::kRead, 1, j));
+    rhs.walks.push_back(
+        sweep(u_.slab(right, n).first_pages(1), Walk::Mix::kRead, 1, j));
+
+    Phase ssor;
+    // Wavefront pipeline: every thread updates the shared token buffer.
+    ssor.walks.push_back(
+        random_walk(pipeline_, Walk::Mix::kReadWrite, 256, 0, j));
+    ssor.walks.push_back(
+        strided_walk(my_u, Walk::Mix::kReadWrite, s, my_u.elems() / s, 1, j));
+
+    AccessProgram prog;
+    prog.phases = {rhs, ssor};
+    prog.iterations = iters(8);
+    return prog;
+  }
+
+ private:
+  std::uint64_t slab_pages_;
+  Region u_, pipeline_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_lu(const WorkloadParams& params) {
+  return std::make_unique<LuWorkload>(params);
+}
+
+}  // namespace tlbmap

@@ -1,0 +1,95 @@
+// MG — Multigrid V-cycle.
+//
+// Three grid levels, each slab-decomposed. Per V-cycle a thread smooths each
+// level (halo reads from both neighbours, re-read twice per smoothing pass)
+// and restricts with strided reads that reach into the neighbour slabs. The
+// mix is read-dominated sharing: many cache-to-cache transfers but only one
+// owner rewrite per level per cycle, which reproduces MG's signature in the
+// paper — the largest snoop-transaction reduction (65.4 %) but the smallest
+// invalidation reduction of the domain-decomposition codes.
+#include "npb/workload.hpp"
+
+namespace tlbmap {
+namespace {
+
+class MgWorkload final : public ProgramWorkload {
+ public:
+  explicit MgWorkload(const WorkloadParams& p)
+      : ProgramWorkload(
+            "MG", "multigrid V-cycle; multi-level halos, read-heavy sharing",
+            p) {
+    const auto n = static_cast<std::uint64_t>(p.num_threads);
+    Arena arena;
+    // Grid levels, fine to coarse; each thread owns one slab per level.
+    level_pages_ = {pages(96), pages(24), pages(6)};
+    for (const std::uint64_t lp : level_pages_) {
+      grids_.push_back(arena.alloc_pages(lp * n));
+    }
+  }
+
+  AccessProgram program(ThreadId t) const override {
+    const int n = params_.num_threads;
+    const std::uint32_t j = params_.gap_jitter;
+
+    AccessProgram prog;
+    for (std::size_t level = 0; level < grids_.size(); ++level) {
+      const Region& grid = grids_[level];
+      const Region mine = grid.slab(t, n);
+
+      // Smoothing: re-read the neighbour halos (twice) around own reads.
+      Phase smooth;
+      smooth.walks.push_back(
+          strided_walk(mine, Walk::Mix::kRead, 8, mine.elems() / 8, 1, j));
+      for (const int nb : {t - 1, t + 1}) {
+        if (nb < 0 || nb >= n) continue;
+        Walk halo = (nb == t - 1)
+                        ? sweep(grid.slab(nb, n).last_pages(1),
+                                Walk::Mix::kRead, 1, j)
+                        : sweep(grid.slab(nb, n).first_pages(1),
+                                Walk::Mix::kRead, 1, j);
+        smooth.walks.push_back(halo);
+      }
+      smooth.walks.push_back(
+          strided_walk(mine, Walk::Mix::kWrite, 16, mine.elems() / 16, 1, j));
+
+      // Restriction to the next-coarser level: strided sample over a window
+      // spanning the own slab plus a few boundary pages of each neighbour
+      // (the restriction stencil reaches one coarse cell outward).
+      Phase restrict_phase;
+      if (level + 1 < grids_.size()) {
+        const Region mine_full = grid.slab(t, n);
+        const std::uint64_t reach =
+            std::min<std::uint64_t>(4, mine_full.pages() / 2) * kPageBytes;
+        VirtAddr lo = mine_full.base;
+        VirtAddr hi = mine_full.base + mine_full.bytes;
+        if (t > 0) lo -= reach;
+        if (t < n - 1) hi += reach;
+        const Region window{lo, hi - lo};
+        restrict_phase.walks.push_back(strided_walk(
+            window, Walk::Mix::kRead, 64, window.elems() / 64, 1, j));
+        const Region coarse = grids_[level + 1].slab(t, n);
+        restrict_phase.walks.push_back(strided_walk(
+            coarse, Walk::Mix::kWrite, 8, coarse.elems() / 8, 1, j));
+      }
+
+      prog.phases.push_back(std::move(smooth));
+      if (!restrict_phase.walks.empty()) {
+        prog.phases.push_back(std::move(restrict_phase));
+      }
+    }
+    prog.iterations = iters(5);
+    return prog;
+  }
+
+ private:
+  std::vector<std::uint64_t> level_pages_;
+  std::vector<Region> grids_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_mg(const WorkloadParams& params) {
+  return std::make_unique<MgWorkload>(params);
+}
+
+}  // namespace tlbmap

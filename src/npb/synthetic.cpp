@@ -1,0 +1,163 @@
+#include "npb/synthetic.hpp"
+
+#include <stdexcept>
+
+namespace tlbmap {
+namespace {
+
+class SyntheticWorkload final : public ProgramWorkload {
+ public:
+  explicit SyntheticWorkload(const SyntheticSpec& spec)
+      : ProgramWorkload("synthetic", pattern_name(spec.pattern),
+                        WorkloadParams{spec.num_threads, 1.0, 1.0,
+                                       spec.gap_jitter}),
+        spec_(spec) {
+    if (spec.num_threads < 2) {
+      throw std::invalid_argument("synthetic: need at least 2 threads");
+    }
+    const auto n = static_cast<std::uint64_t>(spec.num_threads);
+    Arena arena;
+    privates_ = arena.alloc_pages(spec.private_pages * n);
+    // One shared buffer per potential pair edge, plus one global buffer.
+    for (std::uint64_t e = 0; e < n; ++e) {
+      edges_.push_back(arena.alloc_pages(spec.shared_pages));
+    }
+    global_ = arena.alloc_pages(spec.shared_pages);
+  }
+
+  AccessProgram program(ThreadId t) const override {
+    const int n = spec_.num_threads;
+    AccessProgram prog;
+    switch (spec_.pattern) {
+      case SyntheticSpec::Pattern::kRing: {
+        // Edge e connects threads e and (e+1) mod n.
+        Phase ph = base_phase(t);
+        add_shared(ph, edge_for(t));                    // right edge
+        add_shared(ph, edge_for((t + n - 1) % n));      // left edge
+        prog.phases = {ph};
+        prog.iterations = spec_.iterations;
+        break;
+      }
+      case SyntheticSpec::Pattern::kPairs: {
+        Phase ph = base_phase(t);
+        add_shared(ph, edge_for(pair_edge(t, spec_.pair_shift)));
+        prog.phases = {ph};
+        prog.iterations = spec_.iterations;
+        break;
+      }
+      case SyntheticSpec::Pattern::kAllToAll: {
+        Phase ph = base_phase(t);
+        Walk w = random_walk(global_, Walk::Mix::kReadWrite,
+                             spec_.shared_accesses, spec_.compute_gap,
+                             spec_.gap_jitter);
+        ph.walks.push_back(w);
+        prog.phases = {ph};
+        prog.iterations = spec_.iterations;
+        break;
+      }
+      case SyntheticSpec::Pattern::kPrivate: {
+        prog.phases = {base_phase(t)};
+        prog.iterations = spec_.iterations;
+        break;
+      }
+      case SyntheticSpec::Pattern::kFalseShare: {
+        // Thread t owns every n-th cache line of the global buffer: lines
+        // t, t+n, t+2n, ... Each line is 8 elements; visiting one element
+        // per owned line keeps the lines strictly disjoint across threads.
+        Phase ph = base_phase(t);
+        Walk w;
+        w.base = global_.base;
+        w.length = global_.bytes;
+        w.elem_size = kElemBytes;
+        w.pattern = Walk::Pattern::kSequential;
+        w.mix = Walk::Mix::kReadWrite;
+        w.start_elem = static_cast<std::uint64_t>(t) * 8;
+        w.stride = static_cast<std::int64_t>(n) * 8;
+        w.count = spec_.shared_accesses;
+        w.compute_gap = spec_.compute_gap;
+        w.gap_jitter = spec_.gap_jitter;
+        ph.walks.push_back(w);
+        prog.phases = {ph};
+        prog.iterations = spec_.iterations;
+        break;
+      }
+      case SyntheticSpec::Pattern::kPhaseShift: {
+        // One barrier per iteration (not per half), so dynamic mappers get
+        // migration points throughout the run.
+        Phase first = base_phase(t);
+        add_shared(first, edge_for(pair_edge(t, 0)));
+        Phase second = base_phase(t);
+        add_shared(second, edge_for(pair_edge(t, 1)));
+        const std::uint32_t half =
+            std::max<std::uint32_t>(1, spec_.iterations / 2);
+        for (std::uint32_t i = 0; i < half; ++i) prog.phases.push_back(first);
+        for (std::uint32_t i = 0; i < half; ++i) prog.phases.push_back(second);
+        prog.iterations = 1;
+        break;
+      }
+    }
+    return prog;
+  }
+
+  /// The edge index thread t uses under pairing with offset `shift`
+  /// (shift 0: (0,1)(2,3)...; shift 1: (1,2)(3,4)...(n-1,0)).
+  static int pair_edge_for_test(int t, int shift, int n) {
+    return pair_edge_impl(t, shift, n);
+  }
+
+ private:
+  static std::string pattern_name(SyntheticSpec::Pattern p) {
+    switch (p) {
+      case SyntheticSpec::Pattern::kRing: return "synthetic ring";
+      case SyntheticSpec::Pattern::kPairs: return "synthetic pairs";
+      case SyntheticSpec::Pattern::kAllToAll: return "synthetic all-to-all";
+      case SyntheticSpec::Pattern::kPrivate: return "synthetic private";
+      case SyntheticSpec::Pattern::kPhaseShift: return "synthetic phase shift";
+      case SyntheticSpec::Pattern::kFalseShare: return "synthetic false sharing";
+    }
+    return "synthetic";
+  }
+
+  static int pair_edge_impl(int t, int shift, int n) {
+    // Under shift s, partner pairs are (s, s+1), (s+2, s+3), ... modulo n.
+    const int r = ((t - shift) % n + n) % n;
+    const int base = r - (r % 2);
+    return (base + shift) % n;
+  }
+
+  int pair_edge(int t, int shift) const {
+    return pair_edge_impl(t, shift, spec_.num_threads);
+  }
+
+  const Region& edge_for(int e) const {
+    return edges_[static_cast<std::size_t>(e)];
+  }
+
+  Phase base_phase(ThreadId t) const {
+    Phase ph;
+    ph.walks.push_back(random_walk(privates_.slab(t, spec_.num_threads),
+                                   Walk::Mix::kReadWrite,
+                                   spec_.private_accesses, spec_.compute_gap,
+                                   spec_.gap_jitter));
+    return ph;
+  }
+
+  void add_shared(Phase& ph, const Region& region) const {
+    ph.walks.push_back(random_walk(region, Walk::Mix::kReadWrite,
+                                   spec_.shared_accesses, spec_.compute_gap,
+                                   spec_.gap_jitter));
+  }
+
+  SyntheticSpec spec_;
+  Region privates_;
+  std::vector<Region> edges_;
+  Region global_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_synthetic(const SyntheticSpec& spec) {
+  return std::make_unique<SyntheticWorkload>(spec);
+}
+
+}  // namespace tlbmap

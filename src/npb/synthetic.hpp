@@ -1,0 +1,43 @@
+// Parameterised synthetic workloads with exactly known communication
+// structure. Tests use them to assert detector correctness; the ablation
+// benches and the dynamic-migration example use them to control the ground
+// truth precisely.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "npb/workload.hpp"
+
+namespace tlbmap {
+
+struct SyntheticSpec {
+  enum class Pattern : std::uint8_t {
+    kRing,        ///< thread t shares one buffer with each of t-1 and t+1 (periodic)
+    kPairs,       ///< threads 2k and 2k+1 share one buffer; nothing else
+    kAllToAll,    ///< one buffer shared by everyone
+    kPrivate,     ///< no sharing at all
+    kPhaseShift,  ///< first half of iterations: kPairs pairing (0,1)(2,3)...;
+                  ///< second half: shifted pairing (1,2)(3,4)...(n-1,0)
+    kFalseShare,  ///< all threads touch the same pages but strictly disjoint
+                  ///< cache lines: page-granularity detectors report
+                  ///< communication, line-granularity ground truth says none
+  };
+
+  Pattern pattern = Pattern::kPairs;
+  int num_threads = 8;
+  /// For kPairs: rotate the pairing by this offset — shift 0 pairs
+  /// (0,1)(2,3)..., shift 1 pairs (1,2)(3,4)...(n-1,0).
+  int pair_shift = 0;
+  std::uint64_t shared_pages = 4;    ///< size of each shared buffer
+  std::uint64_t private_pages = 16;  ///< size of each private buffer
+  std::uint64_t shared_accesses = 2048;   ///< per thread per iteration
+  std::uint64_t private_accesses = 4096;  ///< per thread per iteration
+  std::uint32_t iterations = 4;
+  std::uint32_t compute_gap = 1;
+  std::uint32_t gap_jitter = 0;
+};
+
+std::unique_ptr<Workload> make_synthetic(const SyntheticSpec& spec);
+
+}  // namespace tlbmap

@@ -1,0 +1,139 @@
+#include "npb/workload.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <stdexcept>
+
+namespace tlbmap {
+
+std::unique_ptr<ThreadStream> ProgramWorkload::stream(
+    ThreadId t, std::uint64_t seed) const {
+  // Mix the thread id into the seed so threads draw distinct random streams
+  // even for seed 0.
+  const std::uint64_t mixed =
+      seed * 0x9E3779B97F4A7C15ull + static_cast<std::uint64_t>(t) + 1;
+  return std::make_unique<ProgramStream>(program(t), mixed);
+}
+
+std::uint64_t ProgramWorkload::accesses_of(ThreadId t) const {
+  return program(t).total_accesses();
+}
+
+std::uint64_t ProgramWorkload::pages(double base_pages) const {
+  const double scaled = base_pages * params_.size_scale;
+  return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(scaled));
+}
+
+std::uint32_t ProgramWorkload::iters(double base_iters) const {
+  const double scaled = base_iters * params_.iter_scale;
+  return std::max<std::uint32_t>(1, static_cast<std::uint32_t>(scaled));
+}
+
+const std::vector<std::string>& npb_workload_names() {
+  static const std::vector<std::string> kNames = {
+      "BT", "CG", "EP", "FT", "IS", "LU", "MG", "SP", "UA"};
+  return kNames;
+}
+
+std::unique_ptr<Workload> make_npb_workload(std::string_view name,
+                                            const WorkloadParams& params) {
+  std::string upper(name);
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  if (upper == "BT") return make_bt(params);
+  if (upper == "CG") return make_cg(params);
+  if (upper == "EP") return make_ep(params);
+  if (upper == "FT") return make_ft(params);
+  if (upper == "IS") return make_is(params);
+  if (upper == "LU") return make_lu(params);
+  if (upper == "MG") return make_mg(params);
+  if (upper == "SP") return make_sp(params);
+  if (upper == "UA") return make_ua(params);
+  throw std::invalid_argument("unknown NPB workload: " + std::string(name));
+}
+
+Region Region::slice_elems(std::uint64_t first_elem,
+                           std::uint64_t n_elems) const {
+  if ((first_elem + n_elems) * kElemBytes > bytes) {
+    throw std::out_of_range("Region::slice_elems: out of range");
+  }
+  return Region{base + first_elem * kElemBytes, n_elems * kElemBytes};
+}
+
+Region Region::slab(int t, int n) const {
+  const std::uint64_t total_pages = pages();
+  const std::uint64_t per = total_pages / static_cast<std::uint64_t>(n);
+  if (per == 0) {
+    throw std::invalid_argument("Region::slab: fewer pages than threads");
+  }
+  const std::uint64_t first = static_cast<std::uint64_t>(t) * per;
+  // Last slab absorbs the remainder.
+  const std::uint64_t count =
+      (t == n - 1) ? total_pages - first : per;
+  return Region{base + first * kPageBytes, count * kPageBytes};
+}
+
+Region Region::first_pages(std::uint64_t n) const {
+  const std::uint64_t take = std::min(n, pages());
+  return Region{base, take * kPageBytes};
+}
+
+Region Region::last_pages(std::uint64_t n) const {
+  const std::uint64_t take = std::min(n, pages());
+  return Region{base + (pages() - take) * kPageBytes, take * kPageBytes};
+}
+
+Region Arena::alloc_pages(std::uint64_t num_pages) {
+  if (num_pages == 0) {
+    throw std::invalid_argument("Arena::alloc_pages: zero pages");
+  }
+  Region r{next_, num_pages * kPageBytes};
+  next_ += num_pages * kPageBytes;
+  return r;
+}
+
+Walk sweep(Region r, Walk::Mix mix, std::uint32_t gap, std::uint32_t jitter) {
+  Walk w;
+  w.base = r.base;
+  w.length = r.bytes;
+  w.elem_size = kElemBytes;
+  w.pattern = Walk::Pattern::kSequential;
+  w.mix = mix;
+  w.count = r.elems();
+  w.compute_gap = gap;
+  w.gap_jitter = jitter;
+  return w;
+}
+
+Walk random_walk(Region r, Walk::Mix mix, std::uint64_t count,
+                 std::uint32_t gap, std::uint32_t jitter) {
+  Walk w;
+  w.base = r.base;
+  w.length = r.bytes;
+  w.elem_size = kElemBytes;
+  w.pattern = Walk::Pattern::kRandom;
+  w.mix = mix;
+  w.count = count;
+  w.compute_gap = gap;
+  w.gap_jitter = jitter;
+  return w;
+}
+
+Walk strided_walk(Region r, Walk::Mix mix, std::int64_t stride,
+                  std::uint64_t count, std::uint32_t gap,
+                  std::uint32_t jitter) {
+  Walk w;
+  w.base = r.base;
+  w.length = r.bytes;
+  w.elem_size = kElemBytes;
+  w.pattern = Walk::Pattern::kSequential;
+  w.stride = stride;
+  w.mix = mix;
+  w.count = count;
+  w.compute_gap = gap;
+  w.gap_jitter = jitter;
+  return w;
+}
+
+}  // namespace tlbmap

@@ -1,0 +1,147 @@
+// Workload substrate: NPB-like trace generators.
+//
+// The paper evaluates with the OpenMP NAS Parallel Benchmarks (W class,
+// 8 threads). We cannot run the real binaries inside this simulator, so each
+// benchmark is modelled as a miniature kernel that reproduces its published
+// memory-sharing structure (paper Sec. VI-A and Cruz et al. 2011):
+//
+//   BT/SP/LU  3-D solvers, slab domain decomposition: heavy halo exchange
+//             with +-1 neighbours (LU adds a periodic wrap pair and a small
+//             globally shared pipeline buffer -> distant communication).
+//   MG        multigrid V-cycle: neighbour halos at several grid levels plus
+//             strided restriction reads reaching into neighbour slabs.
+//   CG        sparse CG: private row block, banded gathers overlapping the
+//             neighbours, and a small hot reduction page shared by all.
+//   FT        FFT: private compute plus an all-to-all transpose
+//             (homogeneous pattern).
+//   IS        bucket sort: random key histogramming, all-to-all exchange of
+//             small count arrays, ranked scatter crossing slab boundaries;
+//             touches many pages randomly -> by far the highest TLB miss
+//             rate (paper Table III).
+//   EP        embarrassingly parallel: private data, one final reduction.
+//   UA        unstructured adaptive: random accesses over the owned
+//             elements, halo reads, and occasional global randomness.
+//
+// Every kernel is expressed as a declarative AccessProgram per thread and
+// interpreted lazily, so workload definitions stay compact and testable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/access_program.hpp"
+#include "sim/workload.hpp"
+#include "sim/trace.hpp"
+#include "sim/types.hpp"
+
+namespace tlbmap {
+
+struct WorkloadParams {
+  int num_threads = 8;
+  /// Multiplies array sizes (1.0 = the defaults documented per kernel).
+  double size_scale = 1.0;
+  /// Multiplies outer iteration counts.
+  double iter_scale = 1.0;
+  /// Per-access compute jitter bound (cycles); 0 = fully deterministic.
+  std::uint32_t gap_jitter = 1;
+};
+
+/// Base for workloads defined by a per-thread AccessProgram.
+class ProgramWorkload : public Workload {
+ public:
+  ProgramWorkload(std::string name, std::string description,
+                  WorkloadParams params)
+      : name_(std::move(name)),
+        description_(std::move(description)),
+        params_(params) {}
+
+  std::string name() const override { return name_; }
+  std::string description() const override { return description_; }
+  int num_threads() const override { return params_.num_threads; }
+
+  std::unique_ptr<ThreadStream> stream(ThreadId t,
+                                       std::uint64_t seed) const override;
+  std::uint64_t accesses_of(ThreadId t) const override;
+
+  /// The thread's program (exposed so tests can assert on its structure).
+  virtual AccessProgram program(ThreadId t) const = 0;
+
+  const WorkloadParams& params() const { return params_; }
+
+ protected:
+  /// Scaled page count (>= 1) and iteration count (>= 1).
+  std::uint64_t pages(double base_pages) const;
+  std::uint32_t iters(double base_iters) const;
+
+  std::string name_;
+  std::string description_;
+  WorkloadParams params_;
+};
+
+/// The nine NPB kernels evaluated in the paper (DC is excluded there too).
+const std::vector<std::string>& npb_workload_names();
+
+/// Factory; throws std::invalid_argument for unknown names. Accepts the
+/// NPB names (case-insensitive): bt cg ep ft is lu mg sp ua.
+std::unique_ptr<Workload> make_npb_workload(std::string_view name,
+                                            const WorkloadParams& params = {});
+
+// Individual factories (the registry dispatches to these).
+std::unique_ptr<Workload> make_bt(const WorkloadParams& params);
+std::unique_ptr<Workload> make_cg(const WorkloadParams& params);
+std::unique_ptr<Workload> make_ep(const WorkloadParams& params);
+std::unique_ptr<Workload> make_ft(const WorkloadParams& params);
+std::unique_ptr<Workload> make_is(const WorkloadParams& params);
+std::unique_ptr<Workload> make_lu(const WorkloadParams& params);
+std::unique_ptr<Workload> make_mg(const WorkloadParams& params);
+std::unique_ptr<Workload> make_sp(const WorkloadParams& params);
+std::unique_ptr<Workload> make_ua(const WorkloadParams& params);
+
+// ---------------------------------------------------------------------------
+// Layout helpers shared by the kernels.
+
+/// Size of one simulated page in bytes (must match MachineConfig.page_size).
+inline constexpr std::uint64_t kPageBytes = 4096;
+inline constexpr std::uint32_t kElemBytes = 8;
+inline constexpr std::uint64_t kElemsPerPage = kPageBytes / kElemBytes;
+
+/// A named, page-aligned block of the shared virtual address space.
+struct Region {
+  VirtAddr base = 0;
+  std::uint64_t bytes = 0;
+
+  std::uint64_t elems() const { return bytes / kElemBytes; }
+  std::uint64_t pages() const { return bytes / kPageBytes; }
+
+  /// Contiguous sub-slice in elements (byte granularity preserved).
+  Region slice_elems(std::uint64_t first_elem, std::uint64_t n_elems) const;
+  /// Thread t's slab of an array split evenly (page-aligned) among n.
+  Region slab(int t, int n) const;
+  /// First `n` pages / last `n` pages (halo planes).
+  Region first_pages(std::uint64_t n) const;
+  Region last_pages(std::uint64_t n) const;
+};
+
+/// Hands out disjoint page-aligned regions of the shared address space.
+class Arena {
+ public:
+  explicit Arena(VirtAddr base = VirtAddr{1} << 32) : next_(base) {}
+
+  Region alloc_pages(std::uint64_t num_pages);
+
+ private:
+  VirtAddr next_;
+};
+
+// Walk constructors (count defaults to one visit per element).
+Walk sweep(Region r, Walk::Mix mix, std::uint32_t gap, std::uint32_t jitter);
+Walk random_walk(Region r, Walk::Mix mix, std::uint64_t count,
+                 std::uint32_t gap, std::uint32_t jitter);
+Walk strided_walk(Region r, Walk::Mix mix, std::int64_t stride,
+                  std::uint64_t count, std::uint32_t gap,
+                  std::uint32_t jitter);
+
+}  // namespace tlbmap

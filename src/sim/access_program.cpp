@@ -1,0 +1,114 @@
+#include "sim/access_program.hpp"
+
+namespace tlbmap {
+
+std::uint64_t AccessProgram::total_accesses() const {
+  std::uint64_t per_iter = 0;
+  for (const Phase& p : phases) {
+    std::uint64_t per_rep = 0;
+    for (const Walk& w : p.walks) per_rep += w.accesses();
+    per_iter += per_rep * p.repeat;
+  }
+  return per_iter * iterations;
+}
+
+std::uint64_t AccessProgram::total_barriers() const {
+  std::uint64_t per_iter = 0;
+  for (const Phase& p : phases) {
+    if (p.barrier_after) ++per_iter;
+  }
+  return per_iter * iterations;
+}
+
+ProgramStream::ProgramStream(AccessProgram program, std::uint64_t seed)
+    : program_(std::move(program)), rng_(seed) {}
+
+bool ProgramStream::position_on_walk() {
+  for (;;) {
+    if (iter_ >= program_.iterations) {
+      finished_ = true;
+      return false;
+    }
+    const auto& phases = program_.phases;
+    if (phase_ >= phases.size()) {
+      phase_ = 0;
+      phase_rep_ = 0;
+      ++iter_;
+      continue;
+    }
+    const Phase& phase = phases[phase_];
+    if (phase_rep_ >= phase.repeat) {
+      if (phase.barrier_after && !barrier_pending_) {
+        // Emit exactly one barrier when the phase (all repeats) completes.
+        barrier_pending_ = true;
+        return false;
+      }
+      barrier_pending_ = false;
+      ++phase_;
+      phase_rep_ = 0;
+      continue;
+    }
+    if (walk_ >= phase.walks.size()) {
+      walk_ = 0;
+      elem_index_ = 0;
+      ++phase_rep_;
+      continue;
+    }
+    const Walk& walk = phase.walks[walk_];
+    if (elem_index_ >= walk.count || walk.num_elems() == 0) {
+      ++walk_;
+      elem_index_ = 0;
+      continue;
+    }
+    return true;
+  }
+}
+
+TraceEvent ProgramStream::next() {
+  if (finished_) return TraceEvent::make_end();
+  if (write_pending_) {
+    write_pending_ = false;
+    return TraceEvent::make_access(pending_addr_, AccessType::kWrite, 0);
+  }
+  if (!position_on_walk()) {
+    if (barrier_pending_) return TraceEvent::make_barrier();
+    return TraceEvent::make_end();
+  }
+
+  const Phase& phase = program_.phases[phase_];
+  const Walk& walk = phase.walks[walk_];
+  const std::uint64_t n = walk.num_elems();
+
+  std::uint64_t elem;
+  if (walk.pattern == Walk::Pattern::kRandom) {
+    elem = rng_() % n;
+  } else {
+    const std::int64_t signed_elem =
+        static_cast<std::int64_t>(walk.start_elem) +
+        static_cast<std::int64_t>(elem_index_) * walk.stride;
+    // Euclidean modulo so negative strides wrap into the region.
+    std::int64_t m = signed_elem % static_cast<std::int64_t>(n);
+    if (m < 0) m += static_cast<std::int64_t>(n);
+    elem = static_cast<std::uint64_t>(m);
+  }
+  ++elem_index_;
+
+  const VirtAddr addr = walk.base + elem * walk.elem_size;
+  std::uint32_t gap = walk.compute_gap;
+  if (walk.gap_jitter > 0) {
+    gap += static_cast<std::uint32_t>(rng_() % (walk.gap_jitter + 1));
+  }
+  switch (walk.mix) {
+    case Walk::Mix::kRead:
+      return TraceEvent::make_access(addr, AccessType::kRead, gap);
+    case Walk::Mix::kWrite:
+      return TraceEvent::make_access(addr, AccessType::kWrite, gap);
+    case Walk::Mix::kReadWrite:
+      write_pending_ = true;
+      pending_addr_ = addr;
+      return TraceEvent::make_access(addr, AccessType::kRead, gap);
+  }
+  return TraceEvent::make_end();  // unreachable
+}
+
+}  // namespace tlbmap

@@ -1,0 +1,99 @@
+// Declarative per-thread access programs.
+//
+// The NPB-like workload generators describe each thread's memory behaviour
+// as a small program — phases of array walks separated by barriers — and
+// ProgramStream interprets it lazily into TraceEvents. This keeps the nine
+// benchmark kernels compact, testable and deterministic per seed, while
+// still producing realistic multi-million-access streams.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "sim/trace.hpp"
+#include "sim/types.hpp"
+
+namespace tlbmap {
+
+/// One loop over a byte region.
+struct Walk {
+  enum class Pattern : std::uint8_t {
+    kSequential,  ///< elements start_elem, start_elem+stride, ... (mod size)
+    kRandom,      ///< uniform random elements of the region (seeded)
+  };
+  enum class Mix : std::uint8_t {
+    kRead,       ///< each element is read
+    kWrite,      ///< each element is written
+    kReadWrite,  ///< each element is read then written (read-modify-write)
+  };
+
+  VirtAddr base = 0;            ///< byte address of the region
+  std::uint64_t length = 0;     ///< region length in bytes
+  std::uint32_t elem_size = 8;  ///< bytes per element
+  Pattern pattern = Pattern::kSequential;
+  Mix mix = Mix::kRead;
+  std::uint64_t count = 0;      ///< elements visited
+  std::uint64_t start_elem = 0;
+  std::int64_t stride = 1;      ///< in elements; sequential pattern only
+  std::uint32_t compute_gap = 0;  ///< cycles of compute before each access
+  /// Uniform random extra compute per access in [0, gap_jitter]; models
+  /// run-to-run timing noise (the paper's standard-deviation experiments).
+  std::uint32_t gap_jitter = 0;
+
+  std::uint64_t num_elems() const { return length / elem_size; }
+  /// Memory accesses this walk emits (kReadWrite emits two per element).
+  std::uint64_t accesses() const {
+    return count * (mix == Mix::kReadWrite ? 2 : 1);
+  }
+};
+
+/// A group of walks executed in order, optionally repeated, with an optional
+/// trailing barrier (an OpenMP parallel-for join).
+struct Phase {
+  std::vector<Walk> walks;
+  std::uint32_t repeat = 1;
+  bool barrier_after = true;
+};
+
+/// The whole per-thread program: all phases, repeated `iterations` times
+/// (the benchmark's outer time-step loop).
+struct AccessProgram {
+  std::vector<Phase> phases;
+  std::uint32_t iterations = 1;
+
+  /// Total memory accesses the program will emit (for test assertions and
+  /// workload sizing).
+  std::uint64_t total_accesses() const;
+  /// Total barrier events the program will emit.
+  std::uint64_t total_barriers() const;
+};
+
+/// Lazy interpreter for one AccessProgram.
+class ProgramStream final : public ThreadStream {
+ public:
+  ProgramStream(AccessProgram program, std::uint64_t seed);
+
+  TraceEvent next() override;
+
+ private:
+  /// Advances cursors to the next walk with work, emitting barriers between
+  /// phases. Returns false when the program is exhausted.
+  bool position_on_walk();
+
+  AccessProgram program_;
+  std::mt19937_64 rng_;
+
+  // Cursors.
+  std::uint32_t iter_ = 0;
+  std::size_t phase_ = 0;
+  std::uint32_t phase_rep_ = 0;
+  std::size_t walk_ = 0;
+  std::uint64_t elem_index_ = 0;   ///< elements emitted in current walk
+  bool write_pending_ = false;     ///< second half of a read-modify-write
+  VirtAddr pending_addr_ = 0;
+  bool barrier_pending_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace tlbmap

@@ -1,0 +1,91 @@
+#include "sim/cache.hpp"
+
+#include <algorithm>
+
+namespace tlbmap {
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  // Validate before deriving geometry: num_sets() divides by the fields
+  // being checked.
+  config_.validate();
+  num_sets_ = config_.num_sets();
+  ways_ = config_.ways;
+  lines_.resize(num_sets_ * ways_);
+}
+
+CacheLine* Cache::find_in_set(std::size_t set, LineAddr addr) {
+  CacheLine* base = lines_.data() + set * ways_;
+  for (std::size_t w = 0; w < ways_; ++w) {
+    if (base[w].valid() && base[w].addr == addr) return &base[w];
+  }
+  return nullptr;
+}
+
+CacheLine* Cache::find(LineAddr addr) {
+  CacheLine* line = find_in_set(set_index(addr), addr);
+  if (line != nullptr) line->lru_stamp = ++clock_;
+  return line;
+}
+
+const CacheLine* Cache::peek(LineAddr addr) const {
+  return const_cast<Cache*>(this)->find_in_set(set_index(addr), addr);
+}
+
+CacheLine* Cache::peek_mutable(LineAddr addr) {
+  return find_in_set(set_index(addr), addr);
+}
+
+std::optional<Cache::Eviction> Cache::insert(LineAddr addr, MesiState state) {
+  const std::size_t set = set_index(addr);
+  if (CacheLine* present = find_in_set(set, addr)) {
+    present->state = state;
+    present->lru_stamp = ++clock_;
+    return std::nullopt;
+  }
+  CacheLine* base = lines_.data() + set * ways_;
+  CacheLine* victim = base;
+  for (std::size_t w = 0; w < ways_; ++w) {
+    if (!base[w].valid()) {
+      victim = &base[w];
+      break;
+    }
+    if (base[w].lru_stamp < victim->lru_stamp) victim = &base[w];
+  }
+  std::optional<Eviction> evicted;
+  if (victim->valid()) {
+    evicted = Eviction{victim->addr, victim->state};
+  }
+  victim->addr = addr;
+  victim->state = state;
+  victim->lru_stamp = ++clock_;
+  return evicted;
+}
+
+std::optional<MesiState> Cache::invalidate(LineAddr addr) {
+  if (CacheLine* line = find_in_set(set_index(addr), addr)) {
+    const MesiState old = line->state;
+    line->state = MesiState::kInvalid;
+    return old;
+  }
+  return std::nullopt;
+}
+
+void Cache::flush() {
+  std::fill(lines_.begin(), lines_.end(), CacheLine{});
+  clock_ = 0;
+}
+
+std::size_t Cache::valid_lines() const {
+  return static_cast<std::size_t>(
+      std::count_if(lines_.begin(), lines_.end(),
+                    [](const CacheLine& l) { return l.valid(); }));
+}
+
+void Cache::for_each_line(
+    const std::function<void(const CacheLine&)>& fn) const {
+  for (const CacheLine& l : lines_) {
+    if (l.valid()) fn(l);
+  }
+}
+
+}  // namespace tlbmap

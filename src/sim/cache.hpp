@@ -1,0 +1,99 @@
+// Set-associative cache model with true-LRU replacement and MESI line states.
+//
+// The same structure backs the private L1 caches (which only use the
+// valid/invalid distinction) and the shared L2 caches (whose states drive the
+// snoop-bus coherence protocol in coherence.cpp). Timing and statistics are
+// kept outside, in MemoryHierarchy, so the container stays a pure data
+// structure that is easy to test exhaustively.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/types.hpp"
+
+namespace tlbmap {
+
+/// MESI coherence state of one cache line.
+enum class MesiState : std::uint8_t {
+  kInvalid,
+  kShared,
+  kExclusive,
+  kModified,
+};
+
+inline const char* to_string(MesiState s) {
+  switch (s) {
+    case MesiState::kInvalid: return "I";
+    case MesiState::kShared: return "S";
+    case MesiState::kExclusive: return "E";
+    case MesiState::kModified: return "M";
+  }
+  return "?";
+}
+
+/// One way of one set.
+struct CacheLine {
+  LineAddr addr = 0;
+  MesiState state = MesiState::kInvalid;
+  std::uint64_t lru_stamp = 0;  ///< larger == more recently used
+
+  bool valid() const { return state != MesiState::kInvalid; }
+};
+
+/// Generic set-associative cache keyed by line address.
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& config);
+
+  /// Line evicted to make room for an insert (absent when a set had a free
+  /// or invalid way).
+  struct Eviction {
+    LineAddr addr = 0;
+    MesiState state = MesiState::kInvalid;
+  };
+
+  /// Looks a line up and refreshes its LRU stamp. Returns nullptr on miss.
+  CacheLine* find(LineAddr addr);
+
+  /// Looks a line up without touching LRU state (used by snoops, which must
+  /// not perturb the owner's replacement order).
+  const CacheLine* peek(LineAddr addr) const;
+  CacheLine* peek_mutable(LineAddr addr);
+
+  /// Inserts a line in the given state, evicting the set's LRU victim when
+  /// every way is valid. Inserting an already-present line just updates its
+  /// state and LRU stamp.
+  std::optional<Eviction> insert(LineAddr addr, MesiState state);
+
+  /// Drops a line. Returns the state it held, or nullopt if absent.
+  std::optional<MesiState> invalidate(LineAddr addr);
+
+  /// Empties the whole cache.
+  void flush();
+
+  std::size_t set_index(LineAddr addr) const { return addr % num_sets_; }
+  std::size_t num_sets() const { return num_sets_; }
+  std::size_t ways() const { return ways_; }
+  const CacheConfig& config() const { return config_; }
+
+  /// Number of currently valid lines (test/debug aid; O(capacity)).
+  std::size_t valid_lines() const;
+
+  /// Visits every valid line (test/debug aid).
+  void for_each_line(const std::function<void(const CacheLine&)>& fn) const;
+
+ private:
+  CacheLine* find_in_set(std::size_t set, LineAddr addr);
+
+  CacheConfig config_;
+  std::size_t num_sets_ = 0;
+  std::size_t ways_ = 0;
+  std::uint64_t clock_ = 0;
+  std::vector<CacheLine> lines_;  ///< num_sets_ * ways_, set-major
+};
+
+}  // namespace tlbmap

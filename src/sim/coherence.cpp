@@ -1,0 +1,143 @@
+#include "sim/coherence.hpp"
+
+#include <algorithm>
+
+namespace tlbmap {
+
+CoherenceDomain::CoherenceDomain(const MachineConfig& config,
+                                 const Topology& topology,
+                                 Interconnect& interconnect)
+    : l2_latency_(config.l2.latency), interconnect_(&interconnect) {
+  l2s_.reserve(static_cast<std::size_t>(topology.num_l2()));
+  for (int i = 0; i < topology.num_l2(); ++i) {
+    l2s_.emplace_back(config.l2);
+  }
+}
+
+void CoherenceDomain::drop(L2Id holder, LineAddr line) {
+  if (on_line_drop_) on_line_drop_(holder, line);
+}
+
+L2Id CoherenceDomain::probe(L2Id me, LineAddr line, MachineStats& stats) {
+  L2Id best = -1;
+  for (int other = 0; other < num_l2(); ++other) {
+    if (other == me) continue;
+    interconnect_->record_probe(me, other, stats);
+    if (l2s_[static_cast<std::size_t>(other)].peek(line) == nullptr) continue;
+    if (best == -1 || (!interconnect_->same_socket(me, best) &&
+                       interconnect_->same_socket(me, other))) {
+      best = other;
+    }
+  }
+  return best;
+}
+
+void CoherenceDomain::insert_line(L2Id me, LineAddr line, MesiState state,
+                                  MachineStats& stats) {
+  auto evicted = l2s_[static_cast<std::size_t>(me)].insert(line, state);
+  if (evicted.has_value()) {
+    if (evicted->state == MesiState::kModified) ++stats.writebacks;
+    drop(me, evicted->addr);
+  }
+}
+
+Cycles CoherenceDomain::read(L2Id me, LineAddr line, Cycles memory_latency,
+                             MachineStats& stats) {
+  ++stats.l2_accesses;
+  Cache& mine = l2s_[static_cast<std::size_t>(me)];
+  if (mine.find(line) != nullptr) {
+    ++stats.l2_hits;
+    return l2_latency_;
+  }
+  ++stats.l2_misses;
+  Cycles latency = l2_latency_;
+  const L2Id holder = probe(me, line, stats);
+  if (holder != -1) {
+    // Cache-to-cache transfer: the paper's snoop transaction.
+    Cache& theirs = l2s_[static_cast<std::size_t>(holder)];
+    CacheLine* held = theirs.peek_mutable(line);
+    if (held->state == MesiState::kModified) ++stats.writebacks;
+    held->state = MesiState::kShared;
+    ++stats.snoop_transactions;
+    latency += interconnect_->transfer(holder, me, stats);
+    insert_line(me, line, MesiState::kShared, stats);
+  } else {
+    ++stats.memory_fetches;
+    latency += memory_latency;
+    insert_line(me, line, MesiState::kExclusive, stats);
+  }
+  return latency;
+}
+
+Cycles CoherenceDomain::write(L2Id me, LineAddr line, Cycles memory_latency,
+                              MachineStats& stats) {
+  ++stats.l2_accesses;
+  Cache& mine = l2s_[static_cast<std::size_t>(me)];
+  if (CacheLine* held = mine.find(line)) {
+    ++stats.l2_hits;
+    switch (held->state) {
+      case MesiState::kModified:
+        return 1;  // store-buffered; ownership already held
+      case MesiState::kExclusive:
+        held->state = MesiState::kModified;
+        return 1;
+      case MesiState::kShared: {
+        // Ownership upgrade: invalidate every remote copy. Messages go out
+        // in parallel, so the stall is the slowest acknowledgement.
+        Cycles worst = 0;
+        for (int other = 0; other < num_l2(); ++other) {
+          if (other == me) continue;
+          Cache& theirs = l2s_[static_cast<std::size_t>(other)];
+          if (theirs.invalidate(line).has_value()) {
+            ++stats.invalidations;
+            worst = std::max(worst,
+                             interconnect_->invalidate(me, other, stats));
+            drop(other, line);
+          }
+        }
+        held->state = MesiState::kModified;
+        return 1 + worst;
+      }
+      case MesiState::kInvalid:
+        break;  // unreachable: find() only returns valid lines
+    }
+  }
+  // Write miss: read-for-ownership.
+  ++stats.l2_misses;
+  Cycles latency = 1;
+  const L2Id source = probe(me, line, stats);
+  if (source != -1) {
+    // Invalidate every holder; data comes from the nearest one.
+    bool transferred = false;
+    Cycles worst = 0;
+    for (int other = 0; other < num_l2(); ++other) {
+      if (other == me) continue;
+      Cache& theirs = l2s_[static_cast<std::size_t>(other)];
+      const auto old = theirs.invalidate(line);
+      if (!old.has_value()) continue;
+      ++stats.invalidations;
+      if (*old == MesiState::kModified) ++stats.writebacks;
+      drop(other, line);
+      if (other == source) {
+        ++stats.snoop_transactions;
+        worst = std::max(worst, interconnect_->transfer(other, me, stats));
+        transferred = true;
+      } else {
+        worst = std::max(worst, interconnect_->invalidate(me, other, stats));
+      }
+    }
+    (void)transferred;
+    latency += worst;
+  } else {
+    ++stats.memory_fetches;
+    latency += memory_latency;
+  }
+  insert_line(me, line, MesiState::kModified, stats);
+  return latency;
+}
+
+void CoherenceDomain::flush() {
+  for (Cache& c : l2s_) c.flush();
+}
+
+}  // namespace tlbmap

@@ -1,0 +1,80 @@
+// MESI coherence across the shared L2 caches, over a broadcast snoop bus.
+//
+// Each L2 cache (one per pair of cores on Harpertown) is a peer on the bus.
+// A miss broadcasts an address probe to every other L2; data is sourced
+// cache-to-cache from the nearest holder when one exists (a *snoop
+// transaction* in the paper's terminology), otherwise from memory. Writes
+// acquire ownership MESI-style, invalidating every remote copy (the paper's
+// *invalidations* counter). The interconnect prices each message by whether
+// it crosses the socket boundary — this is precisely the cost structure a
+// good thread mapping exploits.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/cache.hpp"
+#include "sim/config.hpp"
+#include "sim/interconnect.hpp"
+#include "sim/stats.hpp"
+#include "sim/topology.hpp"
+#include "sim/types.hpp"
+
+namespace tlbmap {
+
+class CoherenceDomain {
+ public:
+  /// Called whenever an L2 loses a line (remote invalidation or eviction),
+  /// so the private L1s above it can be kept inclusive.
+  using LineDropFn = std::function<void(L2Id, LineAddr)>;
+
+  CoherenceDomain(const MachineConfig& config, const Topology& topology,
+                  Interconnect& interconnect);
+
+  /// Demand read reaching an L2 (after an L1 miss).
+  /// Returns the extra latency beyond the core's L1 access.
+  /// `memory_latency` is the DRAM cost if the line must come from memory
+  /// (NUMA machines pass the home-node-dependent value).
+  Cycles read(L2Id l2, LineAddr line, Cycles memory_latency,
+              MachineStats& stats);
+  Cycles read(L2Id l2, LineAddr line, MachineStats& stats) {
+    return read(l2, line, interconnect_->memory_latency(), stats);
+  }
+
+  /// Demand write reaching an L2 (write-through from the L1). Store buffers
+  /// hide the common-case latency; only coherence work (ownership upgrade,
+  /// read-for-ownership) is charged.
+  Cycles write(L2Id l2, LineAddr line, Cycles memory_latency,
+               MachineStats& stats);
+  Cycles write(L2Id l2, LineAddr line, MachineStats& stats) {
+    return write(l2, line, interconnect_->memory_latency(), stats);
+  }
+
+  void set_line_drop_callback(LineDropFn fn) { on_line_drop_ = std::move(fn); }
+
+  Cache& l2(L2Id id) { return l2s_[static_cast<std::size_t>(id)]; }
+  const Cache& l2(L2Id id) const { return l2s_[static_cast<std::size_t>(id)]; }
+  int num_l2() const { return static_cast<int>(l2s_.size()); }
+
+  /// Drops every line from every L2 (between experiment repetitions).
+  void flush();
+
+ private:
+  /// Index of the holder nearest to `me`, or -1 when no other L2 holds the
+  /// line. Also records one probe message per remote L2 (broadcast snoop).
+  L2Id probe(L2Id me, LineAddr line, MachineStats& stats);
+
+  /// Inserts into `me`, handling an inclusive eviction (writeback if the
+  /// victim was modified; L1 shootdown either way).
+  void insert_line(L2Id me, LineAddr line, MesiState state,
+                   MachineStats& stats);
+
+  void drop(L2Id holder, LineAddr line);
+
+  Cycles l2_latency_;
+  Interconnect* interconnect_;
+  std::vector<Cache> l2s_;
+  LineDropFn on_line_drop_;
+};
+
+}  // namespace tlbmap

@@ -1,0 +1,161 @@
+// Machine configuration: cache/TLB geometries and latency model.
+//
+// Defaults reproduce the paper's evaluation platform (Table II / Figure 3):
+// two Intel Harpertown-like sockets, four cores each, private 32 KB 4-way L1
+// caches, one 6 MB 8-way L2 shared by each pair of cores, MESI across L2s,
+// and 64-entry 4-way TLBs per core (UltraSPARC default / Nehalem L1 TLB).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+
+#include "sim/types.hpp"
+
+namespace tlbmap {
+
+/// Geometry and access latency of one set-associative cache.
+struct CacheConfig {
+  std::size_t size_bytes = 0;
+  std::size_t line_size = 64;
+  std::size_t ways = 4;
+  Cycles latency = 1;
+
+  std::size_t num_lines() const { return size_bytes / line_size; }
+  std::size_t num_sets() const { return num_lines() / ways; }
+
+  void validate() const {
+    if (size_bytes == 0 || line_size == 0 || ways == 0) {
+      throw std::invalid_argument("CacheConfig: zero-sized field");
+    }
+    if (size_bytes % line_size != 0 || num_lines() % ways != 0) {
+      throw std::invalid_argument("CacheConfig: geometry not divisible");
+    }
+    if ((line_size & (line_size - 1)) != 0) {
+      throw std::invalid_argument("CacheConfig: line size must be a power of two");
+    }
+  }
+};
+
+/// How the TLB is refilled on a miss — selects the detection mechanism the
+/// operating system can attach (paper Sec. IV-A vs IV-B).
+enum class TlbManagement : std::uint8_t {
+  kSoftware,  ///< miss traps to the OS (SPARC/MIPS style)
+  kHardware,  ///< hardware page walker (x86 style)
+};
+
+/// Geometry of one per-core TLB.
+struct TlbConfig {
+  std::size_t entries = 64;
+  std::size_t ways = 4;
+  TlbManagement management = TlbManagement::kHardware;
+  /// Cycles to service a miss: trap + OS refill (software) or page walk
+  /// (hardware). Charged to the faulting core.
+  Cycles miss_penalty = 30;
+
+  std::size_t num_sets() const { return entries / ways; }
+
+  void validate() const {
+    if (entries == 0 || ways == 0 || entries % ways != 0) {
+      throw std::invalid_argument("TlbConfig: bad geometry");
+    }
+  }
+};
+
+/// Latencies of coherence actions, split by whether the two caches involved
+/// sit on the same socket (intra-chip interconnect) or on different sockets
+/// (front-side bus). These are the knobs that make thread placement matter.
+struct InterconnectConfig {
+  Cycles snoop_intra_socket = 30;  ///< cache-to-cache transfer, same chip
+  Cycles snoop_inter_socket = 70;  ///< cache-to-cache transfer, cross chip
+  Cycles invalidate_intra_socket = 15;
+  Cycles invalidate_inter_socket = 35;
+  Cycles memory_latency = 150;     ///< L2 miss serviced from DRAM
+  /// Extra cycles when the line's home memory node is a different socket
+  /// (only charged on NUMA machines; the paper's Harpertown is UMA).
+  Cycles memory_remote_extra = 150;
+};
+
+/// Page placement policy of a NUMA machine's OS.
+enum class NumaPolicy : std::uint8_t {
+  kFirstTouch,  ///< page homed on the socket of the first core touching it
+  kInterleave,  ///< pages striped round-robin across sockets
+};
+
+/// Full machine description.
+struct MachineConfig {
+  int num_sockets = 2;
+  int cores_per_socket = 4;
+  int cores_per_l2 = 2;
+
+  std::size_t page_size = 4096;
+
+  /// Non-uniform memory: each socket owns a memory node; L2 misses to
+  /// remote-homed pages pay memory_remote_extra. The paper's evaluation
+  /// machine is UMA (front-side bus); its conclusions predict larger
+  /// mapping gains on NUMA — bench_numa tests that claim.
+  bool numa = false;
+  NumaPolicy numa_policy = NumaPolicy::kFirstTouch;
+
+  CacheConfig l1{/*size_bytes=*/32 * 1024, /*line_size=*/64, /*ways=*/4,
+                 /*latency=*/2};
+  CacheConfig l2{/*size_bytes=*/6 * 1024 * 1024, /*line_size=*/64, /*ways=*/8,
+                 /*latency=*/8};
+  TlbConfig tlb{};
+  InterconnectConfig interconnect{};
+
+  int num_cores() const { return num_sockets * cores_per_socket; }
+  int num_l2() const { return num_cores() / cores_per_l2; }
+  int page_shift() const {
+    int s = 0;
+    for (std::size_t v = page_size; v > 1; v >>= 1) ++s;
+    return s;
+  }
+
+  void validate() const {
+    if (num_sockets <= 0 || cores_per_socket <= 0 || cores_per_l2 <= 0) {
+      throw std::invalid_argument("MachineConfig: non-positive topology field");
+    }
+    if (cores_per_socket % cores_per_l2 != 0) {
+      throw std::invalid_argument("MachineConfig: cores_per_socket % cores_per_l2 != 0");
+    }
+    if (page_size == 0 || (page_size & (page_size - 1)) != 0) {
+      throw std::invalid_argument("MachineConfig: page size must be a power of two");
+    }
+    l1.validate();
+    l2.validate();
+    tlb.validate();
+  }
+
+  /// The paper's evaluation machine (2x Harpertown, Table II).
+  static MachineConfig harpertown() { return MachineConfig{}; }
+
+  /// The same topology with a NUMA memory system (one node per socket,
+  /// first-touch homing) and a point-to-point inter-socket interconnect:
+  /// cross-socket transfers pay an extra hop, so the communication-latency
+  /// spread between nearby and distant cores is larger than on the UMA
+  /// front-side-bus machine — the paper's Sec. VII argument for why mapping
+  /// gains grow on NUMA.
+  static MachineConfig numa_harpertown() {
+    MachineConfig c;
+    c.numa = true;
+    c.interconnect.snoop_inter_socket = 140;
+    c.interconnect.invalidate_inter_socket = 70;
+    return c;
+  }
+
+  /// A small machine for fast unit tests: 1 socket, 2 cores sharing one L2,
+  /// tiny caches so eviction paths are exercised cheaply.
+  static MachineConfig tiny() {
+    MachineConfig c;
+    c.num_sockets = 1;
+    c.cores_per_socket = 2;
+    c.cores_per_l2 = 2;
+    c.l1 = CacheConfig{1024, 64, 2, 2};
+    c.l2 = CacheConfig{4096, 64, 4, 8};
+    c.tlb = TlbConfig{8, 2, TlbManagement::kHardware, 30};
+    return c;
+  }
+};
+
+}  // namespace tlbmap

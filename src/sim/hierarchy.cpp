@@ -1,0 +1,133 @@
+#include "sim/hierarchy.hpp"
+
+namespace tlbmap {
+
+namespace {
+int shift_for(std::size_t power_of_two) {
+  int s = 0;
+  for (std::size_t v = power_of_two; v > 1; v >>= 1) ++s;
+  return s;
+}
+}  // namespace
+
+MemoryHierarchy::MemoryHierarchy(const MachineConfig& config)
+    : config_(config),
+      topology_(config),
+      interconnect_(topology_, config.interconnect),
+      page_table_(config.page_shift()),
+      coherence_(config, topology_, interconnect_),
+      line_shift_(shift_for(config.l1.line_size)) {
+  config_.validate();
+  tlbs_.reserve(static_cast<std::size_t>(topology_.num_cores()));
+  l1s_.reserve(static_cast<std::size_t>(topology_.num_cores()));
+  for (int c = 0; c < topology_.num_cores(); ++c) {
+    tlbs_.emplace_back(config.tlb);
+    l1s_.emplace_back(config.l1);
+  }
+  // Keep L1s inclusive: when an L2 loses a line, shoot it down in the L1s of
+  // the cores attached to that L2.
+  coherence_.set_line_drop_callback([this](L2Id l2, LineAddr line) {
+    for (CoreId core : topology_.cores_of_l2(l2)) {
+      l1s_[static_cast<std::size_t>(core)].invalidate(line);
+    }
+  });
+}
+
+MemoryHierarchy::AccessInfo MemoryHierarchy::access(CoreId core,
+                                                    VirtAddr addr,
+                                                    AccessType type,
+                                                    MachineStats& stats) {
+  AccessInfo info;
+  ++stats.accesses;
+  if (type == AccessType::kRead) {
+    ++stats.reads;
+  } else {
+    ++stats.writes;
+  }
+
+  // Address translation. On NUMA machines the first touch also homes the
+  // page: on the toucher's socket (first-touch) or striped (interleave).
+  info.page = page_table_.page_of(addr);
+  Tlb& tlb = tlbs_[static_cast<std::size_t>(core)];
+  if (tlb.lookup(info.page)) {
+    ++stats.tlb_hits;
+  } else {
+    ++stats.tlb_misses;
+    info.tlb_miss = true;
+    tlb.insert(info.page);
+    info.latency += config_.tlb.miss_penalty;
+  }
+  const int home =
+      config_.numa_policy == NumaPolicy::kInterleave
+          ? static_cast<int>(info.page %
+                             static_cast<PageNum>(config_.num_sockets))
+          : topology_.socket_of(core);
+  const PhysAddr phys =
+      (page_table_.frame_of(info.page, home) << config_.page_shift()) |
+      page_table_.page_offset(addr);
+  const LineAddr line = phys >> line_shift_;
+
+  // Memory latency depends on where the page actually lives (recorded at
+  // its first touch, which may have homed it elsewhere).
+  Cycles memory_latency = config_.interconnect.memory_latency;
+  const bool remote_home =
+      config_.numa && page_table_.home_of(info.page) != topology_.socket_of(core);
+  if (remote_home) {
+    memory_latency += config_.interconnect.memory_remote_extra;
+  }
+
+  Cache& l1 = l1s_[static_cast<std::size_t>(core)];
+  const L2Id l2 = topology_.l2_of(core);
+
+  const auto count_fetch_locality = [&](std::uint64_t fetches_before) {
+    if (stats.memory_fetches > fetches_before) {
+      if (remote_home) {
+        ++stats.memory_fetches_remote;
+      } else {
+        ++stats.memory_fetches_local;
+      }
+    }
+  };
+
+  if (type == AccessType::kRead) {
+    if (l1.find(line) != nullptr) {
+      ++stats.l1_hits;
+      info.latency += config_.l1.latency;
+      return info;
+    }
+    ++stats.l1_misses;
+    const std::uint64_t fetches_before = stats.memory_fetches;
+    info.latency +=
+        config_.l1.latency + coherence_.read(l2, line, memory_latency, stats);
+    count_fetch_locality(fetches_before);
+    l1.insert(line, MesiState::kShared);  // write-through L1: never dirty
+    return info;
+  }
+
+  // Write-through, no-write-allocate L1: refresh a present copy, then push
+  // the store to the L2, which performs the MESI ownership work.
+  if (l1.find(line) != nullptr) {
+    ++stats.l1_hits;
+  } else {
+    ++stats.l1_misses;
+  }
+  // Cores behind the same L2 do not appear on the snoop bus, so their L1
+  // copies must be shot down locally or they would keep serving stale hits.
+  for (CoreId sibling : topology_.cores_of_l2(l2)) {
+    if (sibling != core) {
+      l1s_[static_cast<std::size_t>(sibling)].invalidate(line);
+    }
+  }
+  const std::uint64_t fetches_before = stats.memory_fetches;
+  info.latency += coherence_.write(l2, line, memory_latency, stats);
+  count_fetch_locality(fetches_before);
+  return info;
+}
+
+void MemoryHierarchy::flush_caches() {
+  for (Tlb& t : tlbs_) t.flush();
+  for (Cache& c : l1s_) c.flush();
+  coherence_.flush();
+}
+
+}  // namespace tlbmap

@@ -1,0 +1,66 @@
+// Per-core view of the memory system: TLB -> private L1 -> shared L2 (MESI)
+// -> memory. Composes the component models and keeps the L1s inclusive with
+// respect to their L2 via the coherence domain's line-drop callback.
+//
+// Only data accesses are modelled: the paper notes (Sec. III-A1) that
+// instruction fetches are irrelevant to mapping because instructions are
+// effectively read-only after load.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/cache.hpp"
+#include "sim/coherence.hpp"
+#include "sim/config.hpp"
+#include "sim/interconnect.hpp"
+#include "sim/page_table.hpp"
+#include "sim/stats.hpp"
+#include "sim/tlb.hpp"
+#include "sim/topology.hpp"
+#include "sim/types.hpp"
+
+namespace tlbmap {
+
+class MemoryHierarchy {
+ public:
+  explicit MemoryHierarchy(const MachineConfig& config);
+
+  /// What one access did; the machine feeds `tlb_miss`/`page` to detectors.
+  struct AccessInfo {
+    Cycles latency = 0;
+    bool tlb_miss = false;
+    PageNum page = 0;
+  };
+
+  /// Runs one data access issued by `core` through TLB, L1 and L2/coherence.
+  AccessInfo access(CoreId core, VirtAddr addr, AccessType type,
+                    MachineStats& stats);
+
+  const MachineConfig& config() const { return config_; }
+  const Topology& topology() const { return topology_; }
+  Tlb& tlb(CoreId core) { return tlbs_[static_cast<std::size_t>(core)]; }
+  const Tlb& tlb(CoreId core) const {
+    return tlbs_[static_cast<std::size_t>(core)];
+  }
+  Cache& l1(CoreId core) { return l1s_[static_cast<std::size_t>(core)]; }
+  CoherenceDomain& coherence() { return coherence_; }
+  PageTable& page_table() { return page_table_; }
+  Interconnect& interconnect() { return interconnect_; }
+
+  /// Clears all caches and TLBs (between repetitions); the page table is
+  /// kept, since physical placement would survive on a real machine too.
+  void flush_caches();
+
+ private:
+  MachineConfig config_;
+  Topology topology_;
+  Interconnect interconnect_;
+  PageTable page_table_;
+  std::vector<Tlb> tlbs_;
+  std::vector<Cache> l1s_;
+  CoherenceDomain coherence_;
+  int line_shift_;
+};
+
+}  // namespace tlbmap

@@ -1,0 +1,3 @@
+#include "sim/interconnect.hpp"
+
+// Interconnect is header-only; this translation unit anchors it in the build.

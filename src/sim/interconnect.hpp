@@ -1,0 +1,60 @@
+// Two-level interconnect model: intra-socket links and the inter-socket
+// front-side bus. The coherence protocol asks it to price and record every
+// snoop probe, data transfer and invalidation between two L2 caches; the
+// locality split is what makes thread placement matter (paper Sec. III-A2).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/config.hpp"
+#include "sim/stats.hpp"
+#include "sim/topology.hpp"
+#include "sim/types.hpp"
+
+namespace tlbmap {
+
+class Interconnect {
+ public:
+  Interconnect(const Topology& topology, const InterconnectConfig& config)
+      : topology_(&topology), config_(config) {}
+
+  bool same_socket(L2Id a, L2Id b) const {
+    return topology_->socket_of_l2(a) == topology_->socket_of_l2(b);
+  }
+
+  /// Cost of a cache-to-cache transfer from `from` to `to`; records traffic.
+  Cycles transfer(L2Id from, L2Id to, MachineStats& stats) {
+    record(from, to, stats);
+    return same_socket(from, to) ? config_.snoop_intra_socket
+                                 : config_.snoop_inter_socket;
+  }
+
+  /// Cost of an invalidation message from `from` to `to`; records traffic.
+  Cycles invalidate(L2Id from, L2Id to, MachineStats& stats) {
+    record(from, to, stats);
+    return same_socket(from, to) ? config_.invalidate_intra_socket
+                                 : config_.invalidate_inter_socket;
+  }
+
+  /// Address-only snoop probe broadcast; records one message per remote L2.
+  void record_probe(L2Id from, L2Id to, MachineStats& stats) {
+    record(from, to, stats);
+  }
+
+  Cycles memory_latency() const { return config_.memory_latency; }
+  const InterconnectConfig& config() const { return config_; }
+
+ private:
+  void record(L2Id from, L2Id to, MachineStats& stats) {
+    if (same_socket(from, to)) {
+      ++stats.intra_socket_messages;
+    } else {
+      ++stats.inter_socket_messages;
+    }
+  }
+
+  const Topology* topology_;
+  InterconnectConfig config_;
+};
+
+}  // namespace tlbmap

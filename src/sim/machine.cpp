@@ -1,0 +1,174 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tlbmap {
+
+Machine::Machine(const MachineConfig& config)
+    : hierarchy_(config),
+      thread_on_core_(static_cast<std::size_t>(config.num_cores()),
+                      kNoThread) {}
+
+namespace {
+
+struct ThreadState {
+  ThreadStream* stream = nullptr;
+  Cycles clock = 0;
+  bool at_barrier = false;
+  bool done = false;
+
+  bool runnable() const { return !done && !at_barrier; }
+};
+
+}  // namespace
+
+MachineStats Machine::run(std::vector<std::unique_ptr<ThreadStream>> streams,
+                          const RunConfig& config) {
+  const int num_threads = static_cast<int>(streams.size());
+  if (config.thread_to_core.size() != streams.size()) {
+    throw std::invalid_argument("Machine::run: mapping size != thread count");
+  }
+  std::fill(thread_on_core_.begin(), thread_on_core_.end(), kNoThread);
+  for (ThreadId t = 0; t < num_threads; ++t) {
+    const CoreId core = config.thread_to_core[static_cast<std::size_t>(t)];
+    if (core < 0 || core >= topology().num_cores()) {
+      throw std::invalid_argument("Machine::run: core id out of range");
+    }
+    if (thread_on_core_[static_cast<std::size_t>(core)] != kNoThread) {
+      throw std::invalid_argument("Machine::run: two threads on one core");
+    }
+    thread_on_core_[static_cast<std::size_t>(core)] = t;
+  }
+  if (config.flush_first) hierarchy_.flush_caches();
+
+  MachineStats stats;
+  std::vector<ThreadState> threads(streams.size());
+  // Per-thread detector cycles; the reported overhead is the critical-path
+  // amount (max across threads), so overhead_fraction() stays a meaningful
+  // share of execution time.
+  std::vector<Cycles> overhead(streams.size(), 0);
+  for (std::size_t t = 0; t < streams.size(); ++t) {
+    threads[t].stream = streams[t].get();
+  }
+  int live = num_threads;
+  // Working copy: a MigrationPolicy may replace it at barrier releases.
+  std::vector<CoreId> placement = config.thread_to_core;
+  int barrier_count = 0;
+
+  auto apply_migration = [&](const std::vector<CoreId>& next) {
+    if (next.empty()) return;
+    if (next.size() != placement.size()) {
+      throw std::invalid_argument("MigrationPolicy: wrong mapping size");
+    }
+    std::fill(thread_on_core_.begin(), thread_on_core_.end(), kNoThread);
+    for (ThreadId t = 0; t < num_threads; ++t) {
+      const CoreId core = next[static_cast<std::size_t>(t)];
+      if (core < 0 || core >= topology().num_cores() ||
+          thread_on_core_[static_cast<std::size_t>(core)] != kNoThread) {
+        throw std::invalid_argument("MigrationPolicy: invalid mapping");
+      }
+      thread_on_core_[static_cast<std::size_t>(core)] = t;
+      if (core != placement[static_cast<std::size_t>(t)] &&
+          !threads[static_cast<std::size_t>(t)].done) {
+        threads[static_cast<std::size_t>(t)].clock += config.migration_cost;
+      }
+    }
+    placement = next;
+  };
+
+  auto release_barrier_if_ready = [&] {
+    int waiting = 0;
+    Cycles latest = 0;
+    for (const ThreadState& ts : threads) {
+      if (ts.done) continue;
+      if (!ts.at_barrier) return;
+      ++waiting;
+      latest = std::max(latest, ts.clock);
+    }
+    if (waiting == 0) return;
+    for (ThreadState& ts : threads) {
+      if (ts.done) continue;
+      ts.at_barrier = false;
+      ts.clock = latest + config.barrier_latency;
+    }
+    ++barrier_count;
+    if (config.migration != nullptr) {
+      apply_migration(config.migration->on_barrier(
+          barrier_count, latest + config.barrier_latency));
+    }
+  };
+
+  while (live > 0) {
+    // Pick the runnable thread with the smallest clock. Thread counts are
+    // small (paper: 8), so a linear scan beats heap bookkeeping.
+    int next = -1;
+    for (int t = 0; t < num_threads; ++t) {
+      const ThreadState& ts = threads[static_cast<std::size_t>(t)];
+      if (!ts.runnable()) continue;
+      if (next == -1 ||
+          ts.clock < threads[static_cast<std::size_t>(next)].clock) {
+        next = t;
+      }
+    }
+    if (next == -1) {
+      // Everyone alive is at a barrier (can happen when the last runnable
+      // thread finished); release and continue.
+      release_barrier_if_ready();
+      continue;
+    }
+
+    ThreadState& ts = threads[static_cast<std::size_t>(next)];
+    const TraceEvent ev = ts.stream->next();
+    switch (ev.kind) {
+      case TraceEvent::Kind::kAccess: {
+        const CoreId core = placement[static_cast<std::size_t>(next)];
+        ts.clock += ev.access.compute_gap;
+        const auto info =
+            hierarchy_.access(core, ev.access.addr, ev.access.type, stats);
+        ts.clock += info.latency;
+        if (config.observer != nullptr) {
+          const Cycles local = config.observer->on_access(
+              next, core, ev.access.addr, info.page, ev.access.type,
+              info.tlb_miss, ts.clock);
+          ts.clock += local;
+          overhead[static_cast<std::size_t>(next)] += local;
+
+          const Cycles global = config.observer->on_tick(ts.clock);
+          if (global > 0) {
+            // A kernel-wide sweep stalls every thread equally.
+            for (std::size_t o = 0; o < threads.size(); ++o) {
+              if (!threads[o].done) {
+                threads[o].clock += global;
+                overhead[o] += global;
+              }
+            }
+          }
+        }
+        break;
+      }
+      case TraceEvent::Kind::kBarrier:
+        ts.at_barrier = true;
+        release_barrier_if_ready();
+        break;
+      case TraceEvent::Kind::kEnd:
+        ts.done = true;
+        --live;
+        release_barrier_if_ready();
+        break;
+    }
+  }
+
+  Cycles finish = 0;
+  for (const ThreadState& ts : threads) {
+    finish = std::max(finish, ts.clock);
+  }
+  stats.execution_cycles = finish;
+  for (const Cycles o : overhead) {
+    stats.detection_overhead_cycles =
+        std::max(stats.detection_overhead_cycles, o);
+  }
+  return stats;
+}
+
+}  // namespace tlbmap

@@ -1,0 +1,96 @@
+// The simulated machine: threads pinned to cores, per-thread clocks, barrier
+// synchronisation, and hooks for communication detectors.
+//
+// Execution is event-driven: at each step the runnable thread with the
+// smallest clock issues its next trace event, so accesses from different
+// threads interleave in simulated-time order (this is what stands in for
+// Simics). Detectors observe two signals, matching the paper's two
+// mechanisms: per-access TLB-miss notifications (software-managed TLB trap)
+// and the advance of global time (the hardware-managed TLB's periodic
+// search).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/hierarchy.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+#include "sim/types.hpp"
+
+namespace tlbmap {
+
+/// Decides thread migrations at barrier boundaries (dynamic mapping — the
+/// paper's future work). Barriers are the natural migration points: every
+/// thread is stopped anyway, so no in-flight accesses are disturbed.
+class MigrationPolicy {
+ public:
+  virtual ~MigrationPolicy() = default;
+
+  /// Called after each barrier release. Return a full new thread->core
+  /// mapping to migrate, or an empty vector to keep the current placement.
+  virtual std::vector<CoreId> on_barrier(int barrier_index, Cycles now) = 0;
+};
+
+/// Hook interface implemented by the communication detectors.
+class MachineObserver {
+ public:
+  virtual ~MachineObserver() = default;
+
+  /// Called after every access. `tlb_miss` is the software-managed trigger.
+  /// The returned cycles are charged to the issuing thread (the cost of the
+  /// OS search routine, paper Sec. VI-C). `addr` is the full virtual
+  /// address (granularity studies); `page` = addr >> page_shift.
+  virtual Cycles on_access(ThreadId thread, CoreId core, VirtAddr addr,
+                           PageNum page, AccessType type, bool tlb_miss,
+                           Cycles now) = 0;
+
+  /// Called as global simulated time advances (monotonically). The returned
+  /// cycles stall *all* threads (the kernel-wide sweep of the
+  /// hardware-managed mechanism).
+  virtual Cycles on_tick(Cycles now) = 0;
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config);
+
+  struct RunConfig {
+    /// thread_to_core[t] = core executing thread t. Must be a permutation
+    /// into distinct cores; threads never migrate during a run (the paper
+    /// evaluates static mappings).
+    std::vector<CoreId> thread_to_core;
+    /// Fixed cost of one barrier episode (join + fork).
+    Cycles barrier_latency = 500;
+    MachineObserver* observer = nullptr;
+    /// Optional dynamic mapping: consulted at every barrier release.
+    MigrationPolicy* migration = nullptr;
+    /// Charged to each thread that changes core (context save/restore; the
+    /// cold TLB and caches on the new core are modelled naturally).
+    Cycles migration_cost = 2000;
+    /// Flush caches/TLBs before the run (cold start, default) — repetitions
+    /// of an experiment should not leak state into each other.
+    bool flush_first = true;
+  };
+
+  /// Runs every stream to completion and returns the collected counters.
+  /// streams[t] is thread t's trace.
+  MachineStats run(std::vector<std::unique_ptr<ThreadStream>> streams,
+                   const RunConfig& config);
+
+  MemoryHierarchy& hierarchy() { return hierarchy_; }
+  const MemoryHierarchy& hierarchy() const { return hierarchy_; }
+  const Topology& topology() const { return hierarchy_.topology(); }
+
+  /// Thread currently pinned to `core`, or kNoThread. Valid during run()
+  /// (detectors query it to turn core-level TLB matches into thread pairs).
+  ThreadId thread_on(CoreId core) const {
+    return thread_on_core_[static_cast<std::size_t>(core)];
+  }
+
+ private:
+  MemoryHierarchy hierarchy_;
+  std::vector<ThreadId> thread_on_core_;
+};
+
+}  // namespace tlbmap

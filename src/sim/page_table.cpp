@@ -1,0 +1,4 @@
+#include "sim/page_table.hpp"
+
+// PageTable is header-only; this translation unit exists so the build graph
+// (and future out-of-line growth) has a stable home for it.

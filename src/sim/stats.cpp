@@ -1,0 +1,52 @@
+#include "sim/stats.hpp"
+
+namespace tlbmap {
+
+MachineStats& MachineStats::operator+=(const MachineStats& o) {
+  accesses += o.accesses;
+  reads += o.reads;
+  writes += o.writes;
+  tlb_hits += o.tlb_hits;
+  tlb_misses += o.tlb_misses;
+  l1_hits += o.l1_hits;
+  l1_misses += o.l1_misses;
+  l2_accesses += o.l2_accesses;
+  l2_hits += o.l2_hits;
+  l2_misses += o.l2_misses;
+  invalidations += o.invalidations;
+  snoop_transactions += o.snoop_transactions;
+  writebacks += o.writebacks;
+  memory_fetches += o.memory_fetches;
+  memory_fetches_local += o.memory_fetches_local;
+  memory_fetches_remote += o.memory_fetches_remote;
+  intra_socket_messages += o.intra_socket_messages;
+  inter_socket_messages += o.inter_socket_messages;
+  execution_cycles += o.execution_cycles;
+  detection_overhead_cycles += o.detection_overhead_cycles;
+  detector_searches += o.detector_searches;
+  return *this;
+}
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.n = values.size();
+  if (s.n == 0) return s;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(s.n);
+  if (s.n < 2) return s;
+  double sq = 0.0;
+  for (double v : values) {
+    const double d = v - s.mean;
+    sq += d * d;
+  }
+  s.stddev = std::sqrt(sq / static_cast<double>(s.n - 1));
+  return s;
+}
+
+double per_second(std::uint64_t counter, Cycles execution_cycles) {
+  if (execution_cycles == 0) return 0.0;
+  return static_cast<double>(counter) / cycles_to_seconds(execution_cycles);
+}
+
+}  // namespace tlbmap

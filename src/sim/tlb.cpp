@@ -1,0 +1,84 @@
+#include "sim/tlb.hpp"
+
+#include <algorithm>
+
+namespace tlbmap {
+
+Tlb::Tlb(const TlbConfig& config) : config_(config) {
+  // Validate before deriving geometry: num_sets() divides by `ways`.
+  config_.validate();
+  num_sets_ = config_.num_sets();
+  ways_ = config_.ways;
+  entries_.resize(num_sets_ * ways_);
+}
+
+TlbEntry* Tlb::find(PageNum page) {
+  TlbEntry* base = entries_.data() + set_index(page) * ways_;
+  for (std::size_t w = 0; w < ways_; ++w) {
+    if (base[w].valid && base[w].page == page) return &base[w];
+  }
+  return nullptr;
+}
+
+bool Tlb::lookup(PageNum page) {
+  if (TlbEntry* e = find(page)) {
+    e->lru_stamp = ++clock_;
+    return true;
+  }
+  return false;
+}
+
+void Tlb::insert(PageNum page) {
+  if (TlbEntry* e = find(page)) {
+    e->lru_stamp = ++clock_;
+    return;
+  }
+  TlbEntry* base = entries_.data() + set_index(page) * ways_;
+  TlbEntry* victim = base;
+  for (std::size_t w = 0; w < ways_; ++w) {
+    if (!base[w].valid) {
+      victim = &base[w];
+      break;
+    }
+    if (base[w].lru_stamp < victim->lru_stamp) victim = &base[w];
+  }
+  victim->page = page;
+  victim->valid = true;
+  victim->lru_stamp = ++clock_;
+}
+
+bool Tlb::contains(PageNum page) const {
+  return const_cast<Tlb*>(this)->find(page) != nullptr;
+}
+
+bool Tlb::invalidate(PageNum page) {
+  if (TlbEntry* e = find(page)) {
+    e->valid = false;
+    return true;
+  }
+  return false;
+}
+
+void Tlb::flush() {
+  std::fill(entries_.begin(), entries_.end(), TlbEntry{});
+  clock_ = 0;
+}
+
+std::span<const TlbEntry> Tlb::set_entries(std::size_t set) const {
+  return {entries_.data() + set * ways_, ways_};
+}
+
+std::size_t Tlb::valid_entries() const {
+  return static_cast<std::size_t>(
+      std::count_if(entries_.begin(), entries_.end(),
+                    [](const TlbEntry& e) { return e.valid; }));
+}
+
+void Tlb::for_each_entry(
+    const std::function<void(const TlbEntry&)>& fn) const {
+  for (const TlbEntry& e : entries_) {
+    if (e.valid) fn(e);
+  }
+}
+
+}  // namespace tlbmap

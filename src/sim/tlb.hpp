@@ -1,0 +1,77 @@
+// Per-core Translation Lookaside Buffer model.
+//
+// This is the structure the paper's mechanism inspects: a small
+// set-associative cache of the most recently translated virtual pages.
+// Detection never needs the physical translation, only page-number matches
+// across cores, so entries store virtual page numbers. The set-restricted
+// search APIs mirror the paper's complexity argument: with a set-associative
+// TLB, a detector compares only the ways of one set (Theta(associativity))
+// instead of the whole TLB.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/types.hpp"
+
+namespace tlbmap {
+
+/// One TLB entry (one way of one set).
+struct TlbEntry {
+  PageNum page = 0;
+  bool valid = false;
+  std::uint64_t lru_stamp = 0;
+};
+
+/// Set-associative TLB with true-LRU replacement.
+class Tlb {
+ public:
+  explicit Tlb(const TlbConfig& config);
+
+  /// Translation attempt: refreshes LRU on hit. Returns true on hit.
+  bool lookup(PageNum page);
+
+  /// Loads a page after a miss, evicting the set's LRU entry if needed.
+  void insert(PageNum page);
+
+  /// True if the page is cached; does not disturb LRU order. This is the
+  /// probe a detector runs against *other* cores' TLBs (or their in-memory
+  /// mirrors), so it must be side-effect free.
+  bool contains(PageNum page) const;
+
+  /// Drops one translation (page-table update shootdown).
+  bool invalidate(PageNum page);
+
+  /// Drops everything (context switch on architectures without ASIDs).
+  void flush();
+
+  std::size_t set_index(PageNum page) const { return page % num_sets_; }
+  std::size_t num_sets() const { return num_sets_; }
+  std::size_t ways() const { return ways_; }
+  std::size_t capacity() const { return num_sets_ * ways_; }
+  const TlbConfig& config() const { return config_; }
+
+  /// All ways of one set, valid or not (the HM detector walks sets of two
+  /// TLBs in lockstep; the SM detector probes a single set).
+  std::span<const TlbEntry> set_entries(std::size_t set) const;
+
+  /// Number of valid entries (test/debug aid).
+  std::size_t valid_entries() const;
+
+  /// Visits every valid entry.
+  void for_each_entry(const std::function<void(const TlbEntry&)>& fn) const;
+
+ private:
+  TlbEntry* find(PageNum page);
+
+  TlbConfig config_;
+  std::size_t num_sets_ = 0;
+  std::size_t ways_ = 0;
+  std::uint64_t clock_ = 0;
+  std::vector<TlbEntry> entries_;  ///< num_sets_ * ways_, set-major
+};
+
+}  // namespace tlbmap

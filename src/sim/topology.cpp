@@ -1,0 +1,42 @@
+#include "sim/topology.hpp"
+
+namespace tlbmap {
+
+Topology::Topology(const MachineConfig& config)
+    : num_cores_(config.num_cores()),
+      num_l2_(config.num_l2()),
+      num_sockets_(config.num_sockets),
+      cores_per_l2_(config.cores_per_l2),
+      cores_per_socket_(config.cores_per_socket) {
+  config.validate();
+}
+
+std::vector<CoreId> Topology::cores_of_l2(L2Id l2) const {
+  std::vector<CoreId> cores;
+  cores.reserve(static_cast<std::size_t>(cores_per_l2_));
+  for (int i = 0; i < cores_per_l2_; ++i) {
+    cores.push_back(l2 * cores_per_l2_ + i);
+  }
+  return cores;
+}
+
+int Topology::distance(CoreId a, CoreId b) const {
+  if (a == b) return 0;
+  if (share_l2(a, b)) return 1;
+  if (share_socket(a, b)) return 2;
+  return 3;
+}
+
+std::vector<int> Topology::level_arities() const {
+  std::vector<int> arities;
+  arities.push_back(cores_per_l2_);
+  if (cores_per_socket_ > cores_per_l2_) {
+    arities.push_back(cores_per_socket_ / cores_per_l2_);
+  }
+  if (num_sockets_ > 1) {
+    arities.push_back(num_sockets_);
+  }
+  return arities;
+}
+
+}  // namespace tlbmap

@@ -1,0 +1,61 @@
+// Machine topology: which cores share an L2, which share a socket.
+//
+// Mirrors the paper's Figure 3 machine: a tree with sockets at the top,
+// L2 groups below them, and cores at the leaves. The hierarchical mapper
+// consumes the per-level arities; the coherence model consumes the
+// share_l2 / share_socket predicates to price transactions.
+#pragma once
+
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/types.hpp"
+
+namespace tlbmap {
+
+/// Identifies one L2 cache (shared by `cores_per_l2` cores).
+using L2Id = int;
+/// Identifies one socket.
+using SocketId = int;
+
+class Topology {
+ public:
+  explicit Topology(const MachineConfig& config);
+
+  int num_cores() const { return num_cores_; }
+  int num_l2() const { return num_l2_; }
+  int num_sockets() const { return num_sockets_; }
+  int cores_per_l2() const { return cores_per_l2_; }
+  int cores_per_socket() const { return cores_per_socket_; }
+
+  L2Id l2_of(CoreId core) const { return core / cores_per_l2_; }
+  SocketId socket_of(CoreId core) const { return core / cores_per_socket_; }
+  SocketId socket_of_l2(L2Id l2) const {
+    return l2 / (cores_per_socket_ / cores_per_l2_);
+  }
+
+  bool share_l2(CoreId a, CoreId b) const { return l2_of(a) == l2_of(b); }
+  bool share_socket(CoreId a, CoreId b) const {
+    return socket_of(a) == socket_of(b);
+  }
+
+  /// Cores attached to one L2, in id order.
+  std::vector<CoreId> cores_of_l2(L2Id l2) const;
+
+  /// Hop distance between cores: 0 same core, 1 same L2, 2 same socket,
+  /// 3 different sockets. Used as the mapping cost metric in tests.
+  int distance(CoreId a, CoreId b) const;
+
+  /// Group arities from the leaves up, for the hierarchical mapper.
+  /// Harpertown: {2 cores per L2, 2 L2s per socket, 2 sockets}.
+  std::vector<int> level_arities() const;
+
+ private:
+  int num_cores_;
+  int num_l2_;
+  int num_sockets_;
+  int cores_per_l2_;
+  int cores_per_socket_;
+};
+
+}  // namespace tlbmap

@@ -1,0 +1,42 @@
+// Trace event model: workloads are per-thread streams of memory accesses
+// punctuated by barriers (the OpenMP-style synchronisation of the NPB).
+//
+// Streams are pull-based and lazily generated, so multi-million-access runs
+// never materialise a trace in memory (unlike the 100+ GB trace files of the
+// simulation-based related work the paper criticises).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/types.hpp"
+
+namespace tlbmap {
+
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    kAccess,   ///< one memory operation
+    kBarrier,  ///< thread waits until every live thread reaches its barrier
+    kEnd,      ///< stream exhausted
+  };
+
+  Kind kind = Kind::kEnd;
+  MemAccess access{};
+
+  static TraceEvent make_access(VirtAddr addr, AccessType type,
+                                std::uint32_t compute_gap = 0) {
+    return TraceEvent{Kind::kAccess, MemAccess{addr, type, compute_gap}};
+  }
+  static TraceEvent make_barrier() { return TraceEvent{Kind::kBarrier, {}}; }
+  static TraceEvent make_end() { return TraceEvent{Kind::kEnd, {}}; }
+};
+
+/// One thread's access stream. Implementations must keep returning kEnd once
+/// exhausted (the machine may poll past the end).
+class ThreadStream {
+ public:
+  virtual ~ThreadStream() = default;
+  virtual TraceEvent next() = 0;
+};
+
+}  // namespace tlbmap

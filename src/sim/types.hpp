@@ -1,0 +1,57 @@
+// Fundamental value types shared by every tlbmap module.
+//
+// The simulator is trace-driven: workloads emit MemAccess records against a
+// single shared virtual address space (the shared-memory paradigm the paper
+// targets), and the machine model translates, caches and times them.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace tlbmap {
+
+/// Virtual address within the (single, shared) simulated address space.
+using VirtAddr = std::uint64_t;
+/// Physical address produced by the simulated page table.
+using PhysAddr = std::uint64_t;
+/// Virtual page number (VirtAddr >> page_shift).
+using PageNum = std::uint64_t;
+/// Physical frame number.
+using FrameNum = std::uint64_t;
+/// Cache-line-aligned physical address tag (PhysAddr >> line_shift).
+using LineAddr = std::uint64_t;
+/// Simulated time, in core clock cycles.
+using Cycles = std::uint64_t;
+
+/// Identifies one application thread (0-based, dense).
+using ThreadId = int;
+/// Identifies one hardware core (0-based, dense).
+using CoreId = int;
+
+inline constexpr ThreadId kNoThread = -1;
+inline constexpr CoreId kNoCore = -1;
+
+/// Kind of a memory operation carried by a trace record.
+enum class AccessType : std::uint8_t {
+  kRead,
+  kWrite,
+};
+
+/// One memory operation emitted by a workload thread.
+///
+/// `compute_gap` models the instructions executed since the previous memory
+/// access of the same thread; the machine charges it as plain cycles, which
+/// lets compute-bound workloads (EP) keep their coherence rates low without
+/// emitting billions of records.
+struct MemAccess {
+  VirtAddr addr = 0;
+  AccessType type = AccessType::kRead;
+  std::uint32_t compute_gap = 0;
+};
+
+inline const char* to_string(AccessType t) {
+  return t == AccessType::kRead ? "read" : "write";
+}
+
+}  // namespace tlbmap

@@ -1,0 +1,34 @@
+// Abstract workload interface: a parallel application as one lazy trace
+// stream per thread. Lives in the sim layer so recording/replay and the
+// machine can consume workloads without depending on the NPB generators.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/trace.hpp"
+#include "sim/types.hpp"
+
+namespace tlbmap {
+
+/// A parallel application: one trace stream per thread.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::string description() const = 0;
+  virtual int num_threads() const = 0;
+
+  /// Creates thread `t`'s stream. `seed` varies run-to-run randomness
+  /// (random access patterns, compute jitter); identical seeds give
+  /// identical streams.
+  virtual std::unique_ptr<ThreadStream> stream(ThreadId t,
+                                               std::uint64_t seed) const = 0;
+
+  /// Memory accesses thread `t` will emit (sizing/tests).
+  virtual std::uint64_t accesses_of(ThreadId t) const = 0;
+};
+
+}  // namespace tlbmap

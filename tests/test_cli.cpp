@@ -1,0 +1,128 @@
+// Tests for the CLI argument parser and a smoke pass over the commands.
+#include <gtest/gtest.h>
+
+#include "core/cli.hpp"
+
+namespace tlbmap {
+namespace {
+
+CliOptions parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"tlbmap_cli"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return parse_cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, MissingCommand) {
+  const CliOptions opt = parse({});
+  EXPECT_FALSE(opt.ok());
+}
+
+TEST(Cli, Help) {
+  EXPECT_TRUE(parse({"--help"}).help);
+  EXPECT_TRUE(parse({"help"}).help);
+  EXPECT_FALSE(cli_usage().empty());
+}
+
+TEST(Cli, UnknownCommand) {
+  const CliOptions opt = parse({"frobnicate"});
+  EXPECT_FALSE(opt.ok());
+  EXPECT_NE(opt.error.find("frobnicate"), std::string::npos);
+}
+
+TEST(Cli, DefaultsApplied) {
+  const CliOptions opt = parse({"detect"});
+  ASSERT_TRUE(opt.ok());
+  EXPECT_EQ(opt.command, "detect");
+  EXPECT_EQ(opt.app, "SP");
+  EXPECT_EQ(opt.mechanism, "sm");
+  EXPECT_EQ(opt.threads, 8);
+  EXPECT_FALSE(opt.numa);
+}
+
+TEST(Cli, AllOptionsParsed) {
+  const CliOptions opt =
+      parse({"evaluate", "--app", "BT", "--mechanism", "hm", "--threads",
+             "4", "--size-scale", "0.5", "--iter-scale", "2.0", "--reps",
+             "7", "--seed", "42", "--numa", "--mapping", "3,2,1,0"});
+  ASSERT_TRUE(opt.ok()) << opt.error;
+  EXPECT_EQ(opt.app, "BT");
+  EXPECT_EQ(opt.mechanism, "hm");
+  EXPECT_EQ(opt.threads, 4);
+  EXPECT_DOUBLE_EQ(opt.size_scale, 0.5);
+  EXPECT_DOUBLE_EQ(opt.iter_scale, 2.0);
+  EXPECT_EQ(opt.reps, 7);
+  EXPECT_EQ(opt.seed, 42u);
+  EXPECT_TRUE(opt.numa);
+  EXPECT_EQ(opt.mapping, (Mapping{3, 2, 1, 0}));
+}
+
+TEST(Cli, AppsList) {
+  const CliOptions opt = parse({"suite", "--apps", "BT,SP,UA"});
+  ASSERT_TRUE(opt.ok());
+  EXPECT_EQ(opt.apps, (std::vector<std::string>{"BT", "SP", "UA"}));
+}
+
+TEST(Cli, BadMappingRejected) {
+  EXPECT_FALSE(parse({"evaluate", "--mapping", "1,x,3"}).ok());
+  EXPECT_FALSE(parse({"evaluate", "--mapping", ""}).ok());
+}
+
+TEST(Cli, BadMechanismRejected) {
+  EXPECT_FALSE(parse({"detect", "--mechanism", "magic"}).ok());
+}
+
+TEST(Cli, MissingValueRejected) {
+  EXPECT_FALSE(parse({"detect", "--app"}).ok());
+  EXPECT_FALSE(parse({"detect", "--threads"}).ok());
+}
+
+TEST(Cli, NonNumericValueRejected) {
+  EXPECT_FALSE(parse({"detect", "--threads", "many"}).ok());
+  EXPECT_FALSE(parse({"detect", "--size-scale", "big"}).ok());
+}
+
+TEST(Cli, RecordNeedsDir) {
+  EXPECT_FALSE(parse({"record", "--app", "EP"}).ok());
+  EXPECT_TRUE(parse({"record", "--app", "EP", "--out", "/tmp/x"}).ok());
+  EXPECT_FALSE(parse({"replay"}).ok());
+}
+
+TEST(Cli, UnknownOptionRejected) {
+  EXPECT_FALSE(parse({"detect", "--frobnicate"}).ok());
+}
+
+TEST(CliRun, UsageErrorExitCode) {
+  EXPECT_EQ(run_cli(parse({"nonsense"})), 2);
+  EXPECT_EQ(run_cli(parse({"--help"})), 0);
+}
+
+TEST(CliRun, DetectMapEvaluateSmoke) {
+  // Small scales keep this fast; stdout goes to the test log.
+  CliOptions detect = parse({"detect", "--app", "EP", "--iter-scale", "0.2"});
+  EXPECT_EQ(run_cli(detect), 0);
+  CliOptions map = parse({"map", "--app", "EP", "--iter-scale", "0.2"});
+  EXPECT_EQ(run_cli(map), 0);
+  CliOptions eval = parse({"evaluate", "--app", "EP", "--iter-scale", "0.2",
+                           "--reps", "1", "--mapping", "0,1,2,3,4,5,6,7"});
+  EXPECT_EQ(run_cli(eval), 0);
+}
+
+TEST(CliRun, EvaluateRejectsBadMappingAtRuntime) {
+  CliOptions eval = parse({"evaluate", "--app", "EP", "--iter-scale", "0.2",
+                           "--reps", "1", "--mapping", "0,0,1,2,3,4,5,6"});
+  EXPECT_EQ(run_cli(eval), 1);
+}
+
+TEST(CliRun, RecordReplayRoundTrip) {
+  const std::string dir = "/tmp/tlbmap_cli_test_recording";
+  CliOptions record = parse({"record", "--app", "EP", "--iter-scale", "0.2",
+                             "--out", dir.c_str()});
+  ASSERT_EQ(run_cli(record), 0);
+  CliOptions replay = parse({"replay", "--in", dir.c_str()});
+  EXPECT_EQ(run_cli(replay), 0);
+  CliOptions missing = parse({"replay", "--in", "/tmp/tlbmap_nonexistent"});
+  EXPECT_EQ(run_cli(missing), 1);
+}
+
+}  // namespace
+}  // namespace tlbmap

@@ -1,0 +1,172 @@
+// Tests for the communication matrix and its accuracy metrics.
+#include <gtest/gtest.h>
+
+#include "detect/comm_matrix.hpp"
+
+namespace tlbmap {
+namespace {
+
+TEST(CommMatrix, StartsZero) {
+  CommMatrix m(4);
+  EXPECT_EQ(m.total(), 0u);
+  EXPECT_EQ(m.max(), 0u);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) EXPECT_EQ(m.at(a, b), 0u);
+  }
+}
+
+TEST(CommMatrix, AddIsSymmetric) {
+  CommMatrix m(4);
+  m.add(1, 3, 5);
+  EXPECT_EQ(m.at(1, 3), 5u);
+  EXPECT_EQ(m.at(3, 1), 5u);
+  EXPECT_EQ(m.total(), 5u);
+}
+
+TEST(CommMatrix, SelfCommunicationIgnored) {
+  CommMatrix m(4);
+  m.add(2, 2, 100);
+  EXPECT_EQ(m.total(), 0u);
+  EXPECT_EQ(m.at(2, 2), 0u);
+}
+
+TEST(CommMatrix, AddAccumulates) {
+  CommMatrix m(4);
+  m.add(0, 1);
+  m.add(1, 0, 2);
+  EXPECT_EQ(m.at(0, 1), 3u);
+}
+
+TEST(CommMatrix, BoundsChecked) {
+  CommMatrix m(4);
+  EXPECT_THROW(m.add(0, 4), std::out_of_range);
+  EXPECT_THROW(m.add(-1, 2), std::out_of_range);
+  EXPECT_THROW(m.at(4, 0), std::out_of_range);
+  EXPECT_THROW(CommMatrix(0), std::invalid_argument);
+}
+
+TEST(CommMatrix, MaxAndNormalized) {
+  CommMatrix m(3);
+  m.add(0, 1, 10);
+  m.add(1, 2, 4);
+  EXPECT_EQ(m.max(), 10u);
+  EXPECT_DOUBLE_EQ(m.normalized(1, 2), 0.4);
+  EXPECT_DOUBLE_EQ(m.normalized(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(m.normalized(0, 2), 0.0);
+}
+
+TEST(CommMatrix, NormalizedAllZeroSafe) {
+  CommMatrix m(3);
+  EXPECT_EQ(m.normalized(0, 1), 0.0);
+}
+
+TEST(CommMatrix, PlusEquals) {
+  CommMatrix a(3), b(3);
+  a.add(0, 1, 2);
+  b.add(0, 1, 3);
+  b.add(1, 2, 7);
+  a += b;
+  EXPECT_EQ(a.at(0, 1), 5u);
+  EXPECT_EQ(a.at(1, 2), 7u);
+  CommMatrix wrong(4);
+  EXPECT_THROW(a += wrong, std::invalid_argument);
+}
+
+TEST(CommMatrix, Decay) {
+  CommMatrix m(3);
+  m.add(0, 1, 100);
+  m.decay(0.5);
+  EXPECT_EQ(m.at(0, 1), 50u);
+  m.decay(0.0);
+  EXPECT_EQ(m.at(0, 1), 0u);
+}
+
+TEST(CommMatrix, PairsByWeightOrdered) {
+  CommMatrix m(4);
+  m.add(0, 1, 1);
+  m.add(2, 3, 9);
+  m.add(0, 3, 5);
+  const auto pairs = m.pairs_by_weight();
+  ASSERT_EQ(pairs.size(), 6u);  // all pairs of 4 threads
+  EXPECT_EQ(pairs[0], (std::pair<ThreadId, ThreadId>{2, 3}));
+  EXPECT_EQ(pairs[1], (std::pair<ThreadId, ThreadId>{0, 3}));
+  EXPECT_EQ(pairs[2], (std::pair<ThreadId, ThreadId>{0, 1}));
+}
+
+TEST(CommMatrix, HeatmapShapeAndShading) {
+  CommMatrix m(3);
+  m.add(0, 1, 100);
+  m.add(1, 2, 1);
+  const std::string art = m.heatmap();
+  // 1 header + 3 rows.
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 4);
+  // The strongest pair renders with the darkest glyph.
+  EXPECT_NE(art.find('@'), std::string::npos);
+  // Diagonal stays blank: row for thread 0 has a blank at column 0.
+  EXPECT_EQ(art.find('!'), std::string::npos);
+}
+
+TEST(CommMatrix, CosineIdenticalIsOne) {
+  CommMatrix a(4);
+  a.add(0, 1, 3);
+  a.add(2, 3, 4);
+  EXPECT_NEAR(CommMatrix::cosine_similarity(a, a), 1.0, 1e-12);
+}
+
+TEST(CommMatrix, CosineScaleInvariant) {
+  CommMatrix a(4), b(4);
+  a.add(0, 1, 3);
+  a.add(2, 3, 4);
+  b.add(0, 1, 30);
+  b.add(2, 3, 40);
+  EXPECT_NEAR(CommMatrix::cosine_similarity(a, b), 1.0, 1e-12);
+}
+
+TEST(CommMatrix, CosineOrthogonalIsZero) {
+  CommMatrix a(4), b(4);
+  a.add(0, 1, 5);
+  b.add(2, 3, 5);
+  EXPECT_NEAR(CommMatrix::cosine_similarity(a, b), 0.0, 1e-12);
+}
+
+TEST(CommMatrix, CosineEmptySafe) {
+  CommMatrix a(4), b(4);
+  a.add(0, 1, 5);
+  EXPECT_EQ(CommMatrix::cosine_similarity(a, b), 0.0);
+  EXPECT_EQ(CommMatrix::cosine_similarity(b, b), 0.0);
+}
+
+TEST(CommMatrix, RankCorrelationPerfect) {
+  CommMatrix a(4), b(4);
+  int w = 1;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) {
+      a.add(i, j, static_cast<std::uint64_t>(w));
+      b.add(i, j, static_cast<std::uint64_t>(w * 10));
+      ++w;
+    }
+  }
+  EXPECT_NEAR(CommMatrix::rank_correlation(a, b), 1.0, 1e-12);
+}
+
+TEST(CommMatrix, RankCorrelationInverted) {
+  CommMatrix a(4), b(4);
+  int w = 1;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) {
+      a.add(i, j, static_cast<std::uint64_t>(w));
+      b.add(i, j, static_cast<std::uint64_t>(100 - w));
+      ++w;
+    }
+  }
+  EXPECT_NEAR(CommMatrix::rank_correlation(a, b), -1.0, 1e-12);
+}
+
+TEST(CommMatrix, SizeMismatchThrows) {
+  CommMatrix a(4), b(6);
+  EXPECT_THROW(CommMatrix::cosine_similarity(a, b), std::invalid_argument);
+  EXPECT_THROW(CommMatrix::rank_correlation(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tlbmap

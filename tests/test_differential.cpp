@@ -1,0 +1,277 @@
+// Differential and stress tests: the cache and TLB models are compared
+// against brute-force reference implementations on long random operation
+// sequences, and randomly generated access programs are checked against
+// their declared totals and bounds.
+#include <list>
+#include <map>
+#include <optional>
+#include <random>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/access_program.hpp"
+#include "sim/cache.hpp"
+#include "sim/machine.hpp"
+#include "sim/tlb.hpp"
+
+namespace tlbmap {
+namespace {
+
+// ----------------------------------------------------------------- caches
+
+/// Brute-force set-associative LRU cache: per-set std::list in MRU order.
+class ReferenceCache {
+ public:
+  ReferenceCache(std::size_t sets, std::size_t ways)
+      : sets_(sets), ways_(ways), lru_(sets) {}
+
+  bool find(LineAddr addr) {  // refreshes LRU like Cache::find
+    auto& set = lru_[addr % sets_];
+    for (auto it = set.begin(); it != set.end(); ++it) {
+      if (it->first == addr) {
+        set.splice(set.begin(), set, it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::optional<LineAddr> insert(LineAddr addr, MesiState state) {
+    auto& set = lru_[addr % sets_];
+    for (auto it = set.begin(); it != set.end(); ++it) {
+      if (it->first == addr) {
+        it->second = state;
+        set.splice(set.begin(), set, it);
+        return std::nullopt;
+      }
+    }
+    std::optional<LineAddr> victim;
+    if (set.size() == ways_) {
+      victim = set.back().first;
+      set.pop_back();
+    }
+    set.emplace_front(addr, state);
+    return victim;
+  }
+
+  bool invalidate(LineAddr addr) {
+    auto& set = lru_[addr % sets_];
+    for (auto it = set.begin(); it != set.end(); ++it) {
+      if (it->first == addr) {
+        set.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::size_t sets_, ways_;
+  std::vector<std::list<std::pair<LineAddr, MesiState>>> lru_;
+};
+
+struct CacheFuzzParam {
+  std::size_t size_bytes;
+  std::size_t ways;
+  std::uint64_t seed;
+};
+
+class CacheDifferential : public ::testing::TestWithParam<CacheFuzzParam> {};
+
+TEST_P(CacheDifferential, MatchesReferenceOnRandomOps) {
+  const auto [size, ways, seed] = GetParam();
+  const CacheConfig config{size, 64, ways, 1};
+  Cache cache(config);
+  ReferenceCache ref(cache.num_sets(), cache.ways());
+  std::mt19937_64 rng(seed);
+  const LineAddr addr_space = cache.num_sets() * cache.ways() * 3;
+
+  for (int op = 0; op < 20'000; ++op) {
+    const LineAddr addr = rng() % addr_space;
+    switch (rng() % 3) {
+      case 0: {  // lookup
+        const bool got = cache.find(addr) != nullptr;
+        const bool want = ref.find(addr);
+        ASSERT_EQ(got, want) << "find mismatch at op " << op;
+        break;
+      }
+      case 1: {  // insert
+        const MesiState state =
+            (rng() % 2) != 0u ? MesiState::kModified : MesiState::kShared;
+        const auto got = cache.insert(addr, state);
+        const auto want = ref.insert(addr, state);
+        ASSERT_EQ(got.has_value(), want.has_value()) << "op " << op;
+        if (got.has_value()) {
+          ASSERT_EQ(got->addr, *want) << "victim mismatch at op " << op;
+        }
+        break;
+      }
+      case 2: {  // invalidate
+        const bool got = cache.invalidate(addr).has_value();
+        const bool want = ref.invalidate(addr);
+        ASSERT_EQ(got, want) << "invalidate mismatch at op " << op;
+        break;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheDifferential,
+    ::testing::Values(CacheFuzzParam{512, 1, 1}, CacheFuzzParam{512, 2, 2},
+                      CacheFuzzParam{512, 8, 3}, CacheFuzzParam{4096, 4, 4},
+                      CacheFuzzParam{2048, 16, 5},
+                      CacheFuzzParam{1024, 2, 6}),
+    [](const ::testing::TestParamInfo<CacheFuzzParam>& info) {
+      return "b" + std::to_string(info.param.size_bytes) + "_w" +
+             std::to_string(info.param.ways) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+// ------------------------------------------------------------------- TLBs
+
+struct TlbFuzzParam {
+  std::size_t entries;
+  std::size_t ways;
+  std::uint64_t seed;
+};
+
+class TlbDifferential : public ::testing::TestWithParam<TlbFuzzParam> {};
+
+TEST_P(TlbDifferential, MatchesReferenceOnRandomOps) {
+  const auto [entries, ways, seed] = GetParam();
+  Tlb tlb(TlbConfig{entries, ways});
+  ReferenceCache ref(tlb.num_sets(), tlb.ways());
+  std::mt19937_64 rng(seed);
+  const PageNum page_space = entries * 3;
+
+  for (int op = 0; op < 20'000; ++op) {
+    const PageNum page = rng() % page_space;
+    switch (rng() % 4) {
+      case 0:
+        ASSERT_EQ(tlb.lookup(page), ref.find(page)) << "op " << op;
+        break;
+      case 1: {
+        tlb.insert(page);
+        ref.insert(page, MesiState::kShared);
+        break;
+      }
+      case 2: {
+        // contains must not disturb LRU: emulate by probing both and then
+        // verifying a subsequent capacity probe agrees (done implicitly by
+        // later ops; here just compare membership).
+        bool want = false;
+        // ReferenceCache::find refreshes; use a throwaway copy probe via
+        // insert-less scan: reuse invalidate+insert would disturb, so scan
+        // by lookup on a clone is not possible — instead compare against
+        // tlb.contains twice (idempotence) and against lookup afterwards.
+        const bool got1 = tlb.contains(page);
+        const bool got2 = tlb.contains(page);
+        ASSERT_EQ(got1, got2) << "contains not idempotent at op " << op;
+        want = ref.find(page);  // refreshes reference LRU...
+        if (got1) tlb.lookup(page);  // ...so mirror the refresh in the TLB
+        ASSERT_EQ(got1, want) << "contains mismatch at op " << op;
+        break;
+      }
+      case 3:
+        ASSERT_EQ(tlb.invalidate(page), ref.invalidate(page)) << "op " << op;
+        break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, TlbDifferential,
+    ::testing::Values(TlbFuzzParam{8, 2, 10}, TlbFuzzParam{64, 4, 11},
+                      TlbFuzzParam{64, 64, 12}, TlbFuzzParam{256, 8, 13},
+                      TlbFuzzParam{16, 1, 14}),
+    [](const ::testing::TestParamInfo<TlbFuzzParam>& info) {
+      return "e" + std::to_string(info.param.entries) + "_w" +
+             std::to_string(info.param.ways) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+// -------------------------------------------------- access-program fuzzing
+
+AccessProgram random_program(std::mt19937_64& rng) {
+  AccessProgram prog;
+  const int phases = 1 + static_cast<int>(rng() % 4);
+  for (int p = 0; p < phases; ++p) {
+    Phase phase;
+    phase.repeat = 1 + static_cast<std::uint32_t>(rng() % 3);
+    phase.barrier_after = (rng() % 2) != 0u;
+    const int walks = static_cast<int>(rng() % 4);  // may be empty
+    for (int w = 0; w < walks; ++w) {
+      Walk walk;
+      walk.base = (rng() % 64) * 4096;
+      walk.length = (1 + rng() % 32) * 4096;
+      walk.elem_size = 8;
+      walk.pattern = (rng() % 2) != 0u ? Walk::Pattern::kRandom
+                                       : Walk::Pattern::kSequential;
+      walk.mix = static_cast<Walk::Mix>(rng() % 3);
+      walk.count = rng() % 500;
+      walk.start_elem = rng() % walk.num_elems();
+      walk.stride = static_cast<std::int64_t>(rng() % 37) - 18;
+      if (walk.stride == 0) walk.stride = 1;
+      walk.compute_gap = static_cast<std::uint32_t>(rng() % 5);
+      walk.gap_jitter = static_cast<std::uint32_t>(rng() % 3);
+      phase.walks.push_back(walk);
+    }
+    prog.phases.push_back(std::move(phase));
+  }
+  prog.iterations = 1 + static_cast<std::uint32_t>(rng() % 3);
+  return prog;
+}
+
+TEST(ProgramFuzz, StreamsMatchDeclaredTotalsAndBounds) {
+  std::mt19937_64 rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    const AccessProgram prog = random_program(rng);
+    ProgramStream stream(prog, trial);
+    std::uint64_t accesses = 0, barriers = 0;
+    for (std::uint64_t guard = 0; guard < (1u << 22); ++guard) {
+      const TraceEvent ev = stream.next();
+      if (ev.kind == TraceEvent::Kind::kEnd) break;
+      if (ev.kind == TraceEvent::Kind::kBarrier) {
+        ++barriers;
+        continue;
+      }
+      ++accesses;
+      // Every address stays within the walk regions' overall span.
+      ASSERT_GE(ev.access.addr, 0u);
+      ASSERT_LT(ev.access.addr, (64 + 32) * 4096u);
+      ASSERT_EQ(ev.access.addr % 8, 0u);
+    }
+    EXPECT_EQ(accesses, prog.total_accesses()) << "trial " << trial;
+    EXPECT_EQ(barriers, prog.total_barriers()) << "trial " << trial;
+  }
+}
+
+TEST(ProgramFuzz, MachineDigestsRandomProgramsDeterministically) {
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const AccessProgram a = random_program(rng);
+    const AccessProgram b = random_program(rng);
+    auto run_once = [&] {
+      Machine m(MachineConfig::tiny());
+      std::vector<std::unique_ptr<ThreadStream>> streams;
+      streams.push_back(std::make_unique<ProgramStream>(a, 1));
+      streams.push_back(std::make_unique<ProgramStream>(b, 2));
+      Machine::RunConfig cfg;
+      cfg.thread_to_core = {0, 1};
+      return m.run(std::move(streams), cfg);
+    };
+    const MachineStats s1 = run_once();
+    const MachineStats s2 = run_once();
+    ASSERT_EQ(s1.execution_cycles, s2.execution_cycles) << trial;
+    ASSERT_EQ(s1.accesses, s2.accesses) << trial;
+    ASSERT_EQ(s1.invalidations, s2.invalidations) << trial;
+    ASSERT_EQ(s1.l2_misses, s2.l2_misses) << trial;
+    ASSERT_EQ(s1.accesses, a.total_accesses() + b.total_accesses()) << trial;
+  }
+}
+
+}  // namespace
+}  // namespace tlbmap

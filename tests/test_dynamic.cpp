@@ -1,0 +1,203 @@
+// Tests for in-run thread migration and the online mapper.
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "npb/synthetic.hpp"
+#include "sim/machine.hpp"
+
+namespace tlbmap {
+namespace {
+
+class VectorStream final : public ThreadStream {
+ public:
+  explicit VectorStream(std::vector<TraceEvent> events)
+      : events_(std::move(events)) {}
+  TraceEvent next() override {
+    if (pos_ >= events_.size()) return TraceEvent::make_end();
+    return events_[pos_++];
+  }
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::size_t pos_ = 0;
+};
+
+std::vector<std::unique_ptr<ThreadStream>> streams_of(
+    std::vector<std::vector<TraceEvent>> events) {
+  std::vector<std::unique_ptr<ThreadStream>> out;
+  for (auto& e : events) {
+    out.push_back(std::make_unique<VectorStream>(std::move(e)));
+  }
+  return out;
+}
+
+TraceEvent read_at(VirtAddr addr) {
+  return TraceEvent::make_access(addr, AccessType::kRead, 0);
+}
+
+/// Swaps the two threads at every barrier.
+class SwapPolicy final : public MigrationPolicy {
+ public:
+  std::vector<CoreId> on_barrier(int, Cycles) override {
+    swapped_ = !swapped_;
+    ++calls_;
+    return swapped_ ? std::vector<CoreId>{1, 0} : std::vector<CoreId>{0, 1};
+  }
+  int calls() const { return calls_; }
+
+ private:
+  bool swapped_ = false;
+  int calls_ = 0;
+};
+
+TEST(Migration, PolicyConsultedAtEachBarrier) {
+  Machine m(MachineConfig::tiny());
+  SwapPolicy policy;
+  Machine::RunConfig run;
+  run.thread_to_core = {0, 1};
+  run.migration = &policy;
+  m.run(streams_of({
+            {read_at(0), TraceEvent::make_barrier(), read_at(64),
+             TraceEvent::make_barrier()},
+            {read_at(4096), TraceEvent::make_barrier(), read_at(8192),
+             TraceEvent::make_barrier()},
+        }),
+        run);
+  EXPECT_EQ(policy.calls(), 2);
+  // Two swaps: the placement is back to identity.
+  EXPECT_EQ(m.thread_on(0), 0);
+  EXPECT_EQ(m.thread_on(1), 1);
+}
+
+TEST(Migration, MigrationCostCharged) {
+  Machine m(MachineConfig::tiny());
+  SwapPolicy policy;
+  auto make = [] {
+    return streams_of({
+        {read_at(0), TraceEvent::make_barrier(), read_at(0)},
+        {read_at(4096), TraceEvent::make_barrier(), read_at(4096)},
+    });
+  };
+  Machine::RunConfig stay;
+  stay.thread_to_core = {0, 1};
+  const MachineStats base = m.run(make(), stay);
+
+  Machine::RunConfig move = stay;
+  move.migration = &policy;
+  move.migration_cost = 50'000;
+  const MachineStats migrated = m.run(make(), move);
+  // Both threads moved once: the post-barrier accesses also miss cold
+  // TLB/L1 on the new core, so the delta exceeds the flat cost.
+  EXPECT_GE(migrated.execution_cycles, base.execution_cycles + 50'000);
+}
+
+TEST(Migration, InvalidPolicyMappingThrows) {
+  Machine m(MachineConfig::tiny());
+  class BadPolicy final : public MigrationPolicy {
+    std::vector<CoreId> on_barrier(int, Cycles) override { return {0, 0}; }
+  } bad;
+  Machine::RunConfig run;
+  run.thread_to_core = {0, 1};
+  run.migration = &bad;
+  EXPECT_THROW(m.run(streams_of({
+                         {TraceEvent::make_barrier()},
+                         {TraceEvent::make_barrier()},
+                     }),
+                     run),
+               std::invalid_argument);
+}
+
+TEST(Migration, EmptyReturnKeepsPlacement) {
+  Machine m(MachineConfig::tiny());
+  class KeepPolicy final : public MigrationPolicy {
+    std::vector<CoreId> on_barrier(int, Cycles) override { return {}; }
+  } keep;
+  Machine::RunConfig run;
+  run.thread_to_core = {1, 0};
+  run.migration = &keep;
+  m.run(streams_of({
+            {read_at(0), TraceEvent::make_barrier(), read_at(0)},
+            {read_at(4096), TraceEvent::make_barrier(), read_at(4096)},
+        }),
+        run);
+  EXPECT_EQ(m.thread_on(1), 0);
+  EXPECT_EQ(m.thread_on(0), 1);
+}
+
+// ------------------------------------------------------------ OnlineMapper
+
+SyntheticSpec phased_spec() {
+  SyntheticSpec spec;
+  spec.pattern = SyntheticSpec::Pattern::kPhaseShift;
+  spec.private_pages = 64;
+  spec.shared_pages = 8;
+  spec.shared_accesses = 4096;
+  spec.iterations = 12;
+  return spec;
+}
+
+TEST(OnlineMapper, MigratesAndImproves) {
+  Pipeline pipe(MachineConfig::harpertown());
+  const auto workload = make_synthetic(phased_spec());
+
+  OnlineMapperConfig cfg;
+  cfg.remap_every_barriers = 2;
+  cfg.detector.sample_threshold = 3;
+
+  // Start from an adversarial placement: partners split across sockets.
+  const Mapping bad_start = {0, 4, 1, 5, 2, 6, 3, 7};
+  const auto dynamic = pipe.evaluate_dynamic(*workload, bad_start, cfg, 3);
+  const MachineStats still = pipe.evaluate(*workload, bad_start, 3);
+
+  EXPECT_GT(dynamic.migrations, 0);
+  EXPECT_GT(dynamic.remap_decisions, 0);
+  EXPECT_LT(dynamic.stats.execution_cycles, still.execution_cycles);
+  EXPECT_LT(dynamic.stats.invalidations, still.invalidations);
+  EXPECT_TRUE(is_valid_mapping(dynamic.final_mapping, 8));
+}
+
+TEST(OnlineMapper, NoMigrationBelowMatrixThreshold) {
+  Pipeline pipe(MachineConfig::harpertown());
+  SyntheticSpec spec = phased_spec();
+  spec.iterations = 2;
+  const auto workload = make_synthetic(spec);
+  OnlineMapperConfig cfg;
+  cfg.min_matrix_total = 1u << 30;  // unreachable
+  const auto result =
+      pipe.evaluate_dynamic(*workload, identity_mapping(8), cfg, 3);
+  EXPECT_EQ(result.migrations, 0);
+  EXPECT_EQ(result.final_mapping, identity_mapping(8));
+}
+
+TEST(OnlineMapper, StablePatternConvergesToFewMigrations) {
+  // A static pairs pattern: after the first good mapping, further remap
+  // decisions should keep the placement (migrations << decisions).
+  Pipeline pipe(MachineConfig::harpertown());
+  SyntheticSpec spec;
+  spec.pattern = SyntheticSpec::Pattern::kPairs;
+  spec.private_pages = 64;
+  spec.shared_pages = 8;
+  spec.iterations = 12;
+  const auto workload = make_synthetic(spec);
+  OnlineMapperConfig cfg;
+  cfg.remap_every_barriers = 2;
+  cfg.detector.sample_threshold = 3;
+  const auto result =
+      pipe.evaluate_dynamic(*workload, identity_mapping(8), cfg, 3);
+  EXPECT_GT(result.remap_decisions, 2);
+  EXPECT_LE(result.migrations, result.remap_decisions / 2 + 1);
+}
+
+TEST(OnlineMapper, RejectsInvalidInitialMapping) {
+  Pipeline pipe(MachineConfig::harpertown());
+  const auto workload = make_synthetic(phased_spec());
+  EXPECT_THROW(pipe.evaluate_dynamic(*workload, Mapping{0, 0, 1, 2, 3, 4, 5, 6},
+                                     OnlineMapperConfig{}, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tlbmap

@@ -1,0 +1,149 @@
+// Tests for the experiment harness: metric extraction, summaries,
+// serialization round-trips and cache keys.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace tlbmap {
+namespace {
+
+TEST(Experiment, MetricValues) {
+  MachineStats s;
+  s.execution_cycles = static_cast<Cycles>(kClockHz);  // exactly 1 second
+  s.invalidations = 10;
+  s.snoop_transactions = 20;
+  s.l2_misses = 30;
+  EXPECT_DOUBLE_EQ(metric_value(s, Metric::kTimeSeconds), 1.0);
+  EXPECT_DOUBLE_EQ(metric_value(s, Metric::kInvalidations), 10.0);
+  EXPECT_DOUBLE_EQ(metric_value(s, Metric::kSnoops), 20.0);
+  EXPECT_DOUBLE_EQ(metric_value(s, Metric::kL2Misses), 30.0);
+  EXPECT_DOUBLE_EQ(metric_value(s, Metric::kInvalidationsPerSec), 10.0);
+  EXPECT_DOUBLE_EQ(metric_value(s, Metric::kSnoopsPerSec), 20.0);
+  EXPECT_DOUBLE_EQ(metric_value(s, Metric::kL2MissesPerSec), 30.0);
+}
+
+MappingRuns runs_with_cycles(std::initializer_list<Cycles> cycles) {
+  MappingRuns r;
+  r.label = "X";
+  for (const Cycles c : cycles) {
+    MachineStats s;
+    s.execution_cycles = c;
+    r.runs.push_back(s);
+  }
+  return r;
+}
+
+TEST(Experiment, SummarizeRuns) {
+  const MappingRuns r = runs_with_cycles({100, 200, 300});
+  const Summary s = summarize_runs(r, Metric::kTimeSeconds);
+  EXPECT_EQ(s.n, 3u);
+  EXPECT_NEAR(s.mean, cycles_to_seconds(200), 1e-15);
+}
+
+TEST(Experiment, NormalizedAgainstOs) {
+  AppExperiment app;
+  app.os_runs = runs_with_cycles({200, 200});
+  app.sm_runs = runs_with_cycles({100, 100});
+  EXPECT_DOUBLE_EQ(app.normalized(app.sm_runs, Metric::kTimeSeconds), 0.5);
+}
+
+TEST(Experiment, NormalizedZeroBaselineSafe) {
+  AppExperiment app;
+  app.os_runs = runs_with_cycles({0});
+  app.sm_runs = runs_with_cycles({100});
+  EXPECT_DOUBLE_EQ(app.normalized(app.sm_runs, Metric::kTimeSeconds), 1.0);
+}
+
+SuiteResult tiny_result() {
+  SuiteResult result;
+  AppExperiment app;
+  app.app = "BT";
+  app.sm_detection.mechanism = "SM";
+  app.sm_detection.searches = 42;
+  app.sm_detection.matrix = CommMatrix(4);
+  app.sm_detection.matrix.add(0, 1, 7);
+  app.sm_detection.stats.accesses = 1000;
+  app.sm_detection.stats.tlb_misses = 10;
+  app.hm_detection = app.sm_detection;
+  app.hm_detection.mechanism = "HM";
+  app.oracle_detection = app.sm_detection;
+  app.oracle_detection.mechanism = "oracle";
+  app.sm_mapping = {0, 1, 2, 3};
+  app.hm_mapping = {3, 2, 1, 0};
+  app.os_runs = runs_with_cycles({10, 20});
+  app.os_runs.label = "OS";
+  app.sm_runs = runs_with_cycles({5});
+  app.sm_runs.label = "SM";
+  app.hm_runs = runs_with_cycles({6});
+  app.hm_runs.label = "HM";
+  result.apps.push_back(app);
+  return result;
+}
+
+TEST(Experiment, SerializationRoundTrip) {
+  const SuiteResult original = tiny_result();
+  const std::string text = serialize_suite(original);
+  const auto restored = deserialize_suite(text, SuiteConfig{});
+  ASSERT_TRUE(restored.has_value());
+  ASSERT_EQ(restored->apps.size(), 1u);
+  const AppExperiment& app = restored->apps[0];
+  EXPECT_EQ(app.app, "BT");
+  EXPECT_EQ(app.sm_detection.searches, 42u);
+  EXPECT_EQ(app.sm_detection.matrix.at(0, 1), 7u);
+  EXPECT_EQ(app.sm_detection.stats.accesses, 1000u);
+  EXPECT_EQ(app.hm_mapping, (Mapping{3, 2, 1, 0}));
+  EXPECT_EQ(app.os_runs.runs.size(), 2u);
+  EXPECT_EQ(app.os_runs.label, "OS");
+  EXPECT_EQ(app.sm_runs.runs[0].execution_cycles, 5u);
+}
+
+TEST(Experiment, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(deserialize_suite("not a suite", SuiteConfig{}).has_value());
+  EXPECT_FALSE(deserialize_suite("", SuiteConfig{}).has_value());
+  EXPECT_FALSE(
+      deserialize_suite("tlbmap-suite 0\n1\n", SuiteConfig{}).has_value());
+}
+
+TEST(Experiment, DeserializeRejectsTruncated) {
+  std::string text = serialize_suite(tiny_result());
+  text.resize(text.size() / 2);
+  EXPECT_FALSE(deserialize_suite(text, SuiteConfig{}).has_value());
+}
+
+TEST(Experiment, CacheKeyStableAndSensitive) {
+  const SuiteConfig a;
+  SuiteConfig b;
+  EXPECT_EQ(suite_cache_key(a), suite_cache_key(b));
+  b.repetitions += 1;
+  EXPECT_NE(suite_cache_key(a), suite_cache_key(b));
+  SuiteConfig c;
+  c.sm.sample_threshold = 55;
+  EXPECT_NE(suite_cache_key(a), suite_cache_key(c));
+  SuiteConfig d;
+  d.apps = {"BT"};
+  EXPECT_NE(suite_cache_key(a), suite_cache_key(d));
+  SuiteConfig e;
+  e.machine.tlb.entries = 128;
+  EXPECT_NE(suite_cache_key(a), suite_cache_key(e));
+}
+
+TEST(Experiment, RunSuiteSingleAppSmoke) {
+  // A minimal end-to-end suite run: one app, tiny repetitions, no cache.
+  SuiteConfig config;
+  config.apps = {"EP"};
+  config.repetitions = 1;
+  config.use_cache = false;
+  config.workload.iter_scale = 0.2;
+  config.detect_iter_scale = 1.0;
+  const SuiteResult result = run_suite(config);
+  ASSERT_EQ(result.apps.size(), 1u);
+  const AppExperiment& app = result.apps[0];
+  EXPECT_EQ(app.app, "EP");
+  EXPECT_EQ(app.os_runs.runs.size(), 1u);
+  EXPECT_TRUE(is_valid_mapping(app.sm_mapping, 8));
+  EXPECT_TRUE(is_valid_mapping(app.hm_mapping, 8));
+  EXPECT_GT(app.sm_detection.stats.accesses, 0u);
+}
+
+}  // namespace
+}  // namespace tlbmap

@@ -1,0 +1,156 @@
+// Tests for the per-core memory hierarchy facade: TLB translation path,
+// write-through L1 semantics, inclusive L1/L2 shootdowns, latency shape.
+#include <gtest/gtest.h>
+
+#include "sim/hierarchy.hpp"
+
+namespace tlbmap {
+namespace {
+
+constexpr VirtAddr kPage = 4096;
+
+class HierarchyTest : public ::testing::Test {
+ protected:
+  HierarchyTest() : hier_(MachineConfig::harpertown()) {}
+
+  MemoryHierarchy hier_;
+  MachineStats stats_;
+};
+
+TEST_F(HierarchyTest, ColdAccessMissesEverywhere) {
+  const auto info = hier_.access(0, 0, AccessType::kRead, stats_);
+  EXPECT_TRUE(info.tlb_miss);
+  EXPECT_EQ(info.page, 0u);
+  EXPECT_EQ(stats_.tlb_misses, 1u);
+  EXPECT_EQ(stats_.l1_misses, 1u);
+  EXPECT_EQ(stats_.l2_misses, 1u);
+  EXPECT_EQ(stats_.memory_fetches, 1u);
+}
+
+TEST_F(HierarchyTest, SecondReadHitsL1) {
+  hier_.access(0, 0, AccessType::kRead, stats_);
+  stats_ = {};
+  const auto info = hier_.access(0, 8, AccessType::kRead, stats_);  // same line
+  EXPECT_FALSE(info.tlb_miss);
+  EXPECT_EQ(stats_.l1_hits, 1u);
+  EXPECT_EQ(stats_.l2_accesses, 0u);
+  EXPECT_EQ(info.latency, hier_.config().l1.latency);
+}
+
+TEST_F(HierarchyTest, TlbMissPenaltyCharged) {
+  const auto cold = hier_.access(0, 0, AccessType::kRead, stats_);
+  const auto warm_new_line =
+      hier_.access(0, 64, AccessType::kRead, stats_);  // same page, new line
+  EXPECT_EQ(cold.latency - warm_new_line.latency,
+            hier_.config().tlb.miss_penalty);
+}
+
+TEST_F(HierarchyTest, PageComputedFromVirtualAddress) {
+  const auto info = hier_.access(0, 5 * kPage + 123, AccessType::kRead,
+                                 stats_);
+  EXPECT_EQ(info.page, 5u);
+}
+
+TEST_F(HierarchyTest, DistinctVirtualPagesGetDistinctFrames) {
+  hier_.access(0, 0, AccessType::kRead, stats_);
+  hier_.access(0, kPage, AccessType::kRead, stats_);
+  EXPECT_EQ(hier_.page_table().mapped_pages(), 2u);
+  EXPECT_EQ(stats_.l2_misses, 2u);  // no frame aliasing
+}
+
+TEST_F(HierarchyTest, WriteThroughReachesL2) {
+  hier_.access(0, 0, AccessType::kWrite, stats_);
+  stats_ = {};
+  hier_.access(0, 0, AccessType::kWrite, stats_);
+  // Every write reaches the L2 even when the L1 holds the line.
+  EXPECT_EQ(stats_.l2_accesses, 1u);
+  EXPECT_EQ(stats_.l2_hits, 1u);
+}
+
+TEST_F(HierarchyTest, WriteDoesNotAllocateL1) {
+  hier_.access(0, 0, AccessType::kWrite, stats_);
+  EXPECT_EQ(hier_.l1(0).valid_lines(), 0u);  // no-write-allocate
+  stats_ = {};
+  hier_.access(0, 0, AccessType::kRead, stats_);
+  EXPECT_EQ(stats_.l1_misses, 1u);  // read still misses L1, hits L2
+  EXPECT_EQ(stats_.l2_hits, 1u);
+}
+
+TEST_F(HierarchyTest, SiblingL1ShotDownOnLocalWrite) {
+  // Cores 0 and 1 share an L2. Core 1 caches a line in its L1; core 0's
+  // write must invalidate that copy even though no bus transaction occurs.
+  hier_.access(1, 0, AccessType::kRead, stats_);
+  ASSERT_EQ(hier_.l1(1).valid_lines(), 1u);
+  hier_.access(0, 0, AccessType::kWrite, stats_);
+  EXPECT_EQ(hier_.l1(1).valid_lines(), 0u);
+}
+
+TEST_F(HierarchyTest, RemoteL1ShotDownViaInclusiveDrop) {
+  // Core 2 (different L2) caches the line; core 0's write invalidates the
+  // remote L2 line, which must propagate to core 2's L1.
+  hier_.access(2, 0, AccessType::kRead, stats_);
+  ASSERT_EQ(hier_.l1(2).valid_lines(), 1u);
+  stats_ = {};
+  hier_.access(0, 0, AccessType::kWrite, stats_);
+  EXPECT_EQ(stats_.invalidations, 1u);
+  EXPECT_EQ(hier_.l1(2).valid_lines(), 0u);
+}
+
+TEST_F(HierarchyTest, SharedL2CommunicationIsLocal) {
+  hier_.access(0, 0, AccessType::kWrite, stats_);
+  stats_ = {};
+  hier_.access(1, 0, AccessType::kRead, stats_);
+  EXPECT_EQ(stats_.snoop_transactions, 0u);
+  EXPECT_EQ(stats_.l2_hits, 1u);
+}
+
+TEST_F(HierarchyTest, CrossSocketCommunicationCostsMore) {
+  hier_.access(0, 0, AccessType::kWrite, stats_);
+  hier_.access(0, kPage, AccessType::kWrite, stats_);
+  const auto same_socket =
+      hier_.access(2, 0, AccessType::kRead, stats_);
+  const auto cross_socket =
+      hier_.access(4, kPage, AccessType::kRead, stats_);
+  EXPECT_LT(same_socket.latency, cross_socket.latency);
+}
+
+TEST_F(HierarchyTest, FlushCachesKeepsPageTable) {
+  hier_.access(0, 0, AccessType::kRead, stats_);
+  hier_.flush_caches();
+  EXPECT_EQ(hier_.l1(0).valid_lines(), 0u);
+  EXPECT_EQ(hier_.tlb(0).valid_entries(), 0u);
+  EXPECT_EQ(hier_.page_table().mapped_pages(), 1u);
+  stats_ = {};
+  const auto info = hier_.access(0, 0, AccessType::kRead, stats_);
+  EXPECT_TRUE(info.tlb_miss);  // cold again
+}
+
+TEST_F(HierarchyTest, ReadWriteCountsSplit) {
+  hier_.access(0, 0, AccessType::kRead, stats_);
+  hier_.access(0, 0, AccessType::kWrite, stats_);
+  hier_.access(0, 0, AccessType::kWrite, stats_);
+  EXPECT_EQ(stats_.reads, 1u);
+  EXPECT_EQ(stats_.writes, 2u);
+  EXPECT_EQ(stats_.accesses, 3u);
+}
+
+TEST(HierarchyConfig, RejectsInvalidMachine) {
+  MachineConfig bad = MachineConfig::harpertown();
+  bad.page_size = 1000;  // not a power of two
+  EXPECT_THROW(MemoryHierarchy{bad}, std::invalid_argument);
+  MachineConfig bad2 = MachineConfig::harpertown();
+  bad2.l1.ways = 3;  // 512 lines % 3 != 0
+  EXPECT_THROW(MemoryHierarchy{bad2}, std::invalid_argument);
+}
+
+TEST(HierarchyConfig, TinyAndHarpertownValid) {
+  EXPECT_NO_THROW(MemoryHierarchy{MachineConfig::tiny()});
+  EXPECT_NO_THROW(MemoryHierarchy{MachineConfig::harpertown()});
+  MachineConfig h = MachineConfig::harpertown();
+  EXPECT_EQ(h.num_cores(), 8);
+  EXPECT_EQ(h.num_l2(), 4);
+  EXPECT_EQ(h.page_shift(), 12);
+}
+
+}  // namespace
+}  // namespace tlbmap

@@ -1,0 +1,74 @@
+// Direct tests for the interconnect cost/traffic model.
+#include <gtest/gtest.h>
+
+#include "sim/interconnect.hpp"
+
+namespace tlbmap {
+namespace {
+
+class InterconnectTest : public ::testing::Test {
+ protected:
+  InterconnectTest()
+      : config_(MachineConfig::harpertown()),
+        topology_(config_),
+        net_(topology_, config_.interconnect) {}
+
+  MachineConfig config_;
+  Topology topology_;
+  Interconnect net_;
+  MachineStats stats_;
+};
+
+TEST_F(InterconnectTest, SameSocketDetection) {
+  // Harpertown: L2s 0,1 on socket 0; L2s 2,3 on socket 1.
+  EXPECT_TRUE(net_.same_socket(0, 1));
+  EXPECT_TRUE(net_.same_socket(2, 3));
+  EXPECT_FALSE(net_.same_socket(1, 2));
+  EXPECT_FALSE(net_.same_socket(0, 3));
+}
+
+TEST_F(InterconnectTest, TransferCostsByLocality) {
+  EXPECT_EQ(net_.transfer(0, 1, stats_),
+            config_.interconnect.snoop_intra_socket);
+  EXPECT_EQ(net_.transfer(0, 2, stats_),
+            config_.interconnect.snoop_inter_socket);
+  EXPECT_LT(config_.interconnect.snoop_intra_socket,
+            config_.interconnect.snoop_inter_socket);
+}
+
+TEST_F(InterconnectTest, InvalidateCostsByLocality) {
+  EXPECT_EQ(net_.invalidate(1, 0, stats_),
+            config_.interconnect.invalidate_intra_socket);
+  EXPECT_EQ(net_.invalidate(1, 3, stats_),
+            config_.interconnect.invalidate_inter_socket);
+}
+
+TEST_F(InterconnectTest, TrafficAccounting) {
+  net_.transfer(0, 1, stats_);     // intra
+  net_.invalidate(0, 2, stats_);   // inter
+  net_.record_probe(3, 2, stats_); // intra
+  net_.record_probe(3, 0, stats_); // inter
+  EXPECT_EQ(stats_.intra_socket_messages, 2u);
+  EXPECT_EQ(stats_.inter_socket_messages, 2u);
+}
+
+TEST_F(InterconnectTest, MemoryLatencyExposed) {
+  EXPECT_EQ(net_.memory_latency(), config_.interconnect.memory_latency);
+}
+
+TEST(InterconnectNuma, PresetWidensInterSocketSpread) {
+  const MachineConfig uma = MachineConfig::harpertown();
+  const MachineConfig numa = MachineConfig::numa_harpertown();
+  EXPECT_TRUE(numa.numa);
+  EXPECT_FALSE(uma.numa);
+  EXPECT_GT(numa.interconnect.snoop_inter_socket,
+            uma.interconnect.snoop_inter_socket);
+  EXPECT_GT(numa.interconnect.invalidate_inter_socket,
+            uma.interconnect.invalidate_inter_socket);
+  // Intra-socket costs are unchanged: the spread, not the floor, grows.
+  EXPECT_EQ(numa.interconnect.snoop_intra_socket,
+            uma.interconnect.snoop_intra_socket);
+}
+
+}  // namespace
+}  // namespace tlbmap

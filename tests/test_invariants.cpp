@@ -1,0 +1,182 @@
+// Cross-cutting property tests: structural counter invariants that must
+// hold for every workload under every mapping, on more than one machine
+// shape — including a 16-core machine twice the paper's size.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "mapping/hierarchical.hpp"
+#include "npb/workload.hpp"
+#include "sim/machine.hpp"
+
+namespace tlbmap {
+namespace {
+
+WorkloadParams tiny_params(int threads = 8) {
+  WorkloadParams p;
+  p.num_threads = threads;
+  p.size_scale = 0.5;
+  p.iter_scale = 0.25;
+  return p;
+}
+
+void check_invariants(const MachineStats& s, const std::string& context) {
+  SCOPED_TRACE(context);
+  EXPECT_EQ(s.reads + s.writes, s.accesses);
+  EXPECT_EQ(s.tlb_hits + s.tlb_misses, s.accesses);
+  EXPECT_EQ(s.l1_hits + s.l1_misses, s.accesses);
+  EXPECT_EQ(s.l2_hits + s.l2_misses, s.l2_accesses);
+  // Every write reaches the L2 (write-through); reads reach it on L1 miss.
+  EXPECT_GE(s.l2_accesses, s.writes);
+  EXPECT_LE(s.l2_accesses, s.accesses);
+  // Data sources are mutually exclusive per L2 miss.
+  EXPECT_LE(s.memory_fetches + s.snoop_transactions, s.l2_misses + s.writes);
+  // Snoops and invalidations require writes somewhere in the system.
+  if (s.writes == 0) {
+    EXPECT_EQ(s.invalidations, 0u);
+  }
+  // Time moves if anything happened.
+  if (s.accesses > 0) {
+    EXPECT_GT(s.execution_cycles, 0u);
+  }
+}
+
+class PerAppInvariants : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PerAppInvariants, CountersConsistentUnderAllMappings) {
+  const auto workload = make_npb_workload(GetParam(), tiny_params());
+  Pipeline pipe(MachineConfig::harpertown());
+  const Topology& topo = pipe.topology();
+  for (const Mapping& mapping :
+       {identity_mapping(8), random_mapping(8, 8, 17),
+        round_robin_mapping(topo, 8)}) {
+    const MachineStats s = pipe.evaluate(*workload, mapping, 5);
+    check_invariants(s, GetParam() + " / " + to_string(mapping));
+    EXPECT_GT(s.accesses, 0u);
+  }
+}
+
+TEST_P(PerAppInvariants, DetectedMatrixWithinOracleSupport) {
+  // SM can only count page matches that genuinely exist, so any pair it
+  // reports must also appear in the (windowless) oracle matrix.
+  const auto workload = make_npb_workload(GetParam(), tiny_params());
+  Pipeline pipe(MachineConfig::harpertown());
+  pipe.sm_config().sample_threshold = 3;
+  pipe.oracle_config().window = 0;  // unlimited
+  const auto sm =
+      pipe.detect(*workload, Pipeline::Mechanism::kSoftwareManaged, 2);
+  const auto oracle = pipe.detect(*workload, Pipeline::Mechanism::kOracle, 2);
+  for (ThreadId a = 0; a < 8; ++a) {
+    for (ThreadId b = a + 1; b < 8; ++b) {
+      if (sm.matrix.at(a, b) > 0) {
+        EXPECT_GT(oracle.matrix.at(a, b), 0u)
+            << GetParam() << " pair " << a << "," << b;
+      }
+    }
+  }
+}
+
+TEST_P(PerAppInvariants, EvaluationDeterministicPerSeed) {
+  const auto workload = make_npb_workload(GetParam(), tiny_params());
+  Pipeline pipe(MachineConfig::harpertown());
+  const Mapping m = identity_mapping(8);
+  const MachineStats s1 = pipe.evaluate(*workload, m, 9);
+  const MachineStats s2 = pipe.evaluate(*workload, m, 9);
+  EXPECT_EQ(s1.execution_cycles, s2.execution_cycles);
+  EXPECT_EQ(s1.invalidations, s2.invalidations);
+  EXPECT_EQ(s1.snoop_transactions, s2.snoop_transactions);
+  EXPECT_EQ(s1.l2_misses, s2.l2_misses);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, PerAppInvariants,
+    ::testing::Values("BT", "CG", "EP", "FT", "IS", "LU", "MG", "SP", "UA"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+// ------------------------------------------------------- bigger machines
+
+MachineConfig sixteen_core() {
+  MachineConfig c;
+  c.num_sockets = 4;
+  c.cores_per_socket = 4;
+  c.cores_per_l2 = 2;
+  return c;
+}
+
+TEST(BigMachine, SixteenThreadPipelineEndToEnd) {
+  const MachineConfig machine = sixteen_core();
+  Pipeline pipe(machine);
+  pipe.sm_config().sample_threshold = 3;
+  const auto workload = make_npb_workload("SP", tiny_params(16));
+  const auto det =
+      pipe.detect(*workload, Pipeline::Mechanism::kSoftwareManaged);
+  const Mapping mapping = pipe.map(det.matrix);
+  EXPECT_TRUE(is_valid_mapping(mapping, 16));
+  const MachineStats tuned = pipe.evaluate(*workload, mapping, 3);
+  check_invariants(tuned, "16-core SP");
+  // The detected mapping should not lose to the worst random placement.
+  Cycles worst = 0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    worst = std::max(
+        worst, pipe.evaluate(*workload, random_mapping(16, 16, seed), 3)
+                   .execution_cycles);
+  }
+  EXPECT_LE(tuned.execution_cycles, worst);
+}
+
+TEST(BigMachine, HierarchicalMapperOnSixteen) {
+  const Topology topo(sixteen_core());
+  HierarchicalMapper mapper(topo);
+  CommMatrix comm(16);
+  for (int t = 0; t < 16; t += 2) comm.add(t, t + 1, 1000);
+  const Mapping m = mapper.map(comm);
+  EXPECT_TRUE(is_valid_mapping(m, 16));
+  for (int t = 0; t < 16; t += 2) {
+    EXPECT_TRUE(topo.share_l2(m[static_cast<std::size_t>(t)],
+                              m[static_cast<std::size_t>(t + 1)]))
+        << t;
+  }
+}
+
+TEST(BigMachine, QuadCorePerL2Machine) {
+  MachineConfig c;
+  c.num_sockets = 2;
+  c.cores_per_socket = 8;
+  c.cores_per_l2 = 4;
+  const Topology topo(c);
+  HierarchicalMapper mapper(topo);
+  CommMatrix comm(16);
+  // Quads {0..3}, {4..7}, ... strongly coupled.
+  for (int q = 0; q < 16; q += 4) {
+    for (int a = q; a < q + 4; ++a) {
+      for (int b = a + 1; b < q + 4; ++b) comm.add(a, b, 500);
+    }
+  }
+  const Mapping m = mapper.map(comm);
+  EXPECT_TRUE(is_valid_mapping(m, 16));
+  for (int q = 0; q < 16; q += 4) {
+    for (int a = q; a < q + 4; ++a) {
+      EXPECT_TRUE(topo.share_l2(m[static_cast<std::size_t>(q)],
+                                m[static_cast<std::size_t>(a)]))
+          << "quad " << q << " member " << a;
+    }
+  }
+}
+
+TEST(BigMachine, FewerThreadsThanCoresEndToEnd) {
+  Pipeline pipe(MachineConfig::harpertown());
+  pipe.sm_config().sample_threshold = 3;
+  const auto workload = make_npb_workload("BT", tiny_params(4));
+  const auto det =
+      pipe.detect(*workload, Pipeline::Mechanism::kSoftwareManaged);
+  const Mapping mapping = pipe.map(det.matrix);
+  EXPECT_EQ(mapping.size(), 4u);
+  EXPECT_TRUE(is_valid_mapping(mapping, 8));
+  check_invariants(pipe.evaluate(*workload, mapping, 3), "4-thread BT");
+}
+
+}  // namespace
+}  // namespace tlbmap

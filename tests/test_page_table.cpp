@@ -1,0 +1,70 @@
+// Unit tests for the first-touch page table.
+#include <gtest/gtest.h>
+
+#include "sim/page_table.hpp"
+
+namespace tlbmap {
+namespace {
+
+TEST(PageTable, PageOfUsesShift) {
+  PageTable pt(12);  // 4 KB pages
+  EXPECT_EQ(pt.page_of(0), 0u);
+  EXPECT_EQ(pt.page_of(4095), 0u);
+  EXPECT_EQ(pt.page_of(4096), 1u);
+  EXPECT_EQ(pt.page_of(0x12345678), 0x12345678u >> 12);
+}
+
+TEST(PageTable, OffsetPreserved) {
+  PageTable pt(12);
+  EXPECT_EQ(pt.page_offset(4097), 1u);
+  EXPECT_EQ(pt.page_offset(4096), 0u);
+  EXPECT_EQ(pt.page_offset(8191), 4095u);
+}
+
+TEST(PageTable, FirstTouchAllocatesSequentialFrames) {
+  PageTable pt(12);
+  EXPECT_EQ(pt.frame_of(100), 0u);
+  EXPECT_EQ(pt.frame_of(50), 1u);
+  EXPECT_EQ(pt.frame_of(100), 0u);  // stable on re-touch
+  EXPECT_EQ(pt.frame_of(7), 2u);
+  EXPECT_EQ(pt.mapped_pages(), 3u);
+}
+
+TEST(PageTable, TranslatePreservesOffset) {
+  PageTable pt(12);
+  const PhysAddr phys = pt.translate(100 * 4096 + 123);
+  EXPECT_EQ(phys & 4095u, 123u);
+  EXPECT_EQ(phys >> 12, pt.frame_of(100));
+}
+
+TEST(PageTable, TranslationDeterministicByTouchOrder) {
+  PageTable a(12), b(12);
+  for (const VirtAddr addr : {40960u, 4096u, 81920u, 4097u}) {
+    EXPECT_EQ(a.translate(addr), b.translate(addr));
+  }
+}
+
+TEST(PageTable, MappedQueryDoesNotAllocate) {
+  PageTable pt(12);
+  EXPECT_FALSE(pt.mapped(9));
+  EXPECT_EQ(pt.mapped_pages(), 0u);
+  pt.frame_of(9);
+  EXPECT_TRUE(pt.mapped(9));
+}
+
+TEST(PageTable, SamePageDifferentOffsetsShareFrame) {
+  PageTable pt(12);
+  const PhysAddr p1 = pt.translate(4096);
+  const PhysAddr p2 = pt.translate(4097);
+  EXPECT_EQ(p1 >> 12, p2 >> 12);
+}
+
+TEST(PageTable, DifferentShift) {
+  PageTable pt(13);  // 8 KB pages
+  EXPECT_EQ(pt.page_of(8191), 0u);
+  EXPECT_EQ(pt.page_of(8192), 1u);
+  EXPECT_EQ(pt.page_offset(8193), 1u);
+}
+
+}  // namespace
+}  // namespace tlbmap

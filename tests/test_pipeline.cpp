@@ -1,0 +1,142 @@
+// End-to-end tests of the detect -> map -> evaluate pipeline.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "npb/synthetic.hpp"
+
+namespace tlbmap {
+namespace {
+
+SyntheticSpec pairs_spec() {
+  SyntheticSpec spec;
+  spec.pattern = SyntheticSpec::Pattern::kPairs;
+  spec.private_pages = 64;  // beyond TLB reach so misses recur
+  spec.shared_pages = 4;
+  spec.iterations = 6;
+  return spec;
+}
+
+TEST(Pipeline, DetectSmOnPairs) {
+  Pipeline pipe(MachineConfig::harpertown());
+  pipe.sm_config().sample_threshold = 1;
+  const auto workload = make_synthetic(pairs_spec());
+  const DetectionResult det =
+      pipe.detect(*workload, Pipeline::Mechanism::kSoftwareManaged);
+  EXPECT_EQ(det.mechanism, "SM");
+  EXPECT_GT(det.searches, 0u);
+  EXPECT_GT(det.stats.tlb_misses, 0u);
+  // The top 4 pairs must be the true partners.
+  const auto top = det.matrix.pairs_by_weight();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(top[static_cast<std::size_t>(i)].first / 2,
+              top[static_cast<std::size_t>(i)].second / 2)
+        << "rank " << i;
+  }
+}
+
+TEST(Pipeline, DetectHmOnPairs) {
+  Pipeline pipe(MachineConfig::harpertown());
+  // HM only sees sharing if a sweep lands while the shared pages are still
+  // TLB-resident (the paper's Sec. VI-A explanation of the IS/MG artifacts),
+  // so sweep densely and give the workload more iterations to sample.
+  pipe.hm_config().interval = 20'000;
+  pipe.hm_config().search_cost = 0;
+  SyntheticSpec spec = pairs_spec();
+  spec.iterations = 12;
+  const auto workload = make_synthetic(spec);
+  const DetectionResult det =
+      pipe.detect(*workload, Pipeline::Mechanism::kHardwareManaged);
+  EXPECT_EQ(det.mechanism, "HM");
+  EXPECT_GT(det.searches, 10u);
+  EXPECT_GT(det.matrix.at(0, 1), det.matrix.at(0, 2));
+}
+
+TEST(Pipeline, DetectOracleOnPairs) {
+  Pipeline pipe(MachineConfig::harpertown());
+  const auto workload = make_synthetic(pairs_spec());
+  const DetectionResult det =
+      pipe.detect(*workload, Pipeline::Mechanism::kOracle);
+  EXPECT_EQ(det.mechanism, "oracle");
+  EXPECT_GT(det.matrix.at(2, 3), 0u);
+  EXPECT_EQ(det.matrix.at(0, 2), 0u);
+  EXPECT_EQ(det.stats.detection_overhead_cycles, 0u);
+}
+
+TEST(Pipeline, MapPlacesPartnersOnSharedL2) {
+  Pipeline pipe(MachineConfig::harpertown());
+  pipe.sm_config().sample_threshold = 1;
+  const auto workload = make_synthetic(pairs_spec());
+  const DetectionResult det =
+      pipe.detect(*workload, Pipeline::Mechanism::kSoftwareManaged);
+  const Mapping mapping = pipe.map(det.matrix);
+  EXPECT_TRUE(is_valid_mapping(mapping, 8));
+  const Topology& topo = pipe.topology();
+  for (int t = 0; t < 8; t += 2) {
+    EXPECT_TRUE(topo.share_l2(mapping[static_cast<std::size_t>(t)],
+                              mapping[static_cast<std::size_t>(t + 1)]))
+        << "pair " << t;
+  }
+}
+
+TEST(Pipeline, TunedMappingBeatsWorstCase) {
+  Pipeline pipe(MachineConfig::harpertown());
+  pipe.sm_config().sample_threshold = 1;
+  const auto workload = make_synthetic(pairs_spec());
+  const DetectionResult det =
+      pipe.detect(*workload, Pipeline::Mechanism::kSoftwareManaged);
+  const Mapping tuned = pipe.map(det.matrix);
+
+  // Adversarial mapping: every partner pair split across sockets.
+  const Mapping split = {0, 4, 1, 5, 2, 6, 3, 7};
+  const MachineStats good = pipe.evaluate(*workload, tuned, 3);
+  const MachineStats bad = pipe.evaluate(*workload, split, 3);
+  EXPECT_LT(good.execution_cycles, bad.execution_cycles);
+  EXPECT_LT(good.invalidations, bad.invalidations);
+  EXPECT_LT(good.snoop_transactions, bad.snoop_transactions);
+}
+
+TEST(Pipeline, EvaluateRejectsBadMapping) {
+  Pipeline pipe(MachineConfig::harpertown());
+  const auto workload = make_synthetic(pairs_spec());
+  EXPECT_THROW(pipe.evaluate(*workload, Mapping{0, 0, 1, 2, 3, 4, 5, 6}, 1),
+               std::invalid_argument);
+}
+
+TEST(Pipeline, DetectRejectsTooManyThreads) {
+  Pipeline pipe(MachineConfig::tiny());  // 2 cores
+  const auto workload = make_synthetic(pairs_spec());  // 8 threads
+  EXPECT_THROW(
+      pipe.detect(*workload, Pipeline::Mechanism::kSoftwareManaged),
+      std::invalid_argument);
+}
+
+TEST(Pipeline, DetectionDeterministicPerSeed) {
+  Pipeline pipe(MachineConfig::harpertown());
+  pipe.sm_config().sample_threshold = 1;
+  const auto workload = make_synthetic(pairs_spec());
+  const auto d1 =
+      pipe.detect(*workload, Pipeline::Mechanism::kSoftwareManaged, 5);
+  const auto d2 =
+      pipe.detect(*workload, Pipeline::Mechanism::kSoftwareManaged, 5);
+  EXPECT_NEAR(CommMatrix::cosine_similarity(d1.matrix, d2.matrix), 1.0,
+              1e-12);
+  EXPECT_EQ(d1.stats.execution_cycles, d2.stats.execution_cycles);
+}
+
+TEST(Pipeline, SmOverheadAccountedInStats) {
+  Pipeline pipe(MachineConfig::harpertown());
+  pipe.sm_config().sample_threshold = 1;
+  pipe.sm_config().search_cost = 1000;
+  const auto workload = make_synthetic(pairs_spec());
+  const DetectionResult det =
+      pipe.detect(*workload, Pipeline::Mechanism::kSoftwareManaged);
+  // Overhead is reported on the critical path (max per-thread), so it is
+  // bounded by the total charge and positive.
+  EXPECT_GT(det.stats.detection_overhead_cycles, 0u);
+  EXPECT_LE(det.stats.detection_overhead_cycles, det.searches * 1000);
+  EXPECT_GT(det.stats.overhead_fraction(), 0.0);
+  EXPECT_LT(det.stats.overhead_fraction(), 1.0);
+}
+
+}  // namespace
+}  // namespace tlbmap

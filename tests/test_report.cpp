@@ -1,0 +1,83 @@
+// Tests for the plain-text table and formatting helpers.
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+
+namespace tlbmap {
+namespace {
+
+TEST(Report, TableAlignsColumns) {
+  TextTable t({"a", "long-header"});
+  t.add_row({"xx", "y"});
+  const std::string s = t.str();
+  // Three lines: header, separator, row.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 3);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  // The second column starts at the same offset in header and data rows.
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  for (std::size_t nl = s.find('\n'); nl != std::string::npos;
+       nl = s.find('\n', pos)) {
+    lines.push_back(s.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0].find("long-header"), lines[2].find('y'));
+}
+
+TEST(Report, TableHandlesEmptyCells) {
+  TextTable t({"h1", "h2", "h3"});
+  t.add_row({"only-one"});
+  EXPECT_NO_THROW(t.str());
+}
+
+TEST(Report, FmtDouble) {
+  EXPECT_EQ(fmt_double(1.23456, 3), "1.235");
+  EXPECT_EQ(fmt_double(1.0, 1), "1.0");
+  EXPECT_EQ(fmt_double(-0.5, 2), "-0.50");
+}
+
+TEST(Report, FmtPercent) {
+  EXPECT_EQ(fmt_percent(0.153), "15.3%");
+  EXPECT_EQ(fmt_percent(0.0012, 2), "0.12%");
+  EXPECT_EQ(fmt_percent(1.0, 0), "100%");
+}
+
+TEST(Report, FmtCountGroupsThousands) {
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+  EXPECT_EQ(fmt_count(12345678), "12,345,678");
+  EXPECT_EQ(fmt_count(-1234), "-1,234");
+}
+
+TEST(Report, BarWidthProportional) {
+  EXPECT_EQ(bar(0.0, 10), "          ");
+  EXPECT_EQ(bar(2.0, 10), "##########");
+  const std::string half = bar(1.0, 10);
+  EXPECT_EQ(half, "#####     ");
+  // Out-of-range input is clamped rather than overflowing.
+  EXPECT_EQ(bar(99.0, 4), "####");
+  EXPECT_EQ(bar(-1.0, 4).size(), 4u);
+}
+
+
+TEST(Report, CsvBasic) {
+  CsvTable t({"app", "value"});
+  t.add_row({"BT", "1.5"});
+  EXPECT_EQ(t.str(), "app,value\nBT,1.5\n");
+}
+
+TEST(Report, CsvEscapesSpecials) {
+  CsvTable t({"a"});
+  t.add_row({"x,y"});
+  t.add_row({"say \"hi\""});
+  t.add_row({"two\nlines"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(s.find("\"say \"\"hi\"\"\""), std::string::npos);
+  EXPECT_NE(s.find("\"two\nlines\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tlbmap

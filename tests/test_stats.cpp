@@ -1,0 +1,86 @@
+// Tests for statistics helpers: summaries, rates, accumulation.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.hpp"
+
+namespace tlbmap {
+namespace {
+
+TEST(Stats, SummaryOfEmpty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, SummaryOfSingle) {
+  const std::vector<double> v = {42.0};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.n, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 42.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, SummaryMeanAndStddev) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  // Sample stddev of this classic data set: sqrt(32/7).
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, RelStddev) {
+  const std::vector<double> v = {9.0, 11.0};
+  const Summary s = summarize(v);
+  EXPECT_NEAR(s.rel_stddev(), std::sqrt(2.0) / 10.0, 1e-12);
+}
+
+TEST(Stats, RelStddevZeroMeanSafe) {
+  const std::vector<double> v = {0.0, 0.0};
+  EXPECT_EQ(summarize(v).rel_stddev(), 0.0);
+}
+
+TEST(Stats, CyclesToSeconds) {
+  EXPECT_DOUBLE_EQ(cycles_to_seconds(static_cast<Cycles>(kClockHz)), 1.0);
+  EXPECT_DOUBLE_EQ(cycles_to_seconds(0), 0.0);
+}
+
+TEST(Stats, PerSecond) {
+  EXPECT_DOUBLE_EQ(per_second(100, static_cast<Cycles>(kClockHz)), 100.0);
+  EXPECT_EQ(per_second(100, 0), 0.0);
+}
+
+TEST(Stats, MachineStatsAccumulate) {
+  MachineStats a, b;
+  a.accesses = 10;
+  a.invalidations = 3;
+  a.execution_cycles = 100;
+  b.accesses = 5;
+  b.invalidations = 4;
+  b.execution_cycles = 50;
+  a += b;
+  EXPECT_EQ(a.accesses, 15u);
+  EXPECT_EQ(a.invalidations, 7u);
+  EXPECT_EQ(a.execution_cycles, 150u);
+}
+
+TEST(Stats, TlbMissRate) {
+  MachineStats s;
+  EXPECT_EQ(s.tlb_miss_rate(), 0.0);
+  s.accesses = 1000;
+  s.tlb_misses = 5;
+  EXPECT_DOUBLE_EQ(s.tlb_miss_rate(), 0.005);
+}
+
+TEST(Stats, OverheadFraction) {
+  MachineStats s;
+  EXPECT_EQ(s.overhead_fraction(), 0.0);
+  s.execution_cycles = 200;
+  s.detection_overhead_cycles = 10;
+  EXPECT_DOUBLE_EQ(s.overhead_fraction(), 0.05);
+}
+
+}  // namespace
+}  // namespace tlbmap

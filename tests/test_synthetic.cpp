@@ -1,0 +1,136 @@
+// Tests for the synthetic workloads with exactly known sharing structure.
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "npb/synthetic.hpp"
+
+namespace tlbmap {
+namespace {
+
+constexpr int kPageShift = 12;
+
+std::set<PageNum> pages_touched(const Workload& w, ThreadId t) {
+  std::set<PageNum> pages;
+  const auto stream = w.stream(t, 1);
+  for (;;) {
+    const TraceEvent ev = stream->next();
+    if (ev.kind == TraceEvent::Kind::kEnd) break;
+    if (ev.kind == TraceEvent::Kind::kAccess) {
+      pages.insert(ev.access.addr >> kPageShift);
+    }
+  }
+  return pages;
+}
+
+std::size_t overlap(const std::set<PageNum>& a, const std::set<PageNum>& b) {
+  std::size_t n = 0;
+  for (const PageNum p : a) n += b.contains(p) ? 1 : 0;
+  return n;
+}
+
+SyntheticSpec small_spec(SyntheticSpec::Pattern pattern) {
+  SyntheticSpec spec;
+  spec.pattern = pattern;
+  spec.num_threads = 8;
+  spec.shared_pages = 2;
+  spec.private_pages = 8;
+  spec.shared_accesses = 512;
+  spec.private_accesses = 512;
+  spec.iterations = 2;
+  return spec;
+}
+
+TEST(Synthetic, PrivateHasNoSharing) {
+  const auto w = make_synthetic(small_spec(SyntheticSpec::Pattern::kPrivate));
+  std::vector<std::set<PageNum>> pages;
+  for (int t = 0; t < 8; ++t) pages.push_back(pages_touched(*w, t));
+  for (int a = 0; a < 8; ++a) {
+    for (int b = a + 1; b < 8; ++b) {
+      EXPECT_EQ(overlap(pages[a], pages[b]), 0u) << a << "," << b;
+    }
+  }
+}
+
+TEST(Synthetic, PairsShareOnlyWithPartner) {
+  const auto w = make_synthetic(small_spec(SyntheticSpec::Pattern::kPairs));
+  std::vector<std::set<PageNum>> pages;
+  for (int t = 0; t < 8; ++t) pages.push_back(pages_touched(*w, t));
+  for (int a = 0; a < 8; ++a) {
+    for (int b = a + 1; b < 8; ++b) {
+      const bool partners = (a / 2 == b / 2);
+      if (partners) {
+        EXPECT_GT(overlap(pages[a], pages[b]), 0u) << a << "," << b;
+      } else {
+        EXPECT_EQ(overlap(pages[a], pages[b]), 0u) << a << "," << b;
+      }
+    }
+  }
+}
+
+TEST(Synthetic, RingSharesWithBothNeighboursIncludingWrap) {
+  const auto w = make_synthetic(small_spec(SyntheticSpec::Pattern::kRing));
+  std::vector<std::set<PageNum>> pages;
+  for (int t = 0; t < 8; ++t) pages.push_back(pages_touched(*w, t));
+  for (int t = 0; t < 8; ++t) {
+    EXPECT_GT(overlap(pages[t], pages[(t + 1) % 8]), 0u) << t;
+    EXPECT_EQ(overlap(pages[t], pages[(t + 2) % 8]), 0u) << t;
+  }
+}
+
+TEST(Synthetic, AllToAllSharesGlobally) {
+  const auto w =
+      make_synthetic(small_spec(SyntheticSpec::Pattern::kAllToAll));
+  std::vector<std::set<PageNum>> pages;
+  for (int t = 0; t < 8; ++t) pages.push_back(pages_touched(*w, t));
+  for (int a = 0; a < 8; ++a) {
+    for (int b = a + 1; b < 8; ++b) {
+      EXPECT_GT(overlap(pages[a], pages[b]), 0u) << a << "," << b;
+    }
+  }
+}
+
+TEST(Synthetic, PhaseShiftChangesPartners) {
+  SyntheticSpec spec = small_spec(SyntheticSpec::Pattern::kPhaseShift);
+  spec.iterations = 4;
+  const auto w = make_synthetic(spec);
+  // Thread 0's stream touches the (0,1) edge pages in the first half and
+  // the (7,0) edge pages in the second half: overall it shares with both
+  // 1 and 7 but not with 3.
+  std::vector<std::set<PageNum>> pages;
+  for (int t = 0; t < 8; ++t) pages.push_back(pages_touched(*w, t));
+  EXPECT_GT(overlap(pages[0], pages[1]), 0u);
+  EXPECT_GT(overlap(pages[0], pages[7]), 0u);
+  EXPECT_EQ(overlap(pages[0], pages[3]), 0u);
+  EXPECT_GT(overlap(pages[1], pages[2]), 0u);  // shifted pairing
+}
+
+TEST(Synthetic, BarriersPresent) {
+  const auto w = make_synthetic(small_spec(SyntheticSpec::Pattern::kPairs));
+  const auto stream = w->stream(0, 1);
+  int barriers = 0;
+  for (;;) {
+    const TraceEvent ev = stream->next();
+    if (ev.kind == TraceEvent::Kind::kEnd) break;
+    if (ev.kind == TraceEvent::Kind::kBarrier) ++barriers;
+  }
+  EXPECT_EQ(barriers, 2);  // one per iteration
+}
+
+TEST(Synthetic, RejectsTooFewThreads) {
+  SyntheticSpec spec;
+  spec.num_threads = 1;
+  EXPECT_THROW(make_synthetic(spec), std::invalid_argument);
+}
+
+TEST(Synthetic, NameReflectsPattern) {
+  EXPECT_EQ(make_synthetic(small_spec(SyntheticSpec::Pattern::kRing))
+                ->description(),
+            "synthetic ring");
+  EXPECT_EQ(make_synthetic(small_spec(SyntheticSpec::Pattern::kPairs))
+                ->name(),
+            "synthetic");
+}
+
+}  // namespace
+}  // namespace tlbmap

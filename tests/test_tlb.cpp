@@ -1,0 +1,181 @@
+// Unit tests for the TLB model, including the set-restricted probe and
+// set-iteration APIs the detectors depend on.
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "sim/tlb.hpp"
+
+namespace tlbmap {
+namespace {
+
+TlbConfig small_config() {
+  return TlbConfig{/*entries=*/8, /*ways=*/2, TlbManagement::kHardware,
+                   /*miss_penalty=*/30};
+}
+
+TEST(Tlb, StartsEmpty) {
+  Tlb t(small_config());
+  EXPECT_EQ(t.valid_entries(), 0u);
+  EXPECT_FALSE(t.lookup(3));
+  EXPECT_FALSE(t.contains(3));
+}
+
+TEST(Tlb, Geometry) {
+  Tlb t(small_config());
+  EXPECT_EQ(t.num_sets(), 4u);
+  EXPECT_EQ(t.ways(), 2u);
+  EXPECT_EQ(t.capacity(), 8u);
+}
+
+TEST(Tlb, InsertThenHit) {
+  Tlb t(small_config());
+  t.insert(5);
+  EXPECT_TRUE(t.lookup(5));
+  EXPECT_TRUE(t.contains(5));
+  EXPECT_EQ(t.valid_entries(), 1u);
+}
+
+TEST(Tlb, LruEvictionWithinSet) {
+  Tlb t(small_config());
+  // Pages 0, 4, 8 all map to set 0 (page % 4).
+  t.insert(0);
+  t.insert(4);
+  t.insert(8);  // evicts 0
+  EXPECT_FALSE(t.contains(0));
+  EXPECT_TRUE(t.contains(4));
+  EXPECT_TRUE(t.contains(8));
+}
+
+TEST(Tlb, LookupRefreshesLru) {
+  Tlb t(small_config());
+  t.insert(0);
+  t.insert(4);
+  EXPECT_TRUE(t.lookup(0));  // 0 becomes MRU
+  t.insert(8);               // evicts 4
+  EXPECT_TRUE(t.contains(0));
+  EXPECT_FALSE(t.contains(4));
+}
+
+TEST(Tlb, ContainsDoesNotRefreshLru) {
+  Tlb t(small_config());
+  t.insert(0);
+  t.insert(4);
+  EXPECT_TRUE(t.contains(0));  // must NOT touch LRU (detector probe)
+  t.insert(8);                 // evicts 0, the true LRU
+  EXPECT_FALSE(t.contains(0));
+  EXPECT_TRUE(t.contains(4));
+}
+
+TEST(Tlb, InsertExistingRefreshesInsteadOfDuplicating) {
+  Tlb t(small_config());
+  t.insert(0);
+  t.insert(0);
+  EXPECT_EQ(t.valid_entries(), 1u);
+  t.insert(4);
+  t.insert(0);  // refresh
+  t.insert(8);  // evicts 4
+  EXPECT_TRUE(t.contains(0));
+  EXPECT_FALSE(t.contains(4));
+}
+
+TEST(Tlb, InvalidateEntry) {
+  Tlb t(small_config());
+  t.insert(6);
+  EXPECT_TRUE(t.invalidate(6));
+  EXPECT_FALSE(t.contains(6));
+  EXPECT_FALSE(t.invalidate(6));
+}
+
+TEST(Tlb, FlushClearsAll) {
+  Tlb t(small_config());
+  for (PageNum p = 0; p < 8; ++p) t.insert(p);
+  t.flush();
+  EXPECT_EQ(t.valid_entries(), 0u);
+}
+
+TEST(Tlb, SetEntriesExposesWays) {
+  Tlb t(small_config());
+  t.insert(1);  // set 1
+  t.insert(5);  // set 1
+  const auto set1 = t.set_entries(1);
+  ASSERT_EQ(set1.size(), 2u);
+  std::set<PageNum> pages;
+  for (const TlbEntry& e : set1) {
+    if (e.valid) pages.insert(e.page);
+  }
+  EXPECT_EQ(pages, (std::set<PageNum>{1, 5}));
+  // Other sets stay empty.
+  for (const TlbEntry& e : t.set_entries(0)) EXPECT_FALSE(e.valid);
+}
+
+TEST(Tlb, SetIndexMatchesModulo) {
+  Tlb t(small_config());
+  EXPECT_EQ(t.set_index(0), 0u);
+  EXPECT_EQ(t.set_index(7), 3u);
+  EXPECT_EQ(t.set_index(9), 1u);
+}
+
+TEST(Tlb, ForEachEntryVisitsValidOnly) {
+  Tlb t(small_config());
+  t.insert(1);
+  t.insert(2);
+  t.invalidate(1);
+  std::set<PageNum> seen;
+  t.for_each_entry([&](const TlbEntry& e) { seen.insert(e.page); });
+  EXPECT_EQ(seen, (std::set<PageNum>{2}));
+}
+
+TEST(Tlb, RejectsBadGeometry) {
+  EXPECT_THROW(Tlb(TlbConfig{0, 2}), std::invalid_argument);
+  EXPECT_THROW(Tlb(TlbConfig{8, 0}), std::invalid_argument);
+  EXPECT_THROW(Tlb(TlbConfig{8, 3}), std::invalid_argument);
+}
+
+// The property central to the paper's false-communication argument: an
+// entry not re-touched survives at most `ways` subsequent distinct inserts
+// into its set ("the relatively short life of the TLB entries").
+struct TlbGeometry {
+  std::size_t entries;
+  std::size_t ways;
+};
+
+class TlbLifetime : public ::testing::TestWithParam<TlbGeometry> {};
+
+TEST_P(TlbLifetime, StaleEntryEvictedAfterWaysInserts) {
+  const auto [entries, ways] = GetParam();
+  Tlb t(TlbConfig{entries, ways});
+  const std::size_t sets = entries / ways;
+  t.insert(0);  // set 0, never touched again
+  // ways-1 more inserts into set 0: still resident.
+  for (std::size_t k = 1; k < ways; ++k) t.insert(k * sets);
+  EXPECT_TRUE(t.contains(0));
+  // One more distinct page in set 0 evicts it.
+  t.insert(ways * sets);
+  EXPECT_FALSE(t.contains(0));
+}
+
+TEST_P(TlbLifetime, CapacityFillNoEviction) {
+  const auto [entries, ways] = GetParam();
+  Tlb t(TlbConfig{entries, ways});
+  for (PageNum p = 0; p < entries; ++p) t.insert(p);
+  EXPECT_EQ(t.valid_entries(), entries);
+  for (PageNum p = 0; p < entries; ++p) {
+    EXPECT_TRUE(t.contains(p)) << "page " << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, TlbLifetime,
+    ::testing::Values(TlbGeometry{8, 2}, TlbGeometry{16, 4},
+                      TlbGeometry{64, 4},   // the paper's TLB
+                      TlbGeometry{64, 1},   // direct-mapped
+                      TlbGeometry{64, 64},  // fully associative
+                      TlbGeometry{256, 8}, TlbGeometry{1024, 4}),
+    [](const ::testing::TestParamInfo<TlbGeometry>& info) {
+      return "e" + std::to_string(info.param.entries) + "_w" +
+             std::to_string(info.param.ways);
+    });
+
+}  // namespace
+}  // namespace tlbmap

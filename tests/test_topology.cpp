@@ -1,0 +1,96 @@
+// Unit tests for the machine topology helpers.
+#include <gtest/gtest.h>
+
+#include "sim/topology.hpp"
+
+namespace tlbmap {
+namespace {
+
+Topology harpertown() { return Topology(MachineConfig::harpertown()); }
+
+TEST(Topology, HarpertownCounts) {
+  const Topology t = harpertown();
+  EXPECT_EQ(t.num_cores(), 8);
+  EXPECT_EQ(t.num_l2(), 4);
+  EXPECT_EQ(t.num_sockets(), 2);
+  EXPECT_EQ(t.cores_per_l2(), 2);
+  EXPECT_EQ(t.cores_per_socket(), 4);
+}
+
+TEST(Topology, L2Assignment) {
+  const Topology t = harpertown();
+  EXPECT_EQ(t.l2_of(0), 0);
+  EXPECT_EQ(t.l2_of(1), 0);
+  EXPECT_EQ(t.l2_of(2), 1);
+  EXPECT_EQ(t.l2_of(7), 3);
+}
+
+TEST(Topology, SocketAssignment) {
+  const Topology t = harpertown();
+  EXPECT_EQ(t.socket_of(0), 0);
+  EXPECT_EQ(t.socket_of(3), 0);
+  EXPECT_EQ(t.socket_of(4), 1);
+  EXPECT_EQ(t.socket_of(7), 1);
+  EXPECT_EQ(t.socket_of_l2(0), 0);
+  EXPECT_EQ(t.socket_of_l2(1), 0);
+  EXPECT_EQ(t.socket_of_l2(2), 1);
+  EXPECT_EQ(t.socket_of_l2(3), 1);
+}
+
+TEST(Topology, SharingPredicates) {
+  const Topology t = harpertown();
+  EXPECT_TRUE(t.share_l2(0, 1));
+  EXPECT_FALSE(t.share_l2(1, 2));
+  EXPECT_TRUE(t.share_socket(1, 2));
+  EXPECT_FALSE(t.share_socket(3, 4));
+}
+
+TEST(Topology, Distance) {
+  const Topology t = harpertown();
+  EXPECT_EQ(t.distance(5, 5), 0);
+  EXPECT_EQ(t.distance(0, 1), 1);  // same L2
+  EXPECT_EQ(t.distance(0, 2), 2);  // same socket, different L2
+  EXPECT_EQ(t.distance(0, 4), 3);  // cross socket
+  EXPECT_EQ(t.distance(4, 0), 3);  // symmetric
+}
+
+TEST(Topology, CoresOfL2) {
+  const Topology t = harpertown();
+  EXPECT_EQ(t.cores_of_l2(0), (std::vector<CoreId>{0, 1}));
+  EXPECT_EQ(t.cores_of_l2(3), (std::vector<CoreId>{6, 7}));
+}
+
+TEST(Topology, LevelArities) {
+  EXPECT_EQ(harpertown().level_arities(), (std::vector<int>{2, 2, 2}));
+}
+
+TEST(Topology, SingleSocketArities) {
+  MachineConfig c = MachineConfig::tiny();  // 1 socket, 2 cores, 1 L2
+  EXPECT_EQ(Topology(c).level_arities(), (std::vector<int>{2}));
+}
+
+TEST(Topology, QuadCoreL2Arities) {
+  MachineConfig c;
+  c.num_sockets = 2;
+  c.cores_per_socket = 8;
+  c.cores_per_l2 = 4;
+  EXPECT_EQ(Topology(c).level_arities(), (std::vector<int>{4, 2, 2}));
+}
+
+TEST(Topology, RejectsInvalidConfig) {
+  MachineConfig c;
+  c.cores_per_socket = 3;
+  c.cores_per_l2 = 2;  // 3 % 2 != 0
+  EXPECT_THROW(Topology{c}, std::invalid_argument);
+}
+
+TEST(Topology, TinyMachine) {
+  const Topology t{MachineConfig::tiny()};
+  EXPECT_EQ(t.num_cores(), 2);
+  EXPECT_EQ(t.num_l2(), 1);
+  EXPECT_TRUE(t.share_l2(0, 1));
+  EXPECT_EQ(t.distance(0, 1), 1);
+}
+
+}  // namespace
+}  // namespace tlbmap

@@ -1,0 +1,301 @@
+// Structural tests for the NPB-like workload generators: each kernel's
+// page-sharing pattern must match its documented communication signature.
+#include <map>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "npb/workload.hpp"
+
+namespace tlbmap {
+namespace {
+
+constexpr int kPageShift = 12;
+
+/// Drains thread t's stream and returns the set of pages it touches.
+std::set<PageNum> pages_touched(const Workload& w, ThreadId t,
+                                std::uint64_t seed = 1) {
+  std::set<PageNum> pages;
+  const auto stream = w.stream(t, seed);
+  for (;;) {
+    const TraceEvent ev = stream->next();
+    if (ev.kind == TraceEvent::Kind::kEnd) break;
+    if (ev.kind == TraceEvent::Kind::kAccess) {
+      pages.insert(ev.access.addr >> kPageShift);
+    }
+  }
+  return pages;
+}
+
+std::size_t overlap(const std::set<PageNum>& a, const std::set<PageNum>& b) {
+  std::size_t n = 0;
+  for (const PageNum p : a) n += b.contains(p) ? 1 : 0;
+  return n;
+}
+
+WorkloadParams fast_params() {
+  WorkloadParams p;
+  p.size_scale = 0.25;   // keep the structure, shrink the drain time
+  p.iter_scale = 0.2;
+  return p;
+}
+
+std::vector<std::set<PageNum>> all_pages(const Workload& w) {
+  std::vector<std::set<PageNum>> out;
+  for (ThreadId t = 0; t < w.num_threads(); ++t) {
+    out.push_back(pages_touched(w, t));
+  }
+  return out;
+}
+
+TEST(WorkloadRegistry, AllNinePresent) {
+  EXPECT_EQ(npb_workload_names().size(), 9u);
+  for (const std::string& name : npb_workload_names()) {
+    const auto w = make_npb_workload(name);
+    EXPECT_EQ(w->name(), name);
+    EXPECT_EQ(w->num_threads(), 8);
+    EXPECT_FALSE(w->description().empty());
+  }
+}
+
+TEST(WorkloadRegistry, CaseInsensitive) {
+  EXPECT_EQ(make_npb_workload("bt")->name(), "BT");
+  EXPECT_EQ(make_npb_workload("Sp")->name(), "SP");
+}
+
+TEST(WorkloadRegistry, UnknownThrows) {
+  EXPECT_THROW(make_npb_workload("DC"), std::invalid_argument);
+  EXPECT_THROW(make_npb_workload(""), std::invalid_argument);
+}
+
+TEST(Workloads, AccessCountsMatchStreams) {
+  for (const std::string& name : npb_workload_names()) {
+    const auto w = make_npb_workload(name, fast_params());
+    const auto stream = w->stream(0, 1);
+    std::uint64_t accesses = 0;
+    for (;;) {
+      const TraceEvent ev = stream->next();
+      if (ev.kind == TraceEvent::Kind::kEnd) break;
+      if (ev.kind == TraceEvent::Kind::kAccess) ++accesses;
+    }
+    EXPECT_EQ(accesses, w->accesses_of(0)) << name;
+    EXPECT_GT(accesses, 0u) << name;
+  }
+}
+
+TEST(Workloads, StreamsDeterministicPerSeed) {
+  for (const char* name : {"BT", "IS", "UA"}) {
+    const auto w = make_npb_workload(name, fast_params());
+    EXPECT_EQ(pages_touched(*w, 2, 5), pages_touched(*w, 2, 5)) << name;
+  }
+}
+
+TEST(Workloads, DisjointAddressSpacesAcrossApps) {
+  // Every workload allocates from its own arena at the same base; no check
+  // across apps is meaningful, but within one app threads' *private* slabs
+  // must be disjoint (verified per app below). Here: every thread touches
+  // at least one page.
+  for (const std::string& name : npb_workload_names()) {
+    const auto w = make_npb_workload(name, fast_params());
+    for (ThreadId t = 0; t < 8; ++t) {
+      EXPECT_FALSE(pages_touched(*w, t).empty()) << name << " t" << t;
+    }
+  }
+}
+
+TEST(WorkloadBT, NeighbourHaloSharingOnly) {
+  const auto w = make_npb_workload("BT", fast_params());
+  const auto pages = all_pages(*w);
+  for (int t = 0; t < 7; ++t) {
+    EXPECT_GT(overlap(pages[t], pages[t + 1]), 0u) << "t" << t;
+  }
+  for (int t = 0; t < 8; ++t) {
+    for (int o = t + 2; o < 8; ++o) {
+      EXPECT_EQ(overlap(pages[t], pages[o]), 0u) << t << "," << o;
+    }
+  }
+}
+
+TEST(WorkloadSP, NeighbourHaloWiderThanBT) {
+  const auto bt = make_npb_workload("BT", fast_params());
+  const auto sp = make_npb_workload("SP", fast_params());
+  const auto bt_pages = all_pages(*bt);
+  const auto sp_pages = all_pages(*sp);
+  // SP's halo planes are wider: the per-neighbour overlap (relative to the
+  // slab size) is larger.
+  const double bt_frac = static_cast<double>(overlap(bt_pages[3], bt_pages[4])) /
+                         static_cast<double>(bt_pages[3].size());
+  const double sp_frac = static_cast<double>(overlap(sp_pages[3], sp_pages[4])) /
+                         static_cast<double>(sp_pages[3].size());
+  EXPECT_GT(sp_frac, bt_frac);
+}
+
+TEST(WorkloadLU, PeriodicWrapAndPipeline) {
+  const auto w = make_npb_workload("LU", fast_params());
+  const auto pages = all_pages(*w);
+  // Distant threads 0 and 7 share the periodic boundary...
+  EXPECT_GT(overlap(pages[0], pages[7]), 0u);
+  // ...and every pair shares at least the pipeline page.
+  for (int a = 0; a < 8; ++a) {
+    for (int b = a + 1; b < 8; ++b) {
+      EXPECT_GT(overlap(pages[a], pages[b]), 0u) << a << "," << b;
+    }
+  }
+}
+
+TEST(WorkloadEP, OnlyReductionShared) {
+  const auto w = make_npb_workload("EP", fast_params());
+  const auto pages = all_pages(*w);
+  for (int a = 0; a < 8; ++a) {
+    for (int b = a + 1; b < 8; ++b) {
+      EXPECT_LE(overlap(pages[a], pages[b]), 1u) << a << "," << b;
+    }
+  }
+}
+
+TEST(WorkloadFT, AllToAllTranspose) {
+  const auto w = make_npb_workload("FT", fast_params());
+  const auto pages = all_pages(*w);
+  for (int a = 0; a < 8; ++a) {
+    for (int b = a + 1; b < 8; ++b) {
+      EXPECT_GT(overlap(pages[a], pages[b]), 0u) << a << "," << b;
+    }
+  }
+}
+
+TEST(WorkloadIS, CountExchangeIsGlobal) {
+  const auto w = make_npb_workload("IS", fast_params());
+  const auto pages = all_pages(*w);
+  // Count pages: every thread reads all others' count pages.
+  for (int a = 0; a < 8; ++a) {
+    for (int b = a + 1; b < 8; ++b) {
+      EXPECT_GT(overlap(pages[a], pages[b]), 0u) << a << "," << b;
+    }
+  }
+  // Neighbour overlap is bigger than distant overlap (rank spill).
+  EXPECT_GT(overlap(pages[3], pages[4]), overlap(pages[3], pages[6]));
+}
+
+TEST(WorkloadMG, MultiLevelNeighbourSharing) {
+  const auto w = make_npb_workload("MG", WorkloadParams{8, 1.0, 0.2, 1});
+  const auto pages = all_pages(*w);
+  for (int t = 0; t < 7; ++t) {
+    EXPECT_GT(overlap(pages[t], pages[t + 1]), 0u) << "t" << t;
+  }
+  for (int t = 0; t < 6; ++t) {
+    EXPECT_EQ(overlap(pages[t], pages[t + 2]), 0u) << "t" << t;
+  }
+}
+
+TEST(WorkloadCG, BandPlusReduction) {
+  const auto w = make_npb_workload("CG", fast_params());
+  const auto pages = all_pages(*w);
+  // Neighbours share band pages + the reduction page; distant threads share
+  // only the reduction page.
+  EXPECT_GT(overlap(pages[2], pages[3]), 1u);
+  EXPECT_EQ(overlap(pages[0], pages[5]), 1u);
+}
+
+TEST(WorkloadUA, HaloPlusRareGlobal) {
+  const auto w = make_npb_workload("UA", fast_params());
+  const auto pages = all_pages(*w);
+  // Neighbours overlap on the halo pages. (The rare global reads can touch
+  // any page, so no disjointness claim is possible for distant pairs.)
+  EXPECT_GT(overlap(pages[3], pages[4]), 0u);
+  // Thread 3 reads thread 4's leading halo: the first page of slab 4 is
+  // deterministic (arena base 1<<32, slabs in thread order).
+  const auto* pw = dynamic_cast<const ProgramWorkload*>(w.get());
+  ASSERT_NE(pw, nullptr);
+  bool reads_into_neighbour = false;
+  for (const Phase& phase : pw->program(3).phases) {
+    for (const Walk& walk : phase.walks) {
+      // A walk whose region lies beyond thread 3's slab end reads the
+      // neighbour's boundary.
+      if (walk.mix == Walk::Mix::kRead && walk.length < 16 * kPageBytes &&
+          pages[4].contains(walk.base >> kPageShift)) {
+        reads_into_neighbour = true;
+      }
+    }
+  }
+  EXPECT_TRUE(reads_into_neighbour);
+}
+
+TEST(Workloads, SizeScaleGrowsFootprint) {
+  WorkloadParams small = fast_params();
+  WorkloadParams large = fast_params();
+  large.size_scale = 0.5;
+  const auto ws = make_npb_workload("BT", small);
+  const auto wl = make_npb_workload("BT", large);
+  EXPECT_GT(pages_touched(*wl, 0).size(), pages_touched(*ws, 0).size());
+}
+
+TEST(Workloads, IterScaleGrowsAccesses) {
+  WorkloadParams once = fast_params();
+  WorkloadParams twice = fast_params();
+  twice.iter_scale = once.iter_scale * 2.0 + 0.2;
+  const auto w1 = make_npb_workload("SP", once);
+  const auto w2 = make_npb_workload("SP", twice);
+  EXPECT_GT(w2->accesses_of(0), w1->accesses_of(0));
+}
+
+TEST(Workloads, ProgramStructureExposed) {
+  const auto w = make_npb_workload("BT", fast_params());
+  const auto* pw = dynamic_cast<const ProgramWorkload*>(w.get());
+  ASSERT_NE(pw, nullptr);
+  const AccessProgram prog = pw->program(0);
+  EXPECT_GT(prog.phases.size(), 1u);
+  EXPECT_GT(prog.iterations, 0u);
+  EXPECT_GT(prog.total_barriers(), 0u);
+}
+
+TEST(WorkloadsRegion, SlabSplitsEvenly) {
+  Arena arena;
+  const Region r = arena.alloc_pages(16);
+  const Region s0 = r.slab(0, 4);
+  const Region s3 = r.slab(3, 4);
+  EXPECT_EQ(s0.pages(), 4u);
+  EXPECT_EQ(s3.pages(), 4u);
+  EXPECT_EQ(s0.base, r.base);
+  EXPECT_EQ(s3.base + s3.bytes, r.base + r.bytes);
+}
+
+TEST(WorkloadsRegion, SlabLastAbsorbsRemainder) {
+  Arena arena;
+  const Region r = arena.alloc_pages(10);
+  EXPECT_EQ(r.slab(0, 3).pages(), 3u);
+  EXPECT_EQ(r.slab(2, 3).pages(), 4u);
+}
+
+TEST(WorkloadsRegion, SlabRejectsTooManyThreads) {
+  Arena arena;
+  const Region r = arena.alloc_pages(2);
+  EXPECT_THROW(r.slab(0, 3), std::invalid_argument);
+}
+
+TEST(WorkloadsRegion, FirstLastPagesClamped) {
+  Arena arena;
+  const Region r = arena.alloc_pages(3);
+  EXPECT_EQ(r.first_pages(10).pages(), 3u);
+  EXPECT_EQ(r.last_pages(1).base, r.base + 2 * kPageBytes);
+}
+
+TEST(WorkloadsRegion, ArenaRegionsDisjoint) {
+  Arena arena;
+  const Region a = arena.alloc_pages(4);
+  const Region b = arena.alloc_pages(4);
+  EXPECT_GE(b.base, a.base + a.bytes);
+  EXPECT_THROW(arena.alloc_pages(0), std::invalid_argument);
+}
+
+TEST(WorkloadsRegion, SliceElems) {
+  Arena arena;
+  const Region r = arena.alloc_pages(1);
+  const Region s = r.slice_elems(10, 5);
+  EXPECT_EQ(s.base, r.base + 80);
+  EXPECT_EQ(s.elems(), 5u);
+  EXPECT_THROW(r.slice_elems(510, 5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace tlbmap
