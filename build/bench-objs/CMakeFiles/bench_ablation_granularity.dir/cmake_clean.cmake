@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_granularity"
+  "../bench/bench_ablation_granularity.pdb"
+  "CMakeFiles/bench_ablation_granularity.dir/bench_ablation_granularity.cpp.o"
+  "CMakeFiles/bench_ablation_granularity.dir/bench_ablation_granularity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_sampling"
+  "../bench/bench_ablation_sampling.pdb"
+  "CMakeFiles/bench_ablation_sampling.dir/bench_ablation_sampling.cpp.o"
+  "CMakeFiles/bench_ablation_sampling.dir/bench_ablation_sampling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

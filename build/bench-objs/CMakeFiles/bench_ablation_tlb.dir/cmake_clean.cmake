@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_tlb"
+  "../bench/bench_ablation_tlb.pdb"
+  "CMakeFiles/bench_ablation_tlb.dir/bench_ablation_tlb.cpp.o"
+  "CMakeFiles/bench_ablation_tlb.dir/bench_ablation_tlb.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_patterns_sm"
+  "../bench/bench_fig4_patterns_sm.pdb"
+  "CMakeFiles/bench_fig4_patterns_sm.dir/bench_fig4_patterns_sm.cpp.o"
+  "CMakeFiles/bench_fig4_patterns_sm.dir/bench_fig4_patterns_sm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_patterns_sm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

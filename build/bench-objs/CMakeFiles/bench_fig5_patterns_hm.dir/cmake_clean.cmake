@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_patterns_hm"
+  "../bench/bench_fig5_patterns_hm.pdb"
+  "CMakeFiles/bench_fig5_patterns_hm.dir/bench_fig5_patterns_hm.cpp.o"
+  "CMakeFiles/bench_fig5_patterns_hm.dir/bench_fig5_patterns_hm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_patterns_hm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

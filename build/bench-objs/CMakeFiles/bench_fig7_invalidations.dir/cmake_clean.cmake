@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_invalidations"
+  "../bench/bench_fig7_invalidations.pdb"
+  "CMakeFiles/bench_fig7_invalidations.dir/bench_fig7_invalidations.cpp.o"
+  "CMakeFiles/bench_fig7_invalidations.dir/bench_fig7_invalidations.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_invalidations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_snoops"
+  "../bench/bench_fig8_snoops.pdb"
+  "CMakeFiles/bench_fig8_snoops.dir/bench_fig8_snoops.cpp.o"
+  "CMakeFiles/bench_fig8_snoops.dir/bench_fig8_snoops.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_snoops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_l2misses"
+  "../bench/bench_fig9_l2misses.pdb"
+  "CMakeFiles/bench_fig9_l2misses.dir/bench_fig9_l2misses.cpp.o"
+  "CMakeFiles/bench_fig9_l2misses.dir/bench_fig9_l2misses.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_l2misses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

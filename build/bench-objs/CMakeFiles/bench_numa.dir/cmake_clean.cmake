@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_numa"
+  "../bench/bench_numa.pdb"
+  "CMakeFiles/bench_numa.dir/bench_numa.cpp.o"
+  "CMakeFiles/bench_numa.dir/bench_numa.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_numa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

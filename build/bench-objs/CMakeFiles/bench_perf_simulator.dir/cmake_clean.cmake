@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_perf_simulator"
+  "../bench/bench_perf_simulator.pdb"
+  "CMakeFiles/bench_perf_simulator.dir/bench_perf_simulator.cpp.o"
+  "CMakeFiles/bench_perf_simulator.dir/bench_perf_simulator.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_complexity"
+  "../bench/bench_table1_complexity.pdb"
+  "CMakeFiles/bench_table1_complexity.dir/bench_table1_complexity.cpp.o"
+  "CMakeFiles/bench_table1_complexity.dir/bench_table1_complexity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_absolute"
+  "../bench/bench_table4_absolute.pdb"
+  "CMakeFiles/bench_table4_absolute.dir/bench_table4_absolute.cpp.o"
+  "CMakeFiles/bench_table4_absolute.dir/bench_table4_absolute.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_absolute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_stddev"
+  "../bench/bench_table5_stddev.pdb"
+  "CMakeFiles/bench_table5_stddev.dir/bench_table5_stddev.cpp.o"
+  "CMakeFiles/bench_table5_stddev.dir/bench_table5_stddev.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_stddev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dynamic_migration.dir/dynamic_migration.cpp.o"
+  "CMakeFiles/example_dynamic_migration.dir/dynamic_migration.cpp.o.d"
+  "dynamic_migration"
+  "dynamic_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dynamic_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_npb_explorer.dir/npb_explorer.cpp.o"
+  "CMakeFiles/example_npb_explorer.dir/npb_explorer.cpp.o.d"
+  "npb_explorer"
+  "npb_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_npb_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tlbmap_cli.dir/tlbmap_cli.cpp.o"
+  "CMakeFiles/example_tlbmap_cli.dir/tlbmap_cli.cpp.o.d"
+  "tlbmap_cli"
+  "tlbmap_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tlbmap_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cli.cpp" "src/CMakeFiles/tlbmap_core.dir/core/cli.cpp.o" "gcc" "src/CMakeFiles/tlbmap_core.dir/core/cli.cpp.o.d"
+  "/root/repo/src/core/dynamic.cpp" "src/CMakeFiles/tlbmap_core.dir/core/dynamic.cpp.o" "gcc" "src/CMakeFiles/tlbmap_core.dir/core/dynamic.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/tlbmap_core.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/tlbmap_core.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/CMakeFiles/tlbmap_core.dir/core/pipeline.cpp.o" "gcc" "src/CMakeFiles/tlbmap_core.dir/core/pipeline.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/tlbmap_core.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/tlbmap_core.dir/core/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tlbmap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tlbmap_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tlbmap_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tlbmap_npb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

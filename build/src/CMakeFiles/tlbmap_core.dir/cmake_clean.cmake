@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlbmap_core.dir/core/cli.cpp.o"
+  "CMakeFiles/tlbmap_core.dir/core/cli.cpp.o.d"
+  "CMakeFiles/tlbmap_core.dir/core/dynamic.cpp.o"
+  "CMakeFiles/tlbmap_core.dir/core/dynamic.cpp.o.d"
+  "CMakeFiles/tlbmap_core.dir/core/experiment.cpp.o"
+  "CMakeFiles/tlbmap_core.dir/core/experiment.cpp.o.d"
+  "CMakeFiles/tlbmap_core.dir/core/pipeline.cpp.o"
+  "CMakeFiles/tlbmap_core.dir/core/pipeline.cpp.o.d"
+  "CMakeFiles/tlbmap_core.dir/core/report.cpp.o"
+  "CMakeFiles/tlbmap_core.dir/core/report.cpp.o.d"
+  "libtlbmap_core.a"
+  "libtlbmap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlbmap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtlbmap_core.a"
+)

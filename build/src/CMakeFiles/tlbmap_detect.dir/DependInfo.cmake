@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/comm_matrix.cpp" "src/CMakeFiles/tlbmap_detect.dir/detect/comm_matrix.cpp.o" "gcc" "src/CMakeFiles/tlbmap_detect.dir/detect/comm_matrix.cpp.o.d"
+  "/root/repo/src/detect/hm_detector.cpp" "src/CMakeFiles/tlbmap_detect.dir/detect/hm_detector.cpp.o" "gcc" "src/CMakeFiles/tlbmap_detect.dir/detect/hm_detector.cpp.o.d"
+  "/root/repo/src/detect/oracle_detector.cpp" "src/CMakeFiles/tlbmap_detect.dir/detect/oracle_detector.cpp.o" "gcc" "src/CMakeFiles/tlbmap_detect.dir/detect/oracle_detector.cpp.o.d"
+  "/root/repo/src/detect/sm_detector.cpp" "src/CMakeFiles/tlbmap_detect.dir/detect/sm_detector.cpp.o" "gcc" "src/CMakeFiles/tlbmap_detect.dir/detect/sm_detector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tlbmap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

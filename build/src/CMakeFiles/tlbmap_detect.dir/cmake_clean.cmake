@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlbmap_detect.dir/detect/comm_matrix.cpp.o"
+  "CMakeFiles/tlbmap_detect.dir/detect/comm_matrix.cpp.o.d"
+  "CMakeFiles/tlbmap_detect.dir/detect/hm_detector.cpp.o"
+  "CMakeFiles/tlbmap_detect.dir/detect/hm_detector.cpp.o.d"
+  "CMakeFiles/tlbmap_detect.dir/detect/oracle_detector.cpp.o"
+  "CMakeFiles/tlbmap_detect.dir/detect/oracle_detector.cpp.o.d"
+  "CMakeFiles/tlbmap_detect.dir/detect/sm_detector.cpp.o"
+  "CMakeFiles/tlbmap_detect.dir/detect/sm_detector.cpp.o.d"
+  "libtlbmap_detect.a"
+  "libtlbmap_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlbmap_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

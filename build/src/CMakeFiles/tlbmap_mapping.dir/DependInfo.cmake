@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapping/bipartition.cpp" "src/CMakeFiles/tlbmap_mapping.dir/mapping/bipartition.cpp.o" "gcc" "src/CMakeFiles/tlbmap_mapping.dir/mapping/bipartition.cpp.o.d"
+  "/root/repo/src/mapping/exact_matching.cpp" "src/CMakeFiles/tlbmap_mapping.dir/mapping/exact_matching.cpp.o" "gcc" "src/CMakeFiles/tlbmap_mapping.dir/mapping/exact_matching.cpp.o.d"
+  "/root/repo/src/mapping/greedy.cpp" "src/CMakeFiles/tlbmap_mapping.dir/mapping/greedy.cpp.o" "gcc" "src/CMakeFiles/tlbmap_mapping.dir/mapping/greedy.cpp.o.d"
+  "/root/repo/src/mapping/hierarchical.cpp" "src/CMakeFiles/tlbmap_mapping.dir/mapping/hierarchical.cpp.o" "gcc" "src/CMakeFiles/tlbmap_mapping.dir/mapping/hierarchical.cpp.o.d"
+  "/root/repo/src/mapping/mapping.cpp" "src/CMakeFiles/tlbmap_mapping.dir/mapping/mapping.cpp.o" "gcc" "src/CMakeFiles/tlbmap_mapping.dir/mapping/mapping.cpp.o.d"
+  "/root/repo/src/mapping/matching.cpp" "src/CMakeFiles/tlbmap_mapping.dir/mapping/matching.cpp.o" "gcc" "src/CMakeFiles/tlbmap_mapping.dir/mapping/matching.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tlbmap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tlbmap_detect.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

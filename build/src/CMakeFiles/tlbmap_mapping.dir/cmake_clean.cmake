@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlbmap_mapping.dir/mapping/bipartition.cpp.o"
+  "CMakeFiles/tlbmap_mapping.dir/mapping/bipartition.cpp.o.d"
+  "CMakeFiles/tlbmap_mapping.dir/mapping/exact_matching.cpp.o"
+  "CMakeFiles/tlbmap_mapping.dir/mapping/exact_matching.cpp.o.d"
+  "CMakeFiles/tlbmap_mapping.dir/mapping/greedy.cpp.o"
+  "CMakeFiles/tlbmap_mapping.dir/mapping/greedy.cpp.o.d"
+  "CMakeFiles/tlbmap_mapping.dir/mapping/hierarchical.cpp.o"
+  "CMakeFiles/tlbmap_mapping.dir/mapping/hierarchical.cpp.o.d"
+  "CMakeFiles/tlbmap_mapping.dir/mapping/mapping.cpp.o"
+  "CMakeFiles/tlbmap_mapping.dir/mapping/mapping.cpp.o.d"
+  "CMakeFiles/tlbmap_mapping.dir/mapping/matching.cpp.o"
+  "CMakeFiles/tlbmap_mapping.dir/mapping/matching.cpp.o.d"
+  "libtlbmap_mapping.a"
+  "libtlbmap_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlbmap_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/npb/bt.cpp" "src/CMakeFiles/tlbmap_npb.dir/npb/bt.cpp.o" "gcc" "src/CMakeFiles/tlbmap_npb.dir/npb/bt.cpp.o.d"
+  "/root/repo/src/npb/cg.cpp" "src/CMakeFiles/tlbmap_npb.dir/npb/cg.cpp.o" "gcc" "src/CMakeFiles/tlbmap_npb.dir/npb/cg.cpp.o.d"
+  "/root/repo/src/npb/ep.cpp" "src/CMakeFiles/tlbmap_npb.dir/npb/ep.cpp.o" "gcc" "src/CMakeFiles/tlbmap_npb.dir/npb/ep.cpp.o.d"
+  "/root/repo/src/npb/ft.cpp" "src/CMakeFiles/tlbmap_npb.dir/npb/ft.cpp.o" "gcc" "src/CMakeFiles/tlbmap_npb.dir/npb/ft.cpp.o.d"
+  "/root/repo/src/npb/is.cpp" "src/CMakeFiles/tlbmap_npb.dir/npb/is.cpp.o" "gcc" "src/CMakeFiles/tlbmap_npb.dir/npb/is.cpp.o.d"
+  "/root/repo/src/npb/lu.cpp" "src/CMakeFiles/tlbmap_npb.dir/npb/lu.cpp.o" "gcc" "src/CMakeFiles/tlbmap_npb.dir/npb/lu.cpp.o.d"
+  "/root/repo/src/npb/mg.cpp" "src/CMakeFiles/tlbmap_npb.dir/npb/mg.cpp.o" "gcc" "src/CMakeFiles/tlbmap_npb.dir/npb/mg.cpp.o.d"
+  "/root/repo/src/npb/sp.cpp" "src/CMakeFiles/tlbmap_npb.dir/npb/sp.cpp.o" "gcc" "src/CMakeFiles/tlbmap_npb.dir/npb/sp.cpp.o.d"
+  "/root/repo/src/npb/synthetic.cpp" "src/CMakeFiles/tlbmap_npb.dir/npb/synthetic.cpp.o" "gcc" "src/CMakeFiles/tlbmap_npb.dir/npb/synthetic.cpp.o.d"
+  "/root/repo/src/npb/ua.cpp" "src/CMakeFiles/tlbmap_npb.dir/npb/ua.cpp.o" "gcc" "src/CMakeFiles/tlbmap_npb.dir/npb/ua.cpp.o.d"
+  "/root/repo/src/npb/workload.cpp" "src/CMakeFiles/tlbmap_npb.dir/npb/workload.cpp.o" "gcc" "src/CMakeFiles/tlbmap_npb.dir/npb/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tlbmap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

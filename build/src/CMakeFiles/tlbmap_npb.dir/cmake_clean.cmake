@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlbmap_npb.dir/npb/bt.cpp.o"
+  "CMakeFiles/tlbmap_npb.dir/npb/bt.cpp.o.d"
+  "CMakeFiles/tlbmap_npb.dir/npb/cg.cpp.o"
+  "CMakeFiles/tlbmap_npb.dir/npb/cg.cpp.o.d"
+  "CMakeFiles/tlbmap_npb.dir/npb/ep.cpp.o"
+  "CMakeFiles/tlbmap_npb.dir/npb/ep.cpp.o.d"
+  "CMakeFiles/tlbmap_npb.dir/npb/ft.cpp.o"
+  "CMakeFiles/tlbmap_npb.dir/npb/ft.cpp.o.d"
+  "CMakeFiles/tlbmap_npb.dir/npb/is.cpp.o"
+  "CMakeFiles/tlbmap_npb.dir/npb/is.cpp.o.d"
+  "CMakeFiles/tlbmap_npb.dir/npb/lu.cpp.o"
+  "CMakeFiles/tlbmap_npb.dir/npb/lu.cpp.o.d"
+  "CMakeFiles/tlbmap_npb.dir/npb/mg.cpp.o"
+  "CMakeFiles/tlbmap_npb.dir/npb/mg.cpp.o.d"
+  "CMakeFiles/tlbmap_npb.dir/npb/sp.cpp.o"
+  "CMakeFiles/tlbmap_npb.dir/npb/sp.cpp.o.d"
+  "CMakeFiles/tlbmap_npb.dir/npb/synthetic.cpp.o"
+  "CMakeFiles/tlbmap_npb.dir/npb/synthetic.cpp.o.d"
+  "CMakeFiles/tlbmap_npb.dir/npb/ua.cpp.o"
+  "CMakeFiles/tlbmap_npb.dir/npb/ua.cpp.o.d"
+  "CMakeFiles/tlbmap_npb.dir/npb/workload.cpp.o"
+  "CMakeFiles/tlbmap_npb.dir/npb/workload.cpp.o.d"
+  "libtlbmap_npb.a"
+  "libtlbmap_npb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlbmap_npb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/access_program.cpp" "src/CMakeFiles/tlbmap_sim.dir/sim/access_program.cpp.o" "gcc" "src/CMakeFiles/tlbmap_sim.dir/sim/access_program.cpp.o.d"
+  "/root/repo/src/sim/cache.cpp" "src/CMakeFiles/tlbmap_sim.dir/sim/cache.cpp.o" "gcc" "src/CMakeFiles/tlbmap_sim.dir/sim/cache.cpp.o.d"
+  "/root/repo/src/sim/coherence.cpp" "src/CMakeFiles/tlbmap_sim.dir/sim/coherence.cpp.o" "gcc" "src/CMakeFiles/tlbmap_sim.dir/sim/coherence.cpp.o.d"
+  "/root/repo/src/sim/hierarchy.cpp" "src/CMakeFiles/tlbmap_sim.dir/sim/hierarchy.cpp.o" "gcc" "src/CMakeFiles/tlbmap_sim.dir/sim/hierarchy.cpp.o.d"
+  "/root/repo/src/sim/interconnect.cpp" "src/CMakeFiles/tlbmap_sim.dir/sim/interconnect.cpp.o" "gcc" "src/CMakeFiles/tlbmap_sim.dir/sim/interconnect.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/CMakeFiles/tlbmap_sim.dir/sim/machine.cpp.o" "gcc" "src/CMakeFiles/tlbmap_sim.dir/sim/machine.cpp.o.d"
+  "/root/repo/src/sim/page_table.cpp" "src/CMakeFiles/tlbmap_sim.dir/sim/page_table.cpp.o" "gcc" "src/CMakeFiles/tlbmap_sim.dir/sim/page_table.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/tlbmap_sim.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/tlbmap_sim.dir/sim/stats.cpp.o.d"
+  "/root/repo/src/sim/tlb.cpp" "src/CMakeFiles/tlbmap_sim.dir/sim/tlb.cpp.o" "gcc" "src/CMakeFiles/tlbmap_sim.dir/sim/tlb.cpp.o.d"
+  "/root/repo/src/sim/topology.cpp" "src/CMakeFiles/tlbmap_sim.dir/sim/topology.cpp.o" "gcc" "src/CMakeFiles/tlbmap_sim.dir/sim/topology.cpp.o.d"
+  "/root/repo/src/sim/trace_file.cpp" "src/CMakeFiles/tlbmap_sim.dir/sim/trace_file.cpp.o" "gcc" "src/CMakeFiles/tlbmap_sim.dir/sim/trace_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlbmap_sim.dir/sim/access_program.cpp.o"
+  "CMakeFiles/tlbmap_sim.dir/sim/access_program.cpp.o.d"
+  "CMakeFiles/tlbmap_sim.dir/sim/cache.cpp.o"
+  "CMakeFiles/tlbmap_sim.dir/sim/cache.cpp.o.d"
+  "CMakeFiles/tlbmap_sim.dir/sim/coherence.cpp.o"
+  "CMakeFiles/tlbmap_sim.dir/sim/coherence.cpp.o.d"
+  "CMakeFiles/tlbmap_sim.dir/sim/hierarchy.cpp.o"
+  "CMakeFiles/tlbmap_sim.dir/sim/hierarchy.cpp.o.d"
+  "CMakeFiles/tlbmap_sim.dir/sim/interconnect.cpp.o"
+  "CMakeFiles/tlbmap_sim.dir/sim/interconnect.cpp.o.d"
+  "CMakeFiles/tlbmap_sim.dir/sim/machine.cpp.o"
+  "CMakeFiles/tlbmap_sim.dir/sim/machine.cpp.o.d"
+  "CMakeFiles/tlbmap_sim.dir/sim/page_table.cpp.o"
+  "CMakeFiles/tlbmap_sim.dir/sim/page_table.cpp.o.d"
+  "CMakeFiles/tlbmap_sim.dir/sim/stats.cpp.o"
+  "CMakeFiles/tlbmap_sim.dir/sim/stats.cpp.o.d"
+  "CMakeFiles/tlbmap_sim.dir/sim/tlb.cpp.o"
+  "CMakeFiles/tlbmap_sim.dir/sim/tlb.cpp.o.d"
+  "CMakeFiles/tlbmap_sim.dir/sim/topology.cpp.o"
+  "CMakeFiles/tlbmap_sim.dir/sim/topology.cpp.o.d"
+  "CMakeFiles/tlbmap_sim.dir/sim/trace_file.cpp.o"
+  "CMakeFiles/tlbmap_sim.dir/sim/trace_file.cpp.o.d"
+  "libtlbmap_sim.a"
+  "libtlbmap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlbmap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_access_program.dir/test_access_program.cpp.o"
+  "CMakeFiles/test_access_program.dir/test_access_program.cpp.o.d"
+  "test_access_program"
+  "test_access_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_access_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

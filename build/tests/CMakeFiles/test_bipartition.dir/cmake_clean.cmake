@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bipartition.dir/test_bipartition.cpp.o"
+  "CMakeFiles/test_bipartition.dir/test_bipartition.cpp.o.d"
+  "test_bipartition"
+  "test_bipartition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bipartition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

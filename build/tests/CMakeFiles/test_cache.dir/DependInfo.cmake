@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/test_cache.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/test_cache.dir/test_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tlbmap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tlbmap_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tlbmap_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tlbmap_npb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tlbmap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

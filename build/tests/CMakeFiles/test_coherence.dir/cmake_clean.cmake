@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coherence.dir/test_coherence.cpp.o"
+  "CMakeFiles/test_coherence.dir/test_coherence.cpp.o.d"
+  "test_coherence"
+  "test_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

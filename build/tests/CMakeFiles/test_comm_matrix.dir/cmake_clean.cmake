@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm_matrix.dir/test_comm_matrix.cpp.o"
+  "CMakeFiles/test_comm_matrix.dir/test_comm_matrix.cpp.o.d"
+  "test_comm_matrix"
+  "test_comm_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

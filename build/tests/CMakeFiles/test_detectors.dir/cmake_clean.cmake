@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detectors.dir/test_detectors.cpp.o"
+  "CMakeFiles/test_detectors.dir/test_detectors.cpp.o.d"
+  "test_detectors"
+  "test_detectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

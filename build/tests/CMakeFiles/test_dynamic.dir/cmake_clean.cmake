@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dynamic.dir/test_dynamic.cpp.o"
+  "CMakeFiles/test_dynamic.dir/test_dynamic.cpp.o.d"
+  "test_dynamic"
+  "test_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numa.dir/test_numa.cpp.o"
+  "CMakeFiles/test_numa.dir/test_numa.cpp.o.d"
+  "test_numa"
+  "test_numa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_page_table.dir/test_page_table.cpp.o"
+  "CMakeFiles/test_page_table.dir/test_page_table.cpp.o.d"
+  "test_page_table"
+  "test_page_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_page_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synthetic.dir/test_synthetic.cpp.o"
+  "CMakeFiles/test_synthetic.dir/test_synthetic.cpp.o.d"
+  "test_synthetic"
+  "test_synthetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

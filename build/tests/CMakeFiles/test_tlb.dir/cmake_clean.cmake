@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tlb.dir/test_tlb.cpp.o"
+  "CMakeFiles/test_tlb.dir/test_tlb.cpp.o.d"
+  "test_tlb"
+  "test_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
