@@ -8,13 +8,16 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
 #include "core/experiment.hpp"
 #include "core/report.hpp"
+#include "obs/obs.hpp"
 
 namespace tlbmap::bench {
 
@@ -22,8 +25,37 @@ namespace tlbmap::bench {
 /// machine-readable CSV after the human-readable table.
 inline bool g_emit_csv = false;
 
+/// Observability plumbing shared by all bench binaries: --obs-level,
+/// --trace-out and --metrics-out mirror the tlbmap_cli flags. Artifacts are
+/// flushed at process exit so individual benches need no epilogue code.
+inline obs::ObsContext& bench_obs() {
+  static obs::ObsContext ctx;
+  return ctx;
+}
+inline std::string g_trace_out;
+inline std::string g_metrics_out;
+
+inline void write_obs_artifacts() {
+  obs::ObsContext& ctx = bench_obs();
+  if (!g_trace_out.empty()) {
+    std::ofstream out(g_trace_out);
+    ctx.tracer.export_chrome_trace(out);
+    std::fprintf(stderr, "[obs] trace written to %s\n", g_trace_out.c_str());
+  }
+  if (!g_metrics_out.empty()) {
+    std::ofstream out(g_metrics_out);
+    ctx.metrics.export_jsonl(out);
+    std::fprintf(stderr, "[obs] metrics written to %s\n",
+                 g_metrics_out.c_str());
+  }
+  if (ctx.level != obs::ObsLevel::kOff) {
+    std::fprintf(stderr, "\n%s", phase_profile(ctx.tracer).c_str());
+  }
+}
+
 inline SuiteConfig parse_suite_args(int argc, char** argv) {
   SuiteConfig config;
+  bench_obs().level = obs::ObsLevel::kOff;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--fresh") {
@@ -39,18 +71,46 @@ inline SuiteConfig parse_suite_args(int argc, char** argv) {
       while (std::getline(list, app, ',')) {
         if (!app.empty()) config.apps.push_back(app);
       }
+    } else if (arg == "--obs-level" && i + 1 < argc) {
+      if (auto level = obs::parse_obs_level(argv[++i])) {
+        bench_obs().level = *level;
+      } else {
+        std::fprintf(stderr, "unknown obs level: %s\n", argv[i]);
+        std::exit(2);
+      }
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      g_trace_out = argv[++i];
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      g_metrics_out = argv[++i];
     } else if (arg == "--help") {
-      std::printf("usage: %s [--fresh] [--csv] [--reps N] [--apps A,B,...]\n",
-                  argv[0]);
+      std::printf(
+          "usage: %s [--fresh] [--csv] [--reps N] [--apps A,B,...]\n"
+          "          [--obs-level off|phases|full] [--trace-out FILE]\n"
+          "          [--metrics-out FILE]\n",
+          argv[0]);
       std::exit(0);
     }
+  }
+  // Requesting an artifact implies recording; register the exit hook once.
+  if ((!g_trace_out.empty() || !g_metrics_out.empty()) &&
+      bench_obs().level == obs::ObsLevel::kOff) {
+    bench_obs().level = obs::ObsLevel::kPhases;
+  }
+  if (bench_obs().level != obs::ObsLevel::kOff) {
+    static const bool registered = [] {
+      std::atexit(write_obs_artifacts);
+      return true;
+    }();
+    (void)registered;
   }
   return config;
 }
 
 inline SuiteResult load_suite(int argc, char** argv) {
   const SuiteConfig config = parse_suite_args(argc, argv);
-  return run_suite(config, &std::cerr);
+  obs::ObsContext& ctx = bench_obs();
+  return run_suite(config, &std::cerr,
+                   ctx.level == obs::ObsLevel::kOff ? nullptr : &ctx);
 }
 
 /// Prints one of the paper's normalised figures (6-9): per app, the metric

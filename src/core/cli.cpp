@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <exception>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 
@@ -9,6 +10,7 @@
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
 #include "npb/workload.hpp"
+#include "obs/obs.hpp"
 #include "sim/trace_file.hpp"
 
 namespace tlbmap {
@@ -70,7 +72,13 @@ std::string cli_usage() {
       "  --numa               use the NUMA machine model\n"
       "  --apps A,B,...       suite: restrict the application set\n"
       "  --mapping 0,1,...    evaluate/replay: explicit thread->core list\n"
-      "  --out DIR / --in DIR record/replay trace directory\n";
+      "  --out DIR / --in DIR record/replay trace directory\n"
+      "\n"
+      "observability:\n"
+      "  --obs-level L        off | phases | full (default off; implied\n"
+      "                       phases when an output file is requested)\n"
+      "  --trace-out FILE     write a Chrome-trace JSON (open in Perfetto)\n"
+      "  --metrics-out FILE   write the metrics registry as JSONL\n";
 }
 
 CliOptions parse_cli(int argc, const char* const* argv) {
@@ -128,6 +136,12 @@ CliOptions parse_cli(int argc, const char* const* argv) {
         }
       } else if (arg == "--out" || arg == "--in") {
         if (const char* v = next_value()) opt.dir = v;
+      } else if (arg == "--obs-level") {
+        if (const char* v = next_value()) opt.obs_level = v;
+      } else if (arg == "--trace-out") {
+        if (const char* v = next_value()) opt.trace_out = v;
+      } else if (arg == "--metrics-out") {
+        if (const char* v = next_value()) opt.metrics_out = v;
       } else {
         opt.error = "unknown option: " + arg;
       }
@@ -143,6 +157,12 @@ CliOptions parse_cli(int argc, const char* const* argv) {
   }
   if (opt.threads < 1) opt.error = "threads must be positive";
   if (opt.reps < 1) opt.error = "reps must be positive";
+  if (!obs::parse_obs_level(opt.obs_level)) {
+    opt.error = "unknown obs level: " + opt.obs_level;
+  } else if (opt.obs_level == "off" &&
+             (!opt.trace_out.empty() || !opt.metrics_out.empty())) {
+    opt.obs_level = "phases";
+  }
   if ((opt.command == "record" || opt.command == "replay") &&
       opt.dir.empty()) {
     opt.error = opt.command + " needs --out/--in DIR";
@@ -171,11 +191,12 @@ Pipeline::Mechanism mechanism_for(const CliOptions& opt) {
   return Pipeline::Mechanism::kSoftwareManaged;
 }
 
-Pipeline make_pipeline(const CliOptions& opt) {
+Pipeline make_pipeline(const CliOptions& opt, obs::ObsContext* obs) {
   Pipeline pipe(machine_for(opt));
   const SuiteConfig defaults;  // trace-scaled detector knobs
   pipe.sm_config() = defaults.sm;
   pipe.hm_config() = defaults.hm;
+  pipe.set_observability(obs);
   return pipe;
 }
 
@@ -192,8 +213,8 @@ void print_stats_row(const char* label, const MachineStats& s) {
               static_cast<unsigned long long>(s.l2_misses));
 }
 
-int cmd_detect(const CliOptions& opt) {
-  Pipeline pipe = make_pipeline(opt);
+int cmd_detect(const CliOptions& opt, obs::ObsContext* obs) {
+  Pipeline pipe = make_pipeline(opt, obs);
   const DetectionResult det = detect_for(pipe, opt);
   std::printf("%s on %s: %llu searches, TLB miss rate %s, overhead %s\n",
               det.mechanism.c_str(), opt.app.c_str(),
@@ -204,16 +225,16 @@ int cmd_detect(const CliOptions& opt) {
   return 0;
 }
 
-int cmd_map(const CliOptions& opt) {
-  Pipeline pipe = make_pipeline(opt);
+int cmd_map(const CliOptions& opt, obs::ObsContext* obs) {
+  Pipeline pipe = make_pipeline(opt, obs);
   const DetectionResult det = detect_for(pipe, opt);
   const Mapping mapping = pipe.map(det.matrix);
   std::printf("%s\n", to_string(mapping).c_str());
   return 0;
 }
 
-int cmd_evaluate(const CliOptions& opt) {
-  Pipeline pipe = make_pipeline(opt);
+int cmd_evaluate(const CliOptions& opt, obs::ObsContext* obs) {
+  Pipeline pipe = make_pipeline(opt, obs);
   const auto workload = make_npb_workload(opt.app, params_for(opt));
   Mapping mapping = opt.mapping;
   if (mapping.empty()) {
@@ -237,8 +258,8 @@ int cmd_evaluate(const CliOptions& opt) {
   return 0;
 }
 
-int cmd_dynamic(const CliOptions& opt) {
-  Pipeline pipe = make_pipeline(opt);
+int cmd_dynamic(const CliOptions& opt, obs::ObsContext* obs) {
+  Pipeline pipe = make_pipeline(opt, obs);
   const auto workload = make_npb_workload(opt.app, params_for(opt));
   const Mapping start = random_mapping(
       opt.threads, machine_for(opt).num_cores(), opt.seed + 99);
@@ -254,14 +275,14 @@ int cmd_dynamic(const CliOptions& opt) {
   return 0;
 }
 
-int cmd_suite(const CliOptions& opt) {
+int cmd_suite(const CliOptions& opt, obs::ObsContext* obs) {
   SuiteConfig config;
   config.machine = machine_for(opt);
   config.workload = params_for(opt);
   config.repetitions = opt.reps;
   config.base_seed = opt.seed;
   if (!opt.apps.empty()) config.apps = opt.apps;
-  const SuiteResult result = run_suite(config, &std::cerr);
+  const SuiteResult result = run_suite(config, &std::cerr, obs);
   TextTable table({"app", "time SM/OS", "time HM/OS", "inv SM/OS",
                    "snoop SM/OS", "L2 SM/OS"});
   for (const AppExperiment& app : result.apps) {
@@ -297,14 +318,53 @@ int cmd_record(const CliOptions& opt) {
   return 0;
 }
 
-int cmd_replay(const CliOptions& opt) {
+int cmd_replay(const CliOptions& opt, obs::ObsContext* obs) {
   RecordedWorkload workload(load_recording(opt.dir));
-  Pipeline pipe = make_pipeline(opt);
+  Pipeline pipe = make_pipeline(opt, obs);
   Mapping mapping = opt.mapping;
   if (mapping.empty()) mapping = identity_mapping(workload.num_threads());
   const MachineStats s = pipe.evaluate(workload, mapping, opt.seed);
   print_stats_row("replay", s);
   return 0;
+}
+
+}  // namespace
+
+namespace {
+
+/// Writes the requested trace/metrics artifacts and prints the phase
+/// profile. Runs after the command even on failure: a partial trace is the
+/// tool you debug the failure with.
+void finish_observability(const CliOptions& options, obs::ObsContext* obs) {
+  if (obs == nullptr) return;
+  if (!options.trace_out.empty()) {
+    std::ofstream out(options.trace_out);
+    if (out) {
+      obs->tracer.export_chrome_trace(out);
+      std::fprintf(stderr, "[obs] trace written to %s (%zu events",
+                   options.trace_out.c_str(), obs->tracer.size());
+      if (obs->tracer.dropped() > 0) {
+        std::fprintf(stderr, ", %llu dropped",
+                     static_cast<unsigned long long>(obs->tracer.dropped()));
+      }
+      std::fprintf(stderr, ")\n");
+    } else {
+      std::fprintf(stderr, "[obs] cannot write trace to %s\n",
+                   options.trace_out.c_str());
+    }
+  }
+  if (!options.metrics_out.empty()) {
+    std::ofstream out(options.metrics_out);
+    if (out) {
+      obs->metrics.export_jsonl(out);
+      std::fprintf(stderr, "[obs] metrics written to %s\n",
+                   options.metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "[obs] cannot write metrics to %s\n",
+                   options.metrics_out.c_str());
+    }
+  }
+  std::fprintf(stderr, "\n%s", phase_profile(obs->tracer).c_str());
 }
 
 }  // namespace
@@ -319,19 +379,25 @@ int run_cli(const CliOptions& options) {
                 cli_usage().c_str());
     return 2;
   }
+  obs::ObsContext ctx;
+  ctx.level =
+      obs::parse_obs_level(options.obs_level).value_or(obs::ObsLevel::kOff);
+  obs::ObsContext* obs = ctx.level == obs::ObsLevel::kOff ? nullptr : &ctx;
+  int code = 2;  // unreachable fallback: parse_cli validated the command
   try {
-    if (options.command == "detect") return cmd_detect(options);
-    if (options.command == "map") return cmd_map(options);
-    if (options.command == "evaluate") return cmd_evaluate(options);
-    if (options.command == "dynamic") return cmd_dynamic(options);
-    if (options.command == "suite") return cmd_suite(options);
-    if (options.command == "record") return cmd_record(options);
-    if (options.command == "replay") return cmd_replay(options);
+    if (options.command == "detect") code = cmd_detect(options, obs);
+    else if (options.command == "map") code = cmd_map(options, obs);
+    else if (options.command == "evaluate") code = cmd_evaluate(options, obs);
+    else if (options.command == "dynamic") code = cmd_dynamic(options, obs);
+    else if (options.command == "suite") code = cmd_suite(options, obs);
+    else if (options.command == "record") code = cmd_record(options);
+    else if (options.command == "replay") code = cmd_replay(options, obs);
   } catch (const std::exception& e) {
     std::printf("error: %s\n", e.what());
-    return 1;
+    code = 1;
   }
-  return 2;  // unreachable: parse_cli validated the command
+  finish_observability(options, obs);
+  return code;
 }
 
 }  // namespace tlbmap

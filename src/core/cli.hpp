@@ -34,6 +34,12 @@ struct CliOptions {
   std::vector<std::string> apps;  ///< suite only; empty = all nine
   Mapping mapping;                ///< evaluate/replay; empty = detect+map
   std::string dir;                ///< record --out / replay --in
+  // Observability (see src/obs/): "off" records nothing. Passing
+  // --trace-out/--metrics-out with the default level upgrades it to
+  // "phases" so the artifacts are never silently empty.
+  std::string obs_level = "off";  ///< off | phases | full
+  std::string trace_out;          ///< Chrome-trace JSON path; empty = none
+  std::string metrics_out;        ///< metrics JSONL path; empty = none
   bool help = false;
   std::string error;  ///< non-empty means parsing failed; message inside
 

@@ -1,5 +1,7 @@
 #include "core/dynamic.hpp"
 
+#include <sstream>
+
 namespace tlbmap {
 
 OnlineMapper::OnlineMapper(Machine& machine, int num_threads,
@@ -24,10 +26,25 @@ std::vector<CoreId> OnlineMapper::on_barrier(int barrier_index,
   }
   if (detector_.matrix().total() < config_.min_matrix_total) return {};
   ++remap_decisions_;
+  if (obs::MetricsRegistry* metrics =
+          obs::metrics_at(obs_, obs::ObsLevel::kPhases)) {
+    metrics->counter("online.remap_decisions").add();
+  }
   Mapping next = mapper_.map(detector_.matrix());
   const double current_cost =
       mapping_cost(detector_.matrix(), current_, *topology_);
   const double next_cost = mapping_cost(detector_.matrix(), next, *topology_);
+  if (obs::Tracer* tracer = obs::tracer_at(obs_, obs::ObsLevel::kFull)) {
+    std::ostringstream args;
+    args << "\"barrier\":" << barrier_index
+         << ",\"current_cost\":" << current_cost
+         << ",\"candidate_cost\":" << next_cost;
+    tracer->record_instant("online.remap_decision", "mapper", args.str());
+    obs_->metrics.snapshot_matrix(
+        "comm_matrix.online",
+        static_cast<std::uint64_t>(remap_decisions_),
+        detector_.matrix().rows());
+  }
   // Age the matrix so the next decision window reflects fresh behaviour.
   detector_.decay_matrix(config_.decay);
   if (next == current_) return {};
@@ -37,6 +54,15 @@ std::vector<CoreId> OnlineMapper::on_barrier(int barrier_index,
   }
   current_ = std::move(next);
   ++migrations_;
+  if (obs::MetricsRegistry* metrics =
+          obs::metrics_at(obs_, obs::ObsLevel::kPhases)) {
+    metrics->counter("online.migrations").add();
+  }
+  if (obs::Tracer* tracer = obs::tracer_at(obs_, obs::ObsLevel::kPhases)) {
+    std::ostringstream args;
+    args << "\"barrier\":" << barrier_index;
+    tracer->record_instant("online.migrate", "mapper", args.str());
+  }
   return current_;
 }
 

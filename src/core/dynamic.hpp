@@ -55,7 +55,15 @@ class OnlineMapper final : public MachineObserver, public MigrationPolicy {
   int migrations() const { return migrations_; }
   int remap_decisions() const { return remap_decisions_; }
 
+  /// Forwards the context to the embedded detector and records remap
+  /// decisions / migrations as trace instants and counters.
+  void set_observability(obs::ObsContext* obs) {
+    obs_ = obs;
+    detector_.set_observability(obs);
+  }
+
  private:
+  obs::ObsContext* obs_ = nullptr;
   SmDetector detector_;
   HierarchicalMapper mapper_;
   const Topology* topology_;

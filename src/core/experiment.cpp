@@ -242,11 +242,14 @@ std::optional<SuiteResult> deserialize_suite(const std::string& text,
   return result;
 }
 
-SuiteResult run_suite(const SuiteConfig& config, std::ostream* progress) {
+SuiteResult run_suite(const SuiteConfig& config, std::ostream* progress,
+                      obs::ObsContext* obs) {
   const bool caching = config.use_cache && !cache_disabled();
   const std::filesystem::path cache_file =
       cache_dir() / suite_cache_key(config);
   if (caching && std::filesystem::exists(cache_file)) {
+    obs::TraceSpan span(obs::tracer_at(obs, obs::ObsLevel::kPhases),
+                       "suite.cache_load", "suite");
     std::ifstream in(cache_file);
     std::stringstream buf;
     buf << in.rdbuf();
@@ -274,10 +277,14 @@ SuiteResult run_suite(const SuiteConfig& config, std::ostream* progress) {
     AppExperiment app;
     app.app = workload->name();
 
+    obs::TraceSpan app_span(obs::tracer_at(obs, obs::ObsLevel::kPhases),
+                            "suite." + app.app, "suite");
+
     Pipeline pipe(config.machine);
     pipe.sm_config() = config.sm;
     pipe.hm_config() = config.hm;
     pipe.oracle_config() = config.oracle;
+    pipe.set_observability(obs);
 
     if (progress != nullptr) *progress << "[suite] " << name << ": detect\n";
     app.sm_detection =
@@ -340,6 +347,9 @@ SuiteResult run_suite(const SuiteConfig& config, std::ostream* progress) {
         if (idx >= tasks.size()) return;
         Task& task = tasks[idx];
         Pipeline worker_pipe(config.machine);
+        // The tracer and registry are thread-safe; evaluation spans from
+        // parallel workers interleave in the ring like any other events.
+        worker_pipe.set_observability(obs);
         *task.slot =
             worker_pipe.evaluate(*workload, task.mapping, task.run_seed);
       }

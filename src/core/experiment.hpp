@@ -93,9 +93,12 @@ struct SuiteResult {
 };
 
 /// Runs (or loads from cache) the whole evaluation. `progress`, when given,
-/// receives one line per completed step.
+/// receives one line per completed step. `obs`, when given, receives one
+/// span per app plus everything the underlying Pipeline publishes (cached
+/// loads record a "suite.cache_load" span and nothing else).
 SuiteResult run_suite(const SuiteConfig& config,
-                      std::ostream* progress = nullptr);
+                      std::ostream* progress = nullptr,
+                      obs::ObsContext* obs = nullptr);
 
 /// Cache plumbing (exposed for tests).
 std::string suite_cache_key(const SuiteConfig& config);

@@ -1,5 +1,6 @@
 #include "core/pipeline.hpp"
 
+#include <sstream>
 #include <stdexcept>
 
 namespace tlbmap {
@@ -23,6 +24,21 @@ std::vector<std::unique_ptr<ThreadStream>> make_streams(
 
 }  // namespace
 
+void Pipeline::record_phase(const char* phase, std::uint64_t wall_us,
+                            std::uint64_t sim_events) {
+  obs::MetricsRegistry* metrics =
+      obs::metrics_at(obs_, obs::ObsLevel::kPhases);
+  if (metrics == nullptr) return;
+  const obs::Labels labels = {{"phase", phase}};
+  metrics->histogram("pipeline.phase_wall_us", labels)
+      .observe(static_cast<double>(wall_us));
+  if (wall_us > 0 && sim_events > 0) {
+    metrics->gauge("pipeline.sim_events_per_sec", labels)
+        .set(static_cast<double>(sim_events) * 1e6 /
+             static_cast<double>(wall_us));
+  }
+}
+
 DetectionResult Pipeline::detect(const Workload& workload,
                                  Mechanism mechanism, std::uint64_t seed) {
   if (workload.num_threads() > topology_.num_cores()) {
@@ -44,22 +60,51 @@ DetectionResult Pipeline::detect(const Workload& workload,
                                                   oracle_config_);
       break;
   }
+  detector->set_observability(obs_);
 
   Machine::RunConfig run;
   run.thread_to_core = identity_mapping(workload.num_threads());
   run.observer = detector.get();
+  run.obs = obs_;
 
   DetectionResult result;
-  result.stats = machine.run(make_streams(workload, seed), run);
-  result.matrix = detector->matrix();
-  result.searches = detector->searches();
-  result.mechanism = detector->name();
+  {
+    obs::TraceSpan span(obs::tracer_at(obs_, obs::ObsLevel::kPhases),
+                        "pipeline.detect", "phase");
+    result.stats = machine.run(make_streams(workload, seed), run);
+    result.matrix = detector->matrix();
+    result.searches = detector->searches();
+    result.mechanism = detector->name();
+    if (obs::MetricsRegistry* metrics =
+            obs::metrics_at(obs_, obs::ObsLevel::kPhases)) {
+      std::ostringstream args;
+      args << "\"app\":\"" << obs::json_escape(workload.name())
+           << "\",\"mechanism\":\"" << result.mechanism
+           << "\",\"searches\":" << result.searches;
+      span.set_args(args.str());
+      publish_stats(*metrics, result.stats,
+                    {{"phase", "detect"}, {"mechanism", result.mechanism}});
+      // End-of-detection heatmap snapshot, tagged with the search count so
+      // kFull's periodic snapshots and this final one share an epoch axis.
+      metrics->snapshot_matrix("comm_matrix." + result.mechanism,
+                               result.searches, result.matrix.rows());
+    }
+    record_phase("detect", span.elapsed_us(), result.stats.accesses);
+  }
   return result;
 }
 
 Mapping Pipeline::map(const CommMatrix& matrix) const {
+  obs::TraceSpan span(obs::tracer_at(obs_, obs::ObsLevel::kPhases),
+                      "pipeline.map", "phase");
   HierarchicalMapper mapper(topology_);
-  return mapper.map(matrix);
+  Mapping mapping = mapper.map(matrix);
+  if (obs_ != nullptr && obs_->phases()) {
+    obs_->metrics.counter("pipeline.map_calls").add();
+    obs_->metrics.histogram("pipeline.phase_wall_us", {{"phase", "map"}})
+        .observe(static_cast<double>(span.elapsed_us()));
+  }
+  return mapping;
 }
 
 MachineStats Pipeline::evaluate(const Workload& workload,
@@ -70,7 +115,20 @@ MachineStats Pipeline::evaluate(const Workload& workload,
   Machine machine(config_);
   Machine::RunConfig run;
   run.thread_to_core = mapping;
-  return machine.run(make_streams(workload, seed), run);
+  run.obs = obs_;
+  obs::TraceSpan span(obs::tracer_at(obs_, obs::ObsLevel::kPhases),
+                      "pipeline.evaluate", "phase");
+  const MachineStats stats = machine.run(make_streams(workload, seed), run);
+  if (obs::MetricsRegistry* metrics =
+          obs::metrics_at(obs_, obs::ObsLevel::kPhases)) {
+    std::ostringstream args;
+    args << "\"app\":\"" << obs::json_escape(workload.name())
+         << "\",\"sim_cycles\":" << stats.execution_cycles;
+    span.set_args(args.str());
+    publish_stats(*metrics, stats, {{"phase", "evaluate"}});
+  }
+  record_phase("evaluate", span.elapsed_us(), stats.accesses);
+  return stats;
 }
 
 Pipeline::DynamicRunResult Pipeline::evaluate_dynamic(
@@ -81,15 +139,32 @@ Pipeline::DynamicRunResult Pipeline::evaluate_dynamic(
   }
   Machine machine(config_);
   OnlineMapper online(machine, workload.num_threads(), initial, config);
+  online.set_observability(obs_);
   Machine::RunConfig run;
   run.thread_to_core = initial;
   run.observer = &online;
   run.migration = &online;
+  run.obs = obs_;
   DynamicRunResult result;
+  obs::TraceSpan span(obs::tracer_at(obs_, obs::ObsLevel::kPhases),
+                      "pipeline.dynamic", "phase");
   result.stats = machine.run(make_streams(workload, seed), run);
   result.migrations = online.migrations();
   result.remap_decisions = online.remap_decisions();
   result.final_mapping = online.current_mapping();
+  if (obs::MetricsRegistry* metrics =
+          obs::metrics_at(obs_, obs::ObsLevel::kPhases)) {
+    std::ostringstream args;
+    args << "\"app\":\"" << obs::json_escape(workload.name())
+         << "\",\"migrations\":" << result.migrations
+         << ",\"remap_decisions\":" << result.remap_decisions;
+    span.set_args(args.str());
+    publish_stats(*metrics, result.stats, {{"phase", "dynamic"}});
+    metrics->snapshot_matrix("comm_matrix.online",
+                             static_cast<std::uint64_t>(result.remap_decisions),
+                             online.matrix().rows());
+  }
+  record_phase("dynamic", span.elapsed_us(), result.stats.accesses);
   return result;
 }
 

@@ -23,6 +23,7 @@
 #include "mapping/hierarchical.hpp"
 #include "mapping/mapping.hpp"
 #include "npb/workload.hpp"
+#include "obs/obs.hpp"
 #include "sim/machine.hpp"
 
 namespace tlbmap {
@@ -83,12 +84,26 @@ class Pipeline {
   const MachineConfig& config() const { return config_; }
   const Topology& topology() const { return topology_; }
 
+  /// Attaches an observability context (null detaches, the default). Every
+  /// phase then records a span ("pipeline.detect" / "pipeline.map" /
+  /// "pipeline.evaluate" / "pipeline.dynamic"), publishes phase wall-clock
+  /// and simulated-throughput metrics, and snapshots the detected
+  /// communication matrix. The context must outlive the pipeline's calls.
+  void set_observability(obs::ObsContext* obs) { obs_ = obs; }
+  obs::ObsContext* observability() const { return obs_; }
+
  private:
+  /// Phase bookkeeping shared by detect/map/evaluate/evaluate_dynamic:
+  /// duration histogram + events/sec gauge keyed by phase name.
+  void record_phase(const char* phase, std::uint64_t wall_us,
+                    std::uint64_t sim_events);
+
   MachineConfig config_;
   Topology topology_;
   SmDetectorConfig sm_config_{};
   HmDetectorConfig hm_config_{};
   OracleDetectorConfig oracle_config_{};
+  obs::ObsContext* obs_ = nullptr;
 };
 
 }  // namespace tlbmap

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <iterator>
 #include <sstream>
+#include <utility>
 
 namespace tlbmap {
 
@@ -106,6 +109,36 @@ std::string fmt_count(double v) {
   if (negative) grouped.push_back('-');
   std::reverse(grouped.begin(), grouped.end());
   return grouped;
+}
+
+std::string phase_profile(const obs::Tracer& tracer) {
+  struct Agg {
+    std::uint64_t count = 0;
+    std::uint64_t total_us = 0;
+  };
+  std::vector<std::pair<std::string, Agg>> entries;
+  for (const obs::TraceEvent& ev : tracer.snapshot()) {
+    if (ev.kind != obs::TraceEvent::Kind::kSpan) continue;
+    auto it = std::find_if(entries.begin(), entries.end(),
+                           [&](const auto& e) { return e.first == ev.name; });
+    if (it == entries.end()) {
+      entries.push_back({ev.name, {}});
+      it = std::prev(entries.end());
+    }
+    ++it->second.count;
+    it->second.total_us += ev.dur_us;
+  }
+  std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {
+    return a.second.total_us > b.second.total_us;
+  });
+  TextTable table({"span", "count", "total ms", "mean ms"});
+  for (const auto& [name, agg] : entries) {
+    const double total_ms = static_cast<double>(agg.total_us) / 1000.0;
+    table.add_row({name, fmt_count(static_cast<double>(agg.count)),
+                   fmt_double(total_ms),
+                   fmt_double(total_ms / static_cast<double>(agg.count))});
+  }
+  return table.str();
 }
 
 std::string bar(double fraction, int width) {

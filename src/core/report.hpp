@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace tlbmap {
 
 /// Column-aligned monospace table.
@@ -39,5 +41,10 @@ std::string fmt_percent(double fraction, int precision = 1);
 std::string fmt_count(double v);
 /// Horizontal bar of width proportional to `fraction` (clamped to [0, ~2]).
 std::string bar(double fraction, int width = 32);
+
+/// Self-profiling summary of the spans held by a tracer: one row per span
+/// name with call count, total and mean wall time. Sorted by total time,
+/// descending. Empty tracers yield a table with only the header.
+std::string phase_profile(const obs::Tracer& tracer);
 
 }  // namespace tlbmap

@@ -50,6 +50,19 @@ double CommMatrix::normalized(ThreadId a, ThreadId b) const {
   return static_cast<double>(at(a, b)) / static_cast<double>(m);
 }
 
+std::vector<std::vector<std::uint64_t>> CommMatrix::rows() const {
+  std::vector<std::vector<std::uint64_t>> out(
+      static_cast<std::size_t>(n_),
+      std::vector<std::uint64_t>(static_cast<std::size_t>(n_), 0));
+  for (ThreadId a = 0; a < n_; ++a) {
+    for (ThreadId b = 0; b < n_; ++b) {
+      out[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] =
+          cells_[index(a, b)];
+    }
+  }
+  return out;
+}
+
 CommMatrix& CommMatrix::operator+=(const CommMatrix& other) {
   if (other.n_ != n_) {
     throw std::invalid_argument("CommMatrix::operator+=: size mismatch");

@@ -46,6 +46,10 @@ class CommMatrix {
   /// All pairs (a < b) ordered by decreasing communication.
   std::vector<std::pair<ThreadId, ThreadId>> pairs_by_weight() const;
 
+  /// Full (symmetric) matrix as rows of counts — the observability layer's
+  /// snapshot format for heatmap dumps.
+  std::vector<std::vector<std::uint64_t>> rows() const;
+
   /// ASCII heatmap in the style of the paper's Figures 4 and 5: darker
   /// glyphs mean more communication.
   std::string heatmap() const;

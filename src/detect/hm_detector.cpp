@@ -10,7 +10,7 @@ Cycles HmDetector::on_access(ThreadId /*thread*/, CoreId /*core*/,
                              VirtAddr /*addr*/, PageNum /*page*/,
                              AccessType /*type*/, bool tlb_miss,
                              Cycles /*now*/) {
-  if (tlb_miss) ++misses_seen_;
+  if (tlb_miss) count_miss();
   return 0;
 }
 
@@ -25,7 +25,7 @@ Cycles HmDetector::on_tick(Cycles now) {
 }
 
 void HmDetector::sweep() {
-  ++searches_;
+  count_search();
   const Topology& topo = machine_->topology();
   const MemoryHierarchy& hier = machine_->hierarchy();
   // All possible pairs of TLBs (the SM mechanism's locality argument does

@@ -9,7 +9,7 @@ Cycles OracleDetector::on_access(ThreadId thread, CoreId /*core*/,
                                  VirtAddr addr, PageNum /*page*/,
                                  AccessType /*type*/, bool tlb_miss,
                                  Cycles /*now*/) {
-  if (tlb_miss) ++misses_seen_;
+  if (tlb_miss) count_miss();
   ++access_count_;
   const std::uint64_t unit = addr >> config_.granularity_shift;
   auto [it, inserted] = last_touch_.try_emplace(

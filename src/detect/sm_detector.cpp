@@ -11,11 +11,11 @@ Cycles SmDetector::on_access(ThreadId thread, CoreId core,
                              AccessType /*type*/, bool tlb_miss,
                              Cycles /*now*/) {
   if (!tlb_miss) return 0;
-  ++misses_seen_;
+  count_miss();
   // Figure 1a: below the threshold, just count the miss and return.
   if (++miss_counter_ < config_.sample_threshold) return 0;
   miss_counter_ = 0;
-  ++searches_;
+  count_search();
   // Search every other TLB for the missed page. Tlb::contains probes only
   // the page's set, so the whole sweep is Theta(P * associativity).
   const Topology& topo = machine_->topology();

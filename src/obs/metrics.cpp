@@ -1,0 +1,189 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "obs/trace.hpp"  // json_escape
+
+namespace tlbmap::obs {
+
+void Histogram::observe(double v) {
+  if (v < 0.0) v = 0.0;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  // bucket 0 holds [0,1); bucket i>0 holds [2^(i-1), 2^i).
+  std::size_t bucket = 0;
+  if (v >= 1.0) {
+    bucket = static_cast<std::size_t>(std::ilogb(v)) + 1;
+    bucket = std::min(bucket, kBuckets - 1);
+  }
+  ++buckets_[bucket];
+}
+
+std::uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+double Histogram::mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+std::array<std::uint64_t, Histogram::kBuckets> Histogram::buckets() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buckets_;
+}
+
+std::string MetricsRegistry::key_of(const std::string& name,
+                                    const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key = name;
+  for (const auto& [k, v] : sorted) {
+    key += '\x1f';
+    key += k;
+    key += '\x1e';
+    key += v;
+  }
+  return key;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const Labels& labels) {
+  const std::string key = key_of(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(key);
+  if (it == counters_.end()) {
+    it = counters_.emplace(key, std::make_unique<Counter>()).first;
+    names_.emplace(key, std::make_pair(name, labels));
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  const std::string key = key_of(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(key);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(key, std::make_unique<Gauge>()).first;
+    names_.emplace(key, std::make_pair(name, labels));
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const Labels& labels) {
+  const std::string key = key_of(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(key);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(key, std::make_unique<Histogram>()).first;
+    names_.emplace(key, std::make_pair(name, labels));
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::snapshot_matrix(
+    std::string name, std::uint64_t epoch,
+    std::vector<std::vector<std::uint64_t>> rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  matrices_.push_back({std::move(name), epoch, std::move(rows)});
+}
+
+std::vector<MatrixSnapshot> MetricsRegistry::matrix_snapshots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return matrices_;
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name,
+                                             const Labels& labels) const {
+  const std::string key = key_of(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(key);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+namespace {
+
+std::string fmt_json_double(double v) {
+  if (!std::isfinite(v)) return "0";
+  std::ostringstream out;
+  out.precision(12);
+  out << v;
+  return out.str();
+}
+
+void write_header(std::ostream& out, const char* type,
+                  const std::pair<std::string, Labels>& name_labels) {
+  out << "{\"type\":\"" << type << "\",\"name\":\""
+      << json_escape(name_labels.first) << "\",\"labels\":{";
+  for (std::size_t i = 0; i < name_labels.second.size(); ++i) {
+    if (i != 0) out << ',';
+    out << '"' << json_escape(name_labels.second[i].first) << "\":\""
+        << json_escape(name_labels.second[i].second) << '"';
+  }
+  out << '}';
+}
+
+}  // namespace
+
+void MetricsRegistry::export_jsonl(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, c] : counters_) {
+    write_header(out, "counter", names_.at(key));
+    out << ",\"value\":" << c->value() << "}\n";
+  }
+  for (const auto& [key, g] : gauges_) {
+    write_header(out, "gauge", names_.at(key));
+    out << ",\"value\":" << fmt_json_double(g->value()) << "}\n";
+  }
+  for (const auto& [key, h] : histograms_) {
+    write_header(out, "histogram", names_.at(key));
+    out << ",\"count\":" << h->count()
+        << ",\"sum\":" << fmt_json_double(h->sum())
+        << ",\"min\":" << fmt_json_double(h->min())
+        << ",\"max\":" << fmt_json_double(h->max())
+        << ",\"mean\":" << fmt_json_double(h->mean()) << "}\n";
+  }
+  for (const MatrixSnapshot& m : matrices_) {
+    out << "{\"type\":\"matrix\",\"name\":\"" << json_escape(m.name)
+        << "\",\"epoch\":" << m.epoch << ",\"rows\":[";
+    for (std::size_t r = 0; r < m.rows.size(); ++r) {
+      if (r != 0) out << ',';
+      out << '[';
+      for (std::size_t c = 0; c < m.rows[r].size(); ++c) {
+        if (c != 0) out << ',';
+        out << m.rows[r][c];
+      }
+      out << ']';
+    }
+    out << "]}\n";
+  }
+}
+
+}  // namespace tlbmap::obs

@@ -1,0 +1,123 @@
+// Registry of named, labeled metrics: counters (monotonic uint64), gauges
+// (last-write-wins double), histograms (count/sum/min/max plus log2
+// buckets), and communication-matrix snapshots for heatmap dumps.
+//
+// Lookup (`counter()` / `gauge()` / `histogram()`) takes a registry-wide
+// mutex, but the returned references stay valid for the registry's lifetime,
+// so hot paths resolve once and update lock-free afterwards:
+//
+//   obs::Counter& searches = registry.counter("detector.searches",
+//                                             {{"mechanism", "SM"}});
+//   ...per event...
+//   searches.add();
+//
+// The whole registry exports as JSONL, one metric per line.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tlbmap::obs {
+
+/// Label set attached to a metric, e.g. {{"app", "SP"}, {"phase", "detect"}}.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Histogram over non-negative samples with power-of-two buckets:
+/// bucket i counts samples in [2^(i-1), 2^i) (bucket 0: [0, 1)).
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void observe(double v);
+
+  std::uint64_t count() const;
+  double sum() const;
+  double min() const;  ///< 0 when empty
+  double max() const;  ///< 0 when empty
+  double mean() const;
+  std::array<std::uint64_t, kBuckets> buckets() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::array<std::uint64_t, kBuckets> buckets_{};
+};
+
+/// One captured communication matrix (or any square count matrix), tagged
+/// with the epoch that produced it (detector sweep index, remap decision,
+/// end-of-run, ...).
+struct MatrixSnapshot {
+  std::string name;
+  std::uint64_t epoch = 0;
+  std::vector<std::vector<std::uint64_t>> rows;
+};
+
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  Histogram& histogram(const std::string& name, const Labels& labels = {});
+
+  void snapshot_matrix(std::string name, std::uint64_t epoch,
+                       std::vector<std::vector<std::uint64_t>> rows);
+  std::vector<MatrixSnapshot> matrix_snapshots() const;
+
+  /// Reads a previously registered counter's value; 0 if absent (lets tests
+  /// and reports probe without creating the metric).
+  std::uint64_t counter_value(const std::string& name,
+                              const Labels& labels = {}) const;
+
+  /// One JSON object per line:
+  ///   {"type":"counter","name":...,"labels":{...},"value":N}
+  ///   {"type":"gauge",...,"value":X}
+  ///   {"type":"histogram",...,"count":N,"sum":X,"min":X,"max":X,"mean":X}
+  ///   {"type":"matrix","name":...,"epoch":N,"rows":[[...],...]}
+  void export_jsonl(std::ostream& out) const;
+
+ private:
+  /// name + serialized labels; labels are sorted so order never matters.
+  static std::string key_of(const std::string& name, const Labels& labels);
+
+  mutable std::mutex mu_;
+  // node-based maps: references handed out stay stable under later inserts.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::pair<std::string, Labels>> names_;
+  std::vector<MatrixSnapshot> matrices_;
+};
+
+}  // namespace tlbmap::obs

@@ -1,0 +1,21 @@
+#include "obs/obs.hpp"
+
+namespace tlbmap::obs {
+
+std::optional<ObsLevel> parse_obs_level(std::string_view text) {
+  if (text == "off") return ObsLevel::kOff;
+  if (text == "phases") return ObsLevel::kPhases;
+  if (text == "full") return ObsLevel::kFull;
+  return std::nullopt;
+}
+
+const char* to_string(ObsLevel level) {
+  switch (level) {
+    case ObsLevel::kOff: return "off";
+    case ObsLevel::kPhases: return "phases";
+    case ObsLevel::kFull: return "full";
+  }
+  return "off";
+}
+
+}  // namespace tlbmap::obs

@@ -1,0 +1,57 @@
+// Bundles the tracer and metrics registry behind a verbosity level, as one
+// context object that is threaded (by pointer) through the pipeline, the
+// machine and the detectors. A null context — the default everywhere — or
+// level kOff keeps every hook to a null/level check, so instrumented code
+// costs nothing when observability is not requested.
+//
+//   obs::ObsContext ctx;
+//   ctx.level = obs::ObsLevel::kPhases;
+//   pipeline.set_observability(&ctx);
+//   ...run...
+//   ctx.tracer.export_chrome_trace(file);   // open in Perfetto
+//   ctx.metrics.export_jsonl(file);
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace tlbmap::obs {
+
+enum class ObsLevel {
+  kOff,     ///< record nothing (hooks reduce to one comparison)
+  kPhases,  ///< pipeline phase spans, run counters, end-of-run snapshots
+  kFull,    ///< + per-search detector events and per-epoch matrix snapshots
+};
+
+/// "off" / "phases" / "full"; nullopt on anything else.
+std::optional<ObsLevel> parse_obs_level(std::string_view text);
+const char* to_string(ObsLevel level);
+
+struct ObsContext {
+  ObsLevel level = ObsLevel::kPhases;
+  Tracer tracer;
+  MetricsRegistry metrics;
+
+  bool phases() const { return level >= ObsLevel::kPhases; }
+  bool full() const { return level >= ObsLevel::kFull; }
+};
+
+/// The tracer of `obs` when it exists and records at `min` or finer, else
+/// nullptr — feeds TraceSpan's null-object path:
+///
+///   obs::TraceSpan span(obs::tracer_at(obs_, obs::ObsLevel::kPhases),
+///                       "pipeline.map", "phase");
+inline Tracer* tracer_at(ObsContext* obs, ObsLevel min) {
+  return (obs != nullptr && obs->level >= min) ? &obs->tracer : nullptr;
+}
+
+/// Matching helper for metrics-side hooks.
+inline MetricsRegistry* metrics_at(ObsContext* obs, ObsLevel min) {
+  return (obs != nullptr && obs->level >= min) ? &obs->metrics : nullptr;
+}
+
+}  // namespace tlbmap::obs

@@ -1,0 +1,202 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <ostream>
+
+namespace tlbmap::obs {
+
+namespace {
+
+std::uint64_t steady_now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Dense per-thread id in first-use order — stable across a process, and
+/// far more readable in a trace viewer than hashed std::thread::id values.
+std::uint32_t current_tid() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id = next.fetch_add(1);
+  return id;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+Tracer::Tracer(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void Tracer::set_clock(std::function<std::uint64_t()> clock) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clock_ = std::move(clock);
+}
+
+std::uint64_t Tracer::now_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return clock_ ? clock_() : steady_now_us();
+}
+
+void Tracer::record(TraceEvent ev) {
+  ev.tid = current_tid();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(ev));
+  } else {
+    ring_[static_cast<std::size_t>(head_ % capacity_)] = std::move(ev);
+  }
+  ++head_;
+}
+
+void Tracer::record_span(std::string name, std::string category,
+                         std::uint64_t ts_us, std::uint64_t dur_us,
+                         std::string args_json) {
+  TraceEvent ev;
+  ev.kind = TraceEvent::Kind::kSpan;
+  ev.name = std::move(name);
+  ev.category = std::move(category);
+  ev.ts_us = ts_us;
+  ev.dur_us = dur_us;
+  ev.args_json = std::move(args_json);
+  record(std::move(ev));
+}
+
+void Tracer::record_instant(std::string name, std::string category,
+                            std::string args_json) {
+  TraceEvent ev;
+  ev.kind = TraceEvent::Kind::kInstant;
+  ev.name = std::move(name);
+  ev.category = std::move(category);
+  ev.ts_us = now_us();
+  ev.args_json = std::move(args_json);
+  record(std::move(ev));
+}
+
+std::uint64_t Tracer::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return head_;
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return head_ - ring_.size();
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // Ring is full: the oldest event sits at head_ % capacity_.
+    const std::size_t start = static_cast<std::size_t>(head_ % capacity_);
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      out.push_back(ring_[(start + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  head_ = 0;
+}
+
+namespace {
+
+void write_event_body(std::ostream& out, const TraceEvent& ev) {
+  out << "\"name\":\"" << json_escape(ev.name) << "\",\"cat\":\""
+      << json_escape(ev.category) << "\",\"ph\":\""
+      << (ev.kind == TraceEvent::Kind::kSpan ? 'X' : 'i')
+      << "\",\"ts\":" << ev.ts_us;
+  if (ev.kind == TraceEvent::Kind::kSpan) {
+    out << ",\"dur\":" << ev.dur_us;
+  } else {
+    out << ",\"s\":\"t\"";  // instant scope: thread
+  }
+  out << ",\"pid\":1,\"tid\":" << ev.tid;
+  if (!ev.args_json.empty()) out << ",\"args\":{" << ev.args_json << '}';
+}
+
+}  // namespace
+
+void Tracer::export_chrome_trace(std::ostream& out) const {
+  const std::vector<TraceEvent> events = snapshot();
+  out << "{\"traceEvents\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i != 0) out << ',';
+    out << "\n{";
+    write_event_body(out, events[i]);
+    out << '}';
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void Tracer::export_jsonl(std::ostream& out) const {
+  for (const TraceEvent& ev : snapshot()) {
+    out << '{';
+    write_event_body(out, ev);
+    out << "}\n";
+  }
+}
+
+TraceSpan::TraceSpan(Tracer* tracer, std::string name, std::string category,
+                     std::string args_json)
+    : tracer_(tracer),
+      name_(std::move(name)),
+      category_(std::move(category)),
+      args_json_(std::move(args_json)) {
+  if (tracer_ != nullptr) start_us_ = tracer_->now_us();
+}
+
+TraceSpan::~TraceSpan() {
+  if (tracer_ == nullptr) return;
+  const std::uint64_t end = tracer_->now_us();
+  tracer_->record_span(std::move(name_), std::move(category_), start_us_,
+                       end - start_us_, std::move(args_json_));
+}
+
+void TraceSpan::set_args(std::string args_json) {
+  args_json_ = std::move(args_json);
+}
+
+std::uint64_t TraceSpan::elapsed_us() const {
+  if (tracer_ == nullptr) return 0;
+  return tracer_->now_us() - start_us_;
+}
+
+}  // namespace tlbmap::obs

@@ -1,0 +1,116 @@
+// Low-overhead structured event tracer.
+//
+// Events (completed spans and instants) land in a fixed-capacity ring
+// buffer: recording never allocates past construction and never blocks on
+// I/O, so the tracer is safe to leave attached to hot paths. When the ring
+// wraps, the oldest events are overwritten; `dropped()` says how many.
+// Recording is thread-safe. Exports target chrome://tracing / Perfetto
+// (Chrome "traceEvents" JSON) and line-oriented JSONL for ad-hoc tooling.
+//
+// The clock is injectable (microsecond ticks) so tests can record
+// deterministic timestamps; the default is steady_clock wall time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tlbmap::obs {
+
+/// One recorded event. `args_json` is a preformatted JSON object body
+/// (without the braces), e.g. `"app":"SP","searches":12` — empty for none.
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    kSpan,     ///< completed duration event (Chrome ph "X")
+    kInstant,  ///< point-in-time marker (Chrome ph "i")
+  };
+
+  Kind kind = Kind::kInstant;
+  std::string name;
+  std::string category;
+  std::uint64_t ts_us = 0;   ///< start timestamp, microseconds
+  std::uint64_t dur_us = 0;  ///< span duration (0 for instants)
+  std::uint32_t tid = 0;     ///< recording thread (dense, first-use order)
+  std::string args_json;
+};
+
+/// Escapes a string for embedding inside a JSON string literal.
+std::string json_escape(const std::string& s);
+
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = 1 << 16);
+
+  /// Replaces the timestamp source (microsecond ticks). Pass nullptr to
+  /// restore the default steady_clock.
+  void set_clock(std::function<std::uint64_t()> clock);
+  std::uint64_t now_us() const;
+
+  void record_span(std::string name, std::string category,
+                   std::uint64_t ts_us, std::uint64_t dur_us,
+                   std::string args_json = {});
+  void record_instant(std::string name, std::string category,
+                      std::string args_json = {});
+
+  std::size_t capacity() const { return capacity_; }
+  /// Events recorded over the tracer's lifetime (including overwritten).
+  std::uint64_t recorded() const;
+  /// Events currently held (<= capacity).
+  std::size_t size() const;
+  /// Events lost to ring wraparound: recorded() - size().
+  std::uint64_t dropped() const;
+
+  /// Copies the buffered events, oldest first.
+  std::vector<TraceEvent> snapshot() const;
+
+  void clear();
+
+  /// Chrome trace-event JSON ({"traceEvents":[...]}), loadable in
+  /// chrome://tracing and Perfetto.
+  void export_chrome_trace(std::ostream& out) const;
+  /// One JSON object per line, same fields as the Chrome export.
+  void export_jsonl(std::ostream& out) const;
+
+ private:
+  void record(TraceEvent ev);
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  std::uint64_t head_ = 0;  ///< total events ever recorded
+  std::function<std::uint64_t()> clock_;
+};
+
+/// RAII span: construction stamps the start, destruction records the
+/// completed event. A null tracer makes every operation a no-op, so call
+/// sites stay branch-free:
+///
+///   obs::TraceSpan span(tracer_or_null, "pipeline.detect", "phase");
+class TraceSpan {
+ public:
+  TraceSpan(Tracer* tracer, std::string name, std::string category,
+            std::string args_json = {});
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Replaces the args recorded at destruction (results known only at the
+  /// end of the scope, e.g. counters collected by the spanned work).
+  void set_args(std::string args_json);
+
+  /// Microseconds since construction (0 without a tracer).
+  std::uint64_t elapsed_us() const;
+
+ private:
+  Tracer* tracer_;
+  std::string name_;
+  std::string category_;
+  std::string args_json_;
+  std::uint64_t start_us_ = 0;
+};
+
+}  // namespace tlbmap::obs

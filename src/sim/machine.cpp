@@ -1,6 +1,7 @@
 #include "sim/machine.hpp"
 
 #include <algorithm>
+#include <sstream>
 #include <stdexcept>
 
 namespace tlbmap {
@@ -42,6 +43,9 @@ MachineStats Machine::run(std::vector<std::unique_ptr<ThreadStream>> streams,
   }
   if (config.flush_first) hierarchy_.flush_caches();
 
+  obs::TraceSpan run_span(obs::tracer_at(config.obs, obs::ObsLevel::kPhases),
+                          "machine.run", "sim");
+
   MachineStats stats;
   std::vector<ThreadState> threads(streams.size());
   // Per-thread detector cycles; the reported overhead is the critical-path
@@ -62,6 +66,7 @@ MachineStats Machine::run(std::vector<std::unique_ptr<ThreadStream>> streams,
       throw std::invalid_argument("MigrationPolicy: wrong mapping size");
     }
     std::fill(thread_on_core_.begin(), thread_on_core_.end(), kNoThread);
+    int moved = 0;
     for (ThreadId t = 0; t < num_threads; ++t) {
       const CoreId core = next[static_cast<std::size_t>(t)];
       if (core < 0 || core >= topology().num_cores() ||
@@ -72,9 +77,23 @@ MachineStats Machine::run(std::vector<std::unique_ptr<ThreadStream>> streams,
       if (core != placement[static_cast<std::size_t>(t)] &&
           !threads[static_cast<std::size_t>(t)].done) {
         threads[static_cast<std::size_t>(t)].clock += config.migration_cost;
+        ++moved;
       }
     }
     placement = next;
+    if (moved > 0) {
+      if (obs::Tracer* tracer =
+              obs::tracer_at(config.obs, obs::ObsLevel::kFull)) {
+        std::ostringstream args;
+        args << "\"threads_moved\":" << moved;
+        tracer->record_instant("machine.migrate", "sim", args.str());
+      }
+      if (obs::MetricsRegistry* metrics =
+              obs::metrics_at(config.obs, obs::ObsLevel::kPhases)) {
+        metrics->counter("machine.thread_migrations")
+            .add(static_cast<std::uint64_t>(moved));
+      }
+    }
   };
 
   auto release_barrier_if_ready = [&] {
@@ -93,6 +112,12 @@ MachineStats Machine::run(std::vector<std::unique_ptr<ThreadStream>> streams,
       ts.clock = latest + config.barrier_latency;
     }
     ++barrier_count;
+    if (obs::Tracer* tracer =
+            obs::tracer_at(config.obs, obs::ObsLevel::kFull)) {
+      std::ostringstream args;
+      args << "\"barrier\":" << barrier_count << ",\"sim_cycles\":" << latest;
+      tracer->record_instant("machine.barrier", "sim", args.str());
+    }
     if (config.migration != nullptr) {
       apply_migration(config.migration->on_barrier(
           barrier_count, latest + config.barrier_latency));
@@ -167,6 +192,21 @@ MachineStats Machine::run(std::vector<std::unique_ptr<ThreadStream>> streams,
   for (const Cycles o : overhead) {
     stats.detection_overhead_cycles =
         std::max(stats.detection_overhead_cycles, o);
+  }
+  if (obs::MetricsRegistry* metrics =
+          obs::metrics_at(config.obs, obs::ObsLevel::kPhases)) {
+    // Simulator self-throughput: simulated accesses per wall-clock second.
+    const std::uint64_t wall_us = run_span.elapsed_us();
+    if (wall_us > 0) {
+      metrics->gauge("machine.sim_events_per_sec")
+          .set(static_cast<double>(stats.accesses) * 1e6 /
+               static_cast<double>(wall_us));
+    }
+    std::ostringstream args;
+    args << "\"accesses\":" << stats.accesses
+         << ",\"sim_cycles\":" << stats.execution_cycles
+         << ",\"barriers\":" << barrier_count;
+    run_span.set_args(args.str());
   }
   return stats;
 }

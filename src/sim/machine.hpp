@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "sim/hierarchy.hpp"
 #include "sim/stats.hpp"
 #include "sim/trace.hpp"
@@ -71,6 +72,9 @@ class Machine {
     /// Flush caches/TLBs before the run (cold start, default) — repetitions
     /// of an experiment should not leak state into each other.
     bool flush_first = true;
+    /// Optional observability sink: the run records a "machine.run" span
+    /// (kPhases) and per-barrier/migration instants (kFull). Null = off.
+    obs::ObsContext* obs = nullptr;
   };
 
   /// Runs every stream to completion and returns the collected counters.

@@ -49,4 +49,34 @@ double per_second(std::uint64_t counter, Cycles execution_cycles) {
   return static_cast<double>(counter) / cycles_to_seconds(execution_cycles);
 }
 
+void publish_stats(obs::MetricsRegistry& registry, const MachineStats& s,
+                   const obs::Labels& labels) {
+  const std::pair<const char*, std::uint64_t> fields[] = {
+      {"sim.accesses", s.accesses},
+      {"sim.reads", s.reads},
+      {"sim.writes", s.writes},
+      {"sim.tlb_hits", s.tlb_hits},
+      {"sim.tlb_misses", s.tlb_misses},
+      {"sim.l1_hits", s.l1_hits},
+      {"sim.l1_misses", s.l1_misses},
+      {"sim.l2_accesses", s.l2_accesses},
+      {"sim.l2_hits", s.l2_hits},
+      {"sim.l2_misses", s.l2_misses},
+      {"sim.invalidations", s.invalidations},
+      {"sim.snoop_transactions", s.snoop_transactions},
+      {"sim.writebacks", s.writebacks},
+      {"sim.memory_fetches", s.memory_fetches},
+      {"sim.memory_fetches_local", s.memory_fetches_local},
+      {"sim.memory_fetches_remote", s.memory_fetches_remote},
+      {"sim.intra_socket_messages", s.intra_socket_messages},
+      {"sim.inter_socket_messages", s.inter_socket_messages},
+      {"sim.execution_cycles", s.execution_cycles},
+      {"sim.detection_overhead_cycles", s.detection_overhead_cycles},
+      {"sim.detector_searches", s.detector_searches},
+  };
+  for (const auto& [name, value] : fields) {
+    registry.counter(name, labels).add(value);
+  }
+}
+
 }  // namespace tlbmap

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/types.hpp"
 
 namespace tlbmap {
@@ -90,5 +91,13 @@ inline double cycles_to_seconds(Cycles c) {
 
 /// counter / seconds; 0 when the run took no time.
 double per_second(std::uint64_t counter, Cycles execution_cycles);
+
+/// Publishes every MachineStats counter into `registry` under the
+/// "sim.<field>" namespace with the given labels (typically the pipeline
+/// phase and mechanism). Counters accumulate, so repeated runs with the same
+/// labels sum up — MachineStats stays the per-run view, the registry the
+/// cross-run aggregate.
+void publish_stats(obs::MetricsRegistry& registry, const MachineStats& stats,
+                   const obs::Labels& labels);
 
 }  // namespace tlbmap

@@ -1,4 +1,7 @@
 // Tests for the CLI argument parser and a smoke pass over the commands.
+#include <fstream>
+#include <sstream>
+
 #include <gtest/gtest.h>
 
 #include "core/cli.hpp"
@@ -91,6 +94,33 @@ TEST(Cli, UnknownOptionRejected) {
   EXPECT_FALSE(parse({"detect", "--frobnicate"}).ok());
 }
 
+TEST(Cli, ObsFlagsParsed) {
+  const CliOptions opt = parse({"detect", "--obs-level", "full",
+                                "--trace-out", "/tmp/t.json",
+                                "--metrics-out", "/tmp/m.jsonl"});
+  ASSERT_TRUE(opt.ok()) << opt.error;
+  EXPECT_EQ(opt.obs_level, "full");
+  EXPECT_EQ(opt.trace_out, "/tmp/t.json");
+  EXPECT_EQ(opt.metrics_out, "/tmp/m.jsonl");
+}
+
+TEST(Cli, ObsLevelDefaultsOffAndValidates) {
+  EXPECT_EQ(parse({"detect"}).obs_level, "off");
+  EXPECT_FALSE(parse({"detect", "--obs-level", "loud"}).ok());
+}
+
+TEST(Cli, ObsOutputImpliesPhases) {
+  EXPECT_EQ(parse({"detect", "--trace-out", "/tmp/t.json"}).obs_level,
+            "phases");
+  EXPECT_EQ(parse({"detect", "--metrics-out", "/tmp/m.jsonl"}).obs_level,
+            "phases");
+  // An explicit level is never downgraded.
+  EXPECT_EQ(parse({"detect", "--obs-level", "full", "--trace-out",
+                   "/tmp/t.json"})
+                .obs_level,
+            "full");
+}
+
 TEST(CliRun, UsageErrorExitCode) {
   EXPECT_EQ(run_cli(parse({"nonsense"})), 2);
   EXPECT_EQ(run_cli(parse({"--help"})), 0);
@@ -111,6 +141,35 @@ TEST(CliRun, EvaluateRejectsBadMappingAtRuntime) {
   CliOptions eval = parse({"evaluate", "--app", "EP", "--iter-scale", "0.2",
                            "--reps", "1", "--mapping", "0,0,1,2,3,4,5,6"});
   EXPECT_EQ(run_cli(eval), 1);
+}
+
+TEST(CliRun, ObsArtifactsWritten) {
+  const std::string trace_path = "/tmp/tlbmap_cli_test_trace.json";
+  const std::string metrics_path = "/tmp/tlbmap_cli_test_metrics.jsonl";
+  CliOptions opt = parse({"evaluate", "--app", "EP", "--iter-scale", "0.2",
+                          "--reps", "1", "--trace-out", trace_path.c_str(),
+                          "--metrics-out", metrics_path.c_str()});
+  ASSERT_TRUE(opt.ok()) << opt.error;
+  ASSERT_EQ(run_cli(opt), 0);
+
+  std::ifstream trace(trace_path);
+  ASSERT_TRUE(trace.good());
+  std::stringstream trace_buf;
+  trace_buf << trace.rdbuf();
+  // Chrome-trace shape with the pipeline's phase spans inside.
+  EXPECT_EQ(trace_buf.str().rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(trace_buf.str().find("pipeline.detect"), std::string::npos);
+  EXPECT_NE(trace_buf.str().find("pipeline.evaluate"), std::string::npos);
+
+  std::ifstream metrics(metrics_path);
+  ASSERT_TRUE(metrics.good());
+  std::stringstream metrics_buf;
+  metrics_buf << metrics.rdbuf();
+  EXPECT_NE(metrics_buf.str().find("detector.searches"), std::string::npos);
+  EXPECT_NE(metrics_buf.str().find("pipeline.phase_wall_us"),
+            std::string::npos);
+  EXPECT_NE(metrics_buf.str().find("\"type\":\"matrix\""),
+            std::string::npos);
 }
 
 TEST(CliRun, RecordReplayRoundTrip) {

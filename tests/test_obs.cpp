@@ -1,0 +1,254 @@
+// Tests for the observability layer: tracer ring buffer and exports,
+// metrics registry, obs levels.
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/obs.hpp"
+
+namespace tlbmap::obs {
+namespace {
+
+/// Deterministic clock: every now_us() call returns the next integer.
+std::function<std::uint64_t()> counting_clock() {
+  auto t = std::make_shared<std::uint64_t>(0);
+  return [t] { return (*t)++; };
+}
+
+TEST(Tracer, SpanRecordsDuration) {
+  Tracer tracer(16);
+  tracer.set_clock(counting_clock());
+  tracer.record_span("work", "phase", 10, 5);
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, TraceEvent::Kind::kSpan);
+  EXPECT_EQ(events[0].name, "work");
+  EXPECT_EQ(events[0].ts_us, 10u);
+  EXPECT_EQ(events[0].dur_us, 5u);
+}
+
+TEST(Tracer, RaiiSpanStampsStartAndEnd) {
+  Tracer tracer(16);
+  tracer.set_clock(counting_clock());
+  {
+    TraceSpan span(&tracer, "scoped", "phase");
+    // clock ticks: 0 at construction; destructor reads 1.
+  }
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].ts_us, 0u);
+  EXPECT_EQ(events[0].dur_us, 1u);
+}
+
+TEST(Tracer, NullTracerSpanIsNoop) {
+  TraceSpan span(nullptr, "nothing", "phase");
+  span.set_args("\"k\":1");
+  EXPECT_EQ(span.elapsed_us(), 0u);
+}
+
+TEST(Tracer, RingWraparoundKeepsNewestInOrder) {
+  Tracer tracer(4);
+  tracer.set_clock(counting_clock());
+  for (int i = 0; i < 7; ++i) {
+    tracer.record_instant("e" + std::to_string(i), "test");
+  }
+  EXPECT_EQ(tracer.recorded(), 7u);
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.dropped(), 3u);
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest three (e0-e2) were overwritten; order is preserved.
+  EXPECT_EQ(events[0].name, "e3");
+  EXPECT_EQ(events[1].name, "e4");
+  EXPECT_EQ(events[2].name, "e5");
+  EXPECT_EQ(events[3].name, "e6");
+}
+
+TEST(Tracer, ClearResets) {
+  Tracer tracer(4);
+  tracer.record_instant("x", "test");
+  tracer.clear();
+  EXPECT_EQ(tracer.recorded(), 0u);
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_TRUE(tracer.snapshot().empty());
+}
+
+TEST(Tracer, ChromeTraceGoldenFile) {
+  Tracer tracer(8);
+  tracer.set_clock(counting_clock());
+  tracer.record_span("pipeline.detect", "phase", 100, 50,
+                     "\"app\":\"SP\",\"searches\":3");
+  tracer.record_instant("SM.search", "detector");  // reads clock tick 0
+  std::ostringstream out;
+  tracer.export_chrome_trace(out);
+  const std::string expected =
+      "{\"traceEvents\":[\n"
+      "{\"name\":\"pipeline.detect\",\"cat\":\"phase\",\"ph\":\"X\","
+      "\"ts\":100,\"dur\":50,\"pid\":1,\"tid\":0,"
+      "\"args\":{\"app\":\"SP\",\"searches\":3}},\n"
+      "{\"name\":\"SM.search\",\"cat\":\"detector\",\"ph\":\"i\","
+      "\"ts\":0,\"s\":\"t\",\"pid\":1,\"tid\":0}\n"
+      "],\"displayTimeUnit\":\"ms\"}\n";
+  EXPECT_EQ(out.str(), expected);
+}
+
+TEST(Tracer, JsonlGoldenFile) {
+  Tracer tracer(8);
+  tracer.set_clock(counting_clock());
+  tracer.record_span("map", "phase", 7, 2);
+  std::ostringstream out;
+  tracer.export_jsonl(out);
+  EXPECT_EQ(out.str(),
+            "{\"name\":\"map\",\"cat\":\"phase\",\"ph\":\"X\",\"ts\":7,"
+            "\"dur\":2,\"pid\":1,\"tid\":0}\n");
+}
+
+TEST(Tracer, JsonEscaping) {
+  EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(json_escape(std::string("x\x01y")), "x\\u0001y");
+  Tracer tracer(4);
+  tracer.record_instant("quote\"name", "cat\\egory");
+  std::ostringstream out;
+  tracer.export_chrome_trace(out);
+  EXPECT_NE(out.str().find("quote\\\"name"), std::string::npos);
+  EXPECT_NE(out.str().find("cat\\\\egory"), std::string::npos);
+}
+
+TEST(Tracer, ConcurrentRecordingSmoke) {
+  Tracer tracer(256);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&tracer, &go, t] {
+      while (!go.load()) {}
+      for (int i = 0; i < kPerThread; ++i) {
+        TraceSpan span(&tracer, "t" + std::to_string(t), "test");
+      }
+    });
+  }
+  go.store(true);
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(tracer.recorded(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(tracer.size(), 256u);
+  // Every surviving event is intact (no torn strings / partial writes).
+  for (const TraceEvent& ev : tracer.snapshot()) {
+    EXPECT_EQ(ev.category, "test");
+    ASSERT_EQ(ev.name.size(), 2u);
+    EXPECT_EQ(ev.name[0], 't');
+  }
+}
+
+TEST(Metrics, CounterAccumulatesAndReferencesAreStable) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("requests", {{"app", "SP"}});
+  c.add();
+  c.add(4);
+  // Force a rehash-sized number of other metrics; `c` must stay valid.
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("filler_" + std::to_string(i)).add();
+  }
+  c.add();
+  EXPECT_EQ(registry.counter_value("requests", {{"app", "SP"}}), 6u);
+  EXPECT_EQ(registry.counter_value("requests"), 0u);  // different label set
+}
+
+TEST(Metrics, LabelOrderDoesNotMatter) {
+  MetricsRegistry registry;
+  registry.counter("m", {{"a", "1"}, {"b", "2"}}).add(5);
+  EXPECT_EQ(registry.counter_value("m", {{"b", "2"}, {"a", "1"}}), 5u);
+}
+
+TEST(Metrics, GaugeLastWriteWins) {
+  MetricsRegistry registry;
+  Gauge& g = registry.gauge("speed");
+  g.set(1.5);
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+}
+
+TEST(Metrics, HistogramStats) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("lat");
+  h.observe(0.5);
+  h.observe(3.0);
+  h.observe(10.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 13.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 10.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.5);
+  const auto buckets = h.buckets();
+  EXPECT_EQ(buckets[0], 1u);  // [0,1): 0.5
+  EXPECT_EQ(buckets[2], 1u);  // [2,4): 3.0
+  EXPECT_EQ(buckets[4], 1u);  // [8,16): 10.0
+}
+
+TEST(Metrics, MatrixSnapshots) {
+  MetricsRegistry registry;
+  registry.snapshot_matrix("comm", 3, {{0, 2}, {2, 0}});
+  const auto snaps = registry.matrix_snapshots();
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_EQ(snaps[0].name, "comm");
+  EXPECT_EQ(snaps[0].epoch, 3u);
+  EXPECT_EQ(snaps[0].rows[0][1], 2u);
+}
+
+TEST(Metrics, JsonlExportGolden) {
+  MetricsRegistry registry;
+  registry.counter("hits", {{"phase", "detect"}}).add(7);
+  registry.gauge("speed").set(2.0);
+  registry.snapshot_matrix("comm", 1, {{0, 1}, {1, 0}});
+  std::ostringstream out;
+  registry.export_jsonl(out);
+  const std::string expected =
+      "{\"type\":\"counter\",\"name\":\"hits\",\"labels\":"
+      "{\"phase\":\"detect\"},\"value\":7}\n"
+      "{\"type\":\"gauge\",\"name\":\"speed\",\"labels\":{},\"value\":2}\n"
+      "{\"type\":\"matrix\",\"name\":\"comm\",\"epoch\":1,"
+      "\"rows\":[[0,1],[1,0]]}\n";
+  EXPECT_EQ(out.str(), expected);
+}
+
+TEST(Metrics, ConcurrentCountersSmoke) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&registry] {
+      Counter& c = registry.counter("shared");
+      for (int i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(registry.counter_value("shared"),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ObsLevel, ParseAndPrint) {
+  EXPECT_EQ(parse_obs_level("off"), ObsLevel::kOff);
+  EXPECT_EQ(parse_obs_level("phases"), ObsLevel::kPhases);
+  EXPECT_EQ(parse_obs_level("full"), ObsLevel::kFull);
+  EXPECT_FALSE(parse_obs_level("verbose").has_value());
+  EXPECT_STREQ(to_string(ObsLevel::kFull), "full");
+}
+
+TEST(ObsLevel, GatingHelpers) {
+  ObsContext ctx;
+  ctx.level = ObsLevel::kPhases;
+  EXPECT_EQ(tracer_at(nullptr, ObsLevel::kPhases), nullptr);
+  EXPECT_EQ(tracer_at(&ctx, ObsLevel::kPhases), &ctx.tracer);
+  EXPECT_EQ(tracer_at(&ctx, ObsLevel::kFull), nullptr);
+  ctx.level = ObsLevel::kOff;
+  EXPECT_EQ(metrics_at(&ctx, ObsLevel::kPhases), nullptr);
+}
+
+}  // namespace
+}  // namespace tlbmap::obs

@@ -1,4 +1,8 @@
 // End-to-end tests of the detect -> map -> evaluate pipeline.
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "core/pipeline.hpp"
@@ -136,6 +140,90 @@ TEST(Pipeline, SmOverheadAccountedInStats) {
   EXPECT_LE(det.stats.detection_overhead_cycles, det.searches * 1000);
   EXPECT_GT(det.stats.overhead_fraction(), 0.0);
   EXPECT_LT(det.stats.overhead_fraction(), 1.0);
+}
+
+TEST(PipelineObs, PhasesLevelRecordsSpansMetricsAndSnapshot) {
+  Pipeline pipe(MachineConfig::harpertown());
+  pipe.sm_config().sample_threshold = 1;
+  obs::ObsContext ctx;
+  ctx.level = obs::ObsLevel::kPhases;
+  pipe.set_observability(&ctx);
+  const auto workload = make_synthetic(pairs_spec());
+  const DetectionResult det =
+      pipe.detect(*workload, Pipeline::Mechanism::kSoftwareManaged);
+  const Mapping mapping = pipe.map(det.matrix);
+  pipe.evaluate(*workload, mapping, 1);
+
+  // Spans: one per phase plus the machine runs.
+  std::vector<std::string> names;
+  for (const auto& ev : ctx.tracer.snapshot()) names.push_back(ev.name);
+  EXPECT_NE(std::find(names.begin(), names.end(), "pipeline.detect"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "pipeline.map"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "pipeline.evaluate"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "machine.run"),
+            names.end());
+
+  // Metrics: detector searches and the machine counters, labeled.
+  EXPECT_EQ(ctx.metrics.counter_value("detector.searches",
+                                      {{"mechanism", "SM"}}),
+            det.searches);
+  EXPECT_EQ(ctx.metrics.counter_value(
+                "sim.accesses", {{"phase", "detect"}, {"mechanism", "SM"}}),
+            det.stats.accesses);
+  EXPECT_EQ(ctx.metrics
+                .histogram("pipeline.phase_wall_us", {{"phase", "detect"}})
+                .count(),
+            1u);
+
+  // At least one end-of-detection communication-matrix snapshot.
+  const auto snaps = ctx.metrics.matrix_snapshots();
+  ASSERT_FALSE(snaps.empty());
+  EXPECT_EQ(snaps[0].name, "comm_matrix.SM");
+  EXPECT_EQ(snaps[0].rows.size(),
+            static_cast<std::size_t>(det.matrix.size()));
+}
+
+TEST(PipelineObs, OffLevelRecordsNothing) {
+  Pipeline pipe(MachineConfig::harpertown());
+  pipe.sm_config().sample_threshold = 1;
+  obs::ObsContext ctx;
+  ctx.level = obs::ObsLevel::kOff;
+  pipe.set_observability(&ctx);
+  const auto workload = make_synthetic(pairs_spec());
+  const DetectionResult det =
+      pipe.detect(*workload, Pipeline::Mechanism::kSoftwareManaged);
+  pipe.map(det.matrix);
+  EXPECT_EQ(ctx.tracer.recorded(), 0u);
+  EXPECT_TRUE(ctx.metrics.matrix_snapshots().empty());
+  EXPECT_EQ(ctx.metrics.counter_value("detector.searches",
+                                      {{"mechanism", "SM"}}),
+            0u);
+}
+
+TEST(PipelineObs, ObservabilityDoesNotPerturbSimulation) {
+  const auto workload = make_synthetic(pairs_spec());
+  Pipeline plain(MachineConfig::harpertown());
+  plain.sm_config().sample_threshold = 1;
+  const auto base =
+      plain.detect(*workload, Pipeline::Mechanism::kSoftwareManaged, 5);
+
+  Pipeline observed(MachineConfig::harpertown());
+  observed.sm_config().sample_threshold = 1;
+  obs::ObsContext ctx;
+  ctx.level = obs::ObsLevel::kFull;
+  observed.set_observability(&ctx);
+  const auto traced =
+      observed.detect(*workload, Pipeline::Mechanism::kSoftwareManaged, 5);
+
+  EXPECT_EQ(base.stats.execution_cycles, traced.stats.execution_cycles);
+  EXPECT_EQ(base.searches, traced.searches);
+  EXPECT_NEAR(CommMatrix::cosine_similarity(base.matrix, traced.matrix), 1.0,
+              1e-12);
+  // kFull additionally emitted per-search instants.
+  EXPECT_GT(ctx.tracer.recorded(), 0u);
 }
 
 }  // namespace

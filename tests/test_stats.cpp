@@ -1,4 +1,6 @@
 // Tests for statistics helpers: summaries, rates, accumulation.
+#include <cstring>
+#include <type_traits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -64,6 +66,49 @@ TEST(Stats, MachineStatsAccumulate) {
   EXPECT_EQ(a.accesses, 15u);
   EXPECT_EQ(a.invalidations, 7u);
   EXPECT_EQ(a.execution_cycles, 150u);
+}
+
+// MachineStats must stay a plain bag of uint64 counters for the pattern
+// trick below (and the cache serializer) to work.
+static_assert(std::is_trivially_copyable_v<MachineStats>);
+static_assert(sizeof(MachineStats) % sizeof(std::uint64_t) == 0);
+
+// Regression guard for operator+=: fill every byte of two structs with
+// 0x01 (so every counter holds 0x0101...01) and add them; each summed field
+// must then hold exactly twice the pattern. A counter added to the struct
+// but forgotten in operator+= keeps the original pattern and fails here —
+// without this file ever naming the new field.
+TEST(Stats, AccumulateSumsEveryField) {
+  // static_cast<void*> silences -Wclass-memaccess: the struct is trivially
+  // copyable (asserted above), which is all the pattern trick needs.
+  MachineStats a, b;
+  std::memset(static_cast<void*>(&a), 0x01, sizeof(a));
+  std::memset(static_cast<void*>(&b), 0x01, sizeof(b));
+  a += b;
+  MachineStats expected;
+  std::memset(static_cast<void*>(&expected), 0x02, sizeof(expected));
+  EXPECT_EQ(std::memcmp(&a, &expected, sizeof(a)), 0)
+      << "a MachineStats field is not summed by operator+=";
+  MachineStats pattern;
+  std::memset(static_cast<void*>(&pattern), 0x01, sizeof(pattern));
+  EXPECT_EQ(std::memcmp(&b, &pattern, sizeof(b)), 0)
+      << "operator+= must not modify its argument";
+}
+
+TEST(Stats, PublishStatsMirrorsCountersIntoRegistry) {
+  MachineStats s;
+  s.accesses = 12;
+  s.tlb_misses = 3;
+  s.invalidations = 7;
+  obs::MetricsRegistry registry;
+  const obs::Labels labels = {{"phase", "evaluate"}};
+  publish_stats(registry, s, labels);
+  EXPECT_EQ(registry.counter_value("sim.accesses", labels), 12u);
+  EXPECT_EQ(registry.counter_value("sim.tlb_misses", labels), 3u);
+  EXPECT_EQ(registry.counter_value("sim.invalidations", labels), 7u);
+  // Counters accumulate across runs with the same labels.
+  publish_stats(registry, s, labels);
+  EXPECT_EQ(registry.counter_value("sim.accesses", labels), 24u);
 }
 
 TEST(Stats, TlbMissRate) {
