@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "detect/hm_detector.hpp"
 #include "detect/oracle_detector.hpp"
 #include "detect/sm_detector.hpp"
 #include "npb/synthetic.hpp"
@@ -80,6 +81,38 @@ void BM_SimulatorWithSmDetector(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(accesses));
 }
 BENCHMARK(BM_SimulatorWithSmDetector)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// End-to-end cost of the HM mechanism inside the simulation, with the
+// sweep interval cranked down so sweeps dominate. naive=1 is the
+// paper-literal pairwise walk, naive=0 the inverted-index fast path — the
+// accesses/s ratio at 32 threads is the sweep speedup as the simulator
+// actually experiences it.
+void BM_SimulatorWithHmDetector(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const bool naive = state.range(1) != 0;
+  std::uint64_t accesses = 0;
+  for (auto _ : state) {
+    const auto workload = make_synthetic(bench_spec(threads));
+    Machine machine(machine_for_threads(threads));
+    HmDetectorConfig hm;
+    hm.interval = 20'000;
+    hm.naive_sweep = naive;
+    HmDetector det(machine, threads, hm);
+    std::vector<std::unique_ptr<ThreadStream>> streams;
+    for (ThreadId t = 0; t < threads; ++t) {
+      streams.push_back(workload->stream(t, 1));
+    }
+    Machine::RunConfig cfg;
+    for (int t = 0; t < threads; ++t) cfg.thread_to_core.push_back(t);
+    cfg.observer = &det;
+    accesses += machine.run(std::move(streams), cfg).accesses;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(accesses));
+}
+BENCHMARK(BM_SimulatorWithHmDetector)
+    ->ArgsProduct({{8, 32}, {0, 1}})
+    ->ArgNames({"threads", "naive"})
     ->Unit(benchmark::kMillisecond);
 
 void BM_SimulatorWithOracle(benchmark::State& state) {

@@ -7,13 +7,23 @@
 // table, then measures both routines with google-benchmark while sweeping
 // the core count P and the TLB size S — the reported complexity columns
 // should be visible in the timings.
+//
+// BM_HmDetectorSweep additionally A/Bs the production HmDetector: the
+// paper-literal pairwise walk (naive=1) against the inverted-page-index
+// sweep (naive=0), which is Theta(P * S * w) to build plus Theta(matches)
+// to accumulate. Both produce bit-identical matrices (asserted in
+// tests/test_detectors.cpp); the ratio here is the speedup.
 #include <cstdio>
+#include <memory>
 #include <random>
 #include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "core/report.hpp"
+#include "detect/hm_detector.hpp"
+#include "npb/synthetic.hpp"
+#include "sim/machine.hpp"
 #include "sim/tlb.hpp"
 
 namespace {
@@ -100,6 +110,45 @@ BENCHMARK(BM_HmSweep)
 BENCHMARK(BM_HmSweep)
     ->ArgsProduct({{8}, {16, 64, 256, 1024}})
     ->ArgNames({"P", "S"});  // linear in S
+
+// Production HmDetector::sweep on a primed machine: naive pairwise walk vs
+// inverted page index, same TLB contents, same resulting matrix.
+void BM_HmDetectorSweep(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const bool naive = state.range(1) != 0;
+  MachineConfig mc = MachineConfig::harpertown();
+  if (threads > mc.num_cores()) {
+    mc.num_sockets =
+        (threads + mc.cores_per_socket - 1) / mc.cores_per_socket;
+  }
+  Machine machine(mc);
+  SyntheticSpec spec;
+  spec.pattern = SyntheticSpec::Pattern::kRing;
+  spec.num_threads = threads;
+  spec.private_pages = 48;
+  spec.shared_pages = 16;
+  spec.iterations = 2;
+  const auto workload = make_synthetic(spec);
+  std::vector<std::unique_ptr<ThreadStream>> streams;
+  for (ThreadId t = 0; t < threads; ++t) {
+    streams.push_back(workload->stream(t, 1));
+  }
+  Machine::RunConfig cfg;
+  for (int t = 0; t < threads; ++t) cfg.thread_to_core.push_back(t);
+  machine.run(std::move(streams), cfg);  // prime the TLBs
+
+  HmDetectorConfig hm;
+  hm.naive_sweep = naive;
+  HmDetector detector(machine, threads, hm);
+  for (auto _ : state) {
+    detector.sweep();
+    benchmark::DoNotOptimize(detector.matrix());
+  }
+  state.SetComplexityN(threads);
+}
+BENCHMARK(BM_HmDetectorSweep)
+    ->ArgsProduct({{8, 32, 64}, {0, 1}})
+    ->ArgNames({"P", "naive"});
 
 void print_table1() {
   using tlbmap::TextTable;

@@ -70,6 +70,9 @@ std::string cli_usage() {
       "  --reps N             repetitions for evaluate/suite (default 4)\n"
       "  --seed N             base RNG seed (default 1)\n"
       "  --numa               use the NUMA machine model\n"
+      "  --hm-naive-sweep     use the reference pairwise HM sweep instead\n"
+      "                       of the inverted page index (same results;\n"
+      "                       for A/B benchmarking)\n"
       "  --apps A,B,...       suite: restrict the application set\n"
       "  --mapping 0,1,...    evaluate/replay: explicit thread->core list\n"
       "  --out DIR / --in DIR record/replay trace directory\n"
@@ -114,6 +117,8 @@ CliOptions parse_cli(int argc, const char* const* argv) {
         opt.help = true;
       } else if (arg == "--numa") {
         opt.numa = true;
+      } else if (arg == "--hm-naive-sweep") {
+        opt.hm_naive_sweep = true;
       } else if (arg == "--app") {
         if (const char* v = next_value()) opt.app = v;
       } else if (arg == "--mechanism") {
@@ -196,6 +201,7 @@ Pipeline make_pipeline(const CliOptions& opt, obs::ObsContext* obs) {
   const SuiteConfig defaults;  // trace-scaled detector knobs
   pipe.sm_config() = defaults.sm;
   pipe.hm_config() = defaults.hm;
+  pipe.hm_config().naive_sweep = opt.hm_naive_sweep;
   pipe.set_observability(obs);
   return pipe;
 }
@@ -281,6 +287,8 @@ int cmd_suite(const CliOptions& opt, obs::ObsContext* obs) {
   config.workload = params_for(opt);
   config.repetitions = opt.reps;
   config.base_seed = opt.seed;
+  // Bit-identical to the indexed sweep, so the cache key ignores it.
+  config.hm.naive_sweep = opt.hm_naive_sweep;
   if (!opt.apps.empty()) config.apps = opt.apps;
   const SuiteResult result = run_suite(config, &std::cerr, obs);
   TextTable table({"app", "time SM/OS", "time HM/OS", "inv SM/OS",

@@ -31,6 +31,11 @@ struct CliOptions {
   int reps = 4;
   std::uint64_t seed = 1;
   bool numa = false;
+  /// Run the HM detector's sweep with the reference O(P^2) pairwise walk
+  /// instead of the inverted page index. Both produce bit-identical
+  /// matrices; the naive path exists for A/B benchmarking and as a
+  /// cross-check of the fast path.
+  bool hm_naive_sweep = false;
   std::vector<std::string> apps;  ///< suite only; empty = all nine
   Mapping mapping;                ///< evaluate/replay; empty = detect+map
   std::string dir;                ///< record --out / replay --in

@@ -265,6 +265,10 @@ SuiteResult run_suite(const SuiteConfig& config, std::ostream* progress,
   SuiteResult result;
   result.config = config;
   const int cores = config.machine.num_cores();
+  const int worker_budget =
+      config.parallel_workers > 0
+          ? config.parallel_workers
+          : std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
 
   for (std::size_t i = 0; i < config.apps.size(); ++i) {
     const std::string& name = config.apps[i];
@@ -287,14 +291,41 @@ SuiteResult run_suite(const SuiteConfig& config, std::ostream* progress,
     pipe.set_observability(obs);
 
     if (progress != nullptr) *progress << "[suite] " << name << ": detect\n";
-    app.sm_detection =
-        pipe.detect(*detect_workload, Pipeline::Mechanism::kSoftwareManaged,
-                    config.base_seed);
-    app.hm_detection =
-        pipe.detect(*detect_workload, Pipeline::Mechanism::kHardwareManaged,
-                    config.base_seed);
-    app.oracle_detection = pipe.detect(
-        *detect_workload, Pipeline::Mechanism::kOracle, config.base_seed);
+    // The three detection runs simulate independent machines, so they fan
+    // out like the evaluation runs instead of serializing on one pipeline;
+    // each accumulates its own CommMatrix (the HM sweep can additionally
+    // shard its accumulation via hm.sweep_workers). Results are identical
+    // for any worker count.
+    {
+      struct DetectTask {
+        DetectionResult* slot;
+        Pipeline::Mechanism mechanism;
+      };
+      const DetectTask detect_tasks[] = {
+          {&app.sm_detection, Pipeline::Mechanism::kSoftwareManaged},
+          {&app.hm_detection, Pipeline::Mechanism::kHardwareManaged},
+          {&app.oracle_detection, Pipeline::Mechanism::kOracle},
+      };
+      auto detect_one = [&](const DetectTask& task) {
+        Pipeline detect_pipe(config.machine);
+        detect_pipe.sm_config() = config.sm;
+        detect_pipe.hm_config() = config.hm;
+        detect_pipe.oracle_config() = config.oracle;
+        detect_pipe.set_observability(obs);
+        *task.slot = detect_pipe.detect(*detect_workload, task.mechanism,
+                                        config.base_seed);
+      };
+      if (worker_budget == 1) {
+        for (const DetectTask& task : detect_tasks) detect_one(task);
+      } else {
+        std::vector<std::thread> detect_pool;
+        detect_pool.reserve(3);
+        for (const DetectTask& task : detect_tasks) {
+          detect_pool.emplace_back([&detect_one, &task] { detect_one(task); });
+        }
+        for (std::thread& t : detect_pool) t.join();
+      }
+    }
 
     app.sm_mapping = pipe.map(app.sm_detection.matrix);
     app.hm_mapping = pipe.map(app.hm_detection.matrix);
@@ -335,11 +366,9 @@ SuiteResult run_suite(const SuiteConfig& config, std::ostream* progress,
       tasks.push_back({&app.hm_runs.runs[static_cast<std::size_t>(rep)],
                        app.hm_mapping, run_seed});
     }
-    int workers = config.parallel_workers > 0
-                      ? config.parallel_workers
-                      : static_cast<int>(std::thread::hardware_concurrency());
-    workers = std::max(1, std::min<int>(workers,
-                                        static_cast<int>(tasks.size())));
+    const int workers =
+        std::max(1, std::min<int>(worker_budget,
+                                  static_cast<int>(tasks.size())));
     std::atomic<std::size_t> next_task{0};
     auto worker_fn = [&] {
       for (;;) {

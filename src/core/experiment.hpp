@@ -46,9 +46,12 @@ struct SuiteConfig {
   double detect_iter_scale = 4.0;
   std::uint64_t base_seed = 42;
   bool use_cache = true;
-  /// Worker threads for the (independent) evaluation runs. 0 = one per
-  /// hardware core. Results are bit-identical regardless of the worker
-  /// count — each run simulates its own Machine and writes its own slot.
+  /// Worker threads for the independent simulation runs: the three
+  /// detection runs (SM/HM/oracle) and the evaluation repetitions both fan
+  /// out over this budget. 0 = one per hardware core. Results are
+  /// bit-identical regardless of the worker count — each run simulates its
+  /// own Machine and writes its own slot. (The HM sweep itself can shard
+  /// its matrix accumulation further via HmDetectorConfig::sweep_workers.)
   int parallel_workers = 0;
 };
 

@@ -8,6 +8,42 @@
 
 namespace tlbmap {
 
+CommMatrixShard::CommMatrixShard(int num_threads) : n_(num_threads) {
+  if (num_threads <= 0) {
+    throw std::invalid_argument("CommMatrixShard: non-positive thread count");
+  }
+  const std::size_t un = static_cast<std::size_t>(n_);
+  cells_.resize(un * (un - 1) / 2, 0);
+}
+
+void CommMatrixShard::add(ThreadId a, ThreadId b, std::uint64_t amount) {
+  if (a == b) return;
+  if (a < 0 || b < 0 || a >= n_ || b >= n_) {
+    throw std::out_of_range("CommMatrixShard::add: thread id out of range");
+  }
+  if (a > b) std::swap(a, b);
+  cells_[tri(a, b)] += amount;
+}
+
+std::uint64_t CommMatrixShard::at(ThreadId a, ThreadId b) const {
+  if (a == b) return 0;
+  if (a < 0 || b < 0 || a >= n_ || b >= n_) {
+    throw std::out_of_range("CommMatrixShard::at: thread id out of range");
+  }
+  if (a > b) std::swap(a, b);
+  return cells_[tri(a, b)];
+}
+
+std::uint64_t CommMatrixShard::total() const {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t c : cells_) sum += c;
+  return sum;
+}
+
+void CommMatrixShard::clear() {
+  std::fill(cells_.begin(), cells_.end(), 0);
+}
+
 CommMatrix::CommMatrix(int num_threads) : n_(num_threads) {
   if (num_threads <= 0) {
     throw std::invalid_argument("CommMatrix: non-positive thread count");
@@ -23,6 +59,7 @@ void CommMatrix::add(ThreadId a, ThreadId b, std::uint64_t amount) {
   }
   cells_[index(a, b)] += amount;
   cells_[index(b, a)] += amount;
+  max_ = std::max(max_, cells_[index(a, b)]);
 }
 
 std::uint64_t CommMatrix::at(ThreadId a, ThreadId b) const {
@@ -40,14 +77,9 @@ std::uint64_t CommMatrix::total() const {
   return sum;
 }
 
-std::uint64_t CommMatrix::max() const {
-  return *std::max_element(cells_.begin(), cells_.end());
-}
-
 double CommMatrix::normalized(ThreadId a, ThreadId b) const {
-  const std::uint64_t m = max();
-  if (m == 0) return 0.0;
-  return static_cast<double>(at(a, b)) / static_cast<double>(m);
+  if (max_ == 0) return 0.0;
+  return static_cast<double>(at(a, b)) / static_cast<double>(max_);
 }
 
 std::vector<std::vector<std::uint64_t>> CommMatrix::rows() const {
@@ -67,14 +99,45 @@ CommMatrix& CommMatrix::operator+=(const CommMatrix& other) {
   if (other.n_ != n_) {
     throw std::invalid_argument("CommMatrix::operator+=: size mismatch");
   }
-  for (std::size_t i = 0; i < cells_.size(); ++i) cells_[i] += other.cells_[i];
+  std::uint64_t m = 0;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    cells_[i] += other.cells_[i];
+    m = std::max(m, cells_[i]);
+  }
+  max_ = m;
   return *this;
 }
 
-void CommMatrix::decay(double factor) {
-  for (std::uint64_t& c : cells_) {
-    c = static_cast<std::uint64_t>(static_cast<double>(c) * factor);
+void CommMatrix::merge(const std::vector<CommMatrixShard>& shards) {
+  for (const CommMatrixShard& shard : shards) {
+    if (shard.n_ != n_) {
+      throw std::invalid_argument("CommMatrix::merge: shard size mismatch");
+    }
+    std::size_t i = 0;
+    for (ThreadId a = 0; a < n_; ++a) {
+      for (ThreadId b = a + 1; b < n_; ++b, ++i) {
+        const std::uint64_t amount = shard.cells_[i];
+        if (amount == 0) continue;
+        cells_[index(a, b)] += amount;
+        cells_[index(b, a)] += amount;
+        max_ = std::max(max_, cells_[index(a, b)]);
+      }
+    }
   }
+}
+
+void CommMatrix::decay(double factor) {
+  std::uint64_t m = 0;
+  for (std::uint64_t& c : cells_) {
+    // Round to nearest, ties toward zero: ceil(x - 0.5). Plain truncation
+    // biases every cell down by ~0.5 per epoch and erases small-but-real
+    // edges; ties rounding *up* would make odd cells immortal at the
+    // default ageing factor 0.5 (1 -> 0.5 -> 1 -> ...).
+    c = static_cast<std::uint64_t>(
+        std::ceil(static_cast<double>(c) * factor - 0.5));
+    m = std::max(m, c);
+  }
+  max_ = m;
 }
 
 std::vector<std::pair<ThreadId, ThreadId>> CommMatrix::pairs_by_weight()

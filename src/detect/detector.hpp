@@ -39,7 +39,9 @@ class Detector : public MachineObserver {
   /// detector publishes search/miss counters labeled with its mechanism; at
   /// kFull it additionally emits a trace instant per search and a
   /// communication-matrix snapshot every kMatrixSnapshotEvery searches.
-  void set_observability(obs::ObsContext* obs) {
+  /// Virtual so detectors can resolve additional mechanism-specific sinks
+  /// (e.g. the HM sweep's index/match counters) in the same place.
+  virtual void set_observability(obs::ObsContext* obs) {
     obs_ = obs;
     search_counter_ = nullptr;
     miss_counter_ = nullptr;

@@ -1,5 +1,10 @@
 #include "detect/hm_detector.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <thread>
+
 namespace tlbmap {
 
 HmDetector::HmDetector(Machine& machine, int num_threads,
@@ -15,19 +20,49 @@ Cycles HmDetector::on_access(ThreadId /*thread*/, CoreId /*core*/,
 }
 
 Cycles HmDetector::on_tick(Cycles now) {
-  // Figure 1b: if not enough time passed since the last search, return.
-  // `now` is a per-thread clock and may jitter backwards slightly relative
-  // to the previous call; the >= comparison handles that safely.
+  // Figure 1b: run a sweep once `interval` cycles have passed since the
+  // last one. `now` is a per-thread clock and may jitter backwards slightly
+  // relative to the previous call; the early return covers that too.
   if (now < last_sweep_ + config_.interval) return 0;
-  last_sweep_ = now;
+  // Advance on the interval grid rather than to `now`: snapping to `now`
+  // accumulates drift under sparse ticks, so sweeps would run ever later
+  // than the configured cadence.
+  last_sweep_ += (now - last_sweep_) / config_.interval * config_.interval;
   sweep();
   return config_.search_cost;
 }
 
+void HmDetector::set_observability(obs::ObsContext* obs) {
+  Detector::set_observability(obs);
+  index_pages_counter_ = nullptr;
+  index_entries_counter_ = nullptr;
+  match_counter_ = nullptr;
+  index_build_us_ = nullptr;
+  if (obs != nullptr && obs->phases()) {
+    const obs::Labels labels = {{"mechanism", name()}};
+    index_pages_counter_ =
+        &obs->metrics.counter("detector.index_pages", labels);
+    index_entries_counter_ =
+        &obs->metrics.counter("detector.index_entries", labels);
+    match_counter_ = &obs->metrics.counter("detector.matches", labels);
+    index_build_us_ =
+        &obs->metrics.histogram("detector.index_build_us", labels);
+  }
+}
+
 void HmDetector::sweep() {
   count_search();
+  if (config_.naive_sweep) {
+    sweep_naive();
+  } else {
+    sweep_indexed();
+  }
+}
+
+void HmDetector::sweep_naive() {
   const Topology& topo = machine_->topology();
   const MemoryHierarchy& hier = machine_->hierarchy();
+  std::uint64_t matches = 0;
   // All possible pairs of TLBs (the SM mechanism's locality argument does
   // not apply: nothing tells the kernel *which* TLB changed).
   for (CoreId a = 0; a < topo.num_cores(); ++a) {
@@ -46,6 +81,7 @@ void HmDetector::sweep() {
           for (const TlbEntry& eb : tlb_b.set_entries(set)) {
             if (eb.valid && eb.page == ea.page) {
               matrix_.add(ta, tb);
+              ++matches;
               break;
             }
           }
@@ -53,6 +89,153 @@ void HmDetector::sweep() {
       }
     }
   }
+  if (match_counter_ != nullptr) match_counter_->add(matches);
+}
+
+template <typename Sink>
+void HmDetector::accumulate_groups(std::size_t begin, std::size_t end,
+                                   Sink& sink) const {
+  for (std::size_t g = begin; g < end; ++g) {
+    const std::size_t lo = group_offsets_[g];
+    const std::size_t hi = group_offsets_[g + 1];
+    for (std::size_t i = lo; i < hi; ++i) {
+      for (std::size_t j = i + 1; j < hi; ++j) {
+        sink.add(group_threads_[i], group_threads_[j]);
+      }
+    }
+  }
+}
+
+void HmDetector::sweep_indexed() {
+  const Topology& topo = machine_->topology();
+  const MemoryHierarchy& hier = machine_->hierarchy();
+
+  std::chrono::steady_clock::time_point build_start;
+  if (index_build_us_ != nullptr) {
+    build_start = std::chrono::steady_clock::now();
+  }
+
+  occupied_.clear();
+  for (CoreId c = 0; c < topo.num_cores(); ++c) {
+    const ThreadId t = machine_->thread_on(c);
+    if (t != kNoThread) occupied_.emplace_back(c, t);
+  }
+
+  // Build the shared-page groups: every page resident in >= 2 occupied
+  // TLBs, with its sharer threads. A TLB holds a page at most once (one
+  // set, unique within the set), so the naive per-pair match count equals
+  // the pairwise intersection size — accumulating C(k, 2) pair counts per
+  // k-sharer group reproduces the naive matrix bit for bit.
+  group_threads_.clear();
+  group_offsets_.clear();
+  std::uint64_t entries = 0;
+  if (occupied_.size() >= 2 && occupied_.size() <= 64) {
+    // Inverted index as page -> one-word bitmask over occupied-core slots.
+    page_mask_.clear();
+    for (std::size_t slot = 0; slot < occupied_.size(); ++slot) {
+      const Tlb& tlb = hier.tlb(occupied_[slot].first);
+      for (std::size_t set = 0; set < tlb.num_sets(); ++set) {
+        for (const TlbEntry& e : tlb.set_entries(set)) {
+          if (e.valid) {
+            page_mask_[e.page] |= std::uint64_t{1} << slot;
+            ++entries;
+          }
+        }
+      }
+    }
+    for (const auto& [page, mask] : page_mask_) {
+      if ((mask & (mask - 1)) == 0) continue;  // fewer than two sharers
+      group_offsets_.push_back(group_threads_.size());
+      for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+        const auto slot = static_cast<std::size_t>(std::countr_zero(m));
+        group_threads_.push_back(occupied_[slot].second);
+      }
+    }
+  } else if (occupied_.size() > 64) {
+    // Beyond one mask word: gather (page, thread) pairs and group by
+    // sorting — same groups, same matrix, still linear space.
+    page_entries_.clear();
+    for (const auto& [core, thread] : occupied_) {
+      const Tlb& tlb = hier.tlb(core);
+      for (std::size_t set = 0; set < tlb.num_sets(); ++set) {
+        for (const TlbEntry& e : tlb.set_entries(set)) {
+          if (e.valid) page_entries_.emplace_back(e.page, thread);
+        }
+      }
+    }
+    entries = page_entries_.size();
+    std::sort(page_entries_.begin(), page_entries_.end());
+    std::size_t i = 0;
+    while (i < page_entries_.size()) {
+      std::size_t j = i + 1;
+      while (j < page_entries_.size() &&
+             page_entries_[j].first == page_entries_[i].first) {
+        ++j;
+      }
+      if (j - i >= 2) {
+        group_offsets_.push_back(group_threads_.size());
+        for (std::size_t k = i; k < j; ++k) {
+          group_threads_.push_back(page_entries_[k].second);
+        }
+      }
+      i = j;
+    }
+  }
+  const std::size_t num_groups = group_offsets_.size();
+  group_offsets_.push_back(group_threads_.size());  // end sentinel
+
+  if (index_build_us_ != nullptr) {
+    index_build_us_->observe(
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - build_start)
+            .count());
+  }
+  if (index_pages_counter_ != nullptr) {
+    std::uint64_t matches = 0;
+    for (std::size_t g = 0; g < num_groups; ++g) {
+      const std::uint64_t k = group_offsets_[g + 1] - group_offsets_[g];
+      matches += k * (k - 1) / 2;
+    }
+    index_pages_counter_->add(num_groups);
+    index_entries_counter_->add(entries);
+    match_counter_->add(matches);
+  }
+
+  // Accumulate pair counts: inline for one worker, else into per-worker
+  // shards merged in worker order. Unsigned sums commute, so any worker
+  // count yields the identical matrix.
+  int workers = config_.sweep_workers;
+  if (workers <= 0) {
+    workers = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  workers = std::max(1, std::min(workers, static_cast<int>(num_groups)));
+  if (workers == 1) {
+    accumulate_groups(0, num_groups, matrix_);
+    return;
+  }
+  if (shards_.size() != static_cast<std::size_t>(workers) ||
+      shards_.front().size() != matrix_.size()) {
+    shards_.clear();
+    shards_.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) shards_.emplace_back(matrix_.size());
+  } else {
+    for (CommMatrixShard& shard : shards_) shard.clear();
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers) - 1);
+  for (int w = 1; w < workers; ++w) {
+    const std::size_t begin =
+        num_groups * static_cast<std::size_t>(w) / workers;
+    const std::size_t end =
+        num_groups * (static_cast<std::size_t>(w) + 1) / workers;
+    pool.emplace_back([this, w, begin, end] {
+      accumulate_groups(begin, end, shards_[static_cast<std::size_t>(w)]);
+    });
+  }
+  accumulate_groups(0, num_groups / static_cast<std::size_t>(workers),
+                    shards_.front());
+  for (std::thread& t : pool) t.join();
+  matrix_.merge(shards_);
 }
 
 }  // namespace tlbmap

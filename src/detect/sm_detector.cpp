@@ -6,6 +6,15 @@ SmDetector::SmDetector(Machine& machine, int num_threads,
                        SmDetectorConfig config)
     : Detector(num_threads), machine_(&machine), config_(config) {}
 
+void SmDetector::set_observability(obs::ObsContext* obs) {
+  Detector::set_observability(obs);
+  match_counter_ = nullptr;
+  if (obs != nullptr && obs->phases()) {
+    match_counter_ =
+        &obs->metrics.counter("detector.matches", {{"mechanism", name()}});
+  }
+}
+
 Cycles SmDetector::on_access(ThreadId thread, CoreId core,
                              VirtAddr /*addr*/, PageNum page,
                              AccessType /*type*/, bool tlb_miss,
@@ -19,14 +28,17 @@ Cycles SmDetector::on_access(ThreadId thread, CoreId core,
   // Search every other TLB for the missed page. Tlb::contains probes only
   // the page's set, so the whole sweep is Theta(P * associativity).
   const Topology& topo = machine_->topology();
+  std::uint64_t matches = 0;
   for (CoreId other = 0; other < topo.num_cores(); ++other) {
     if (other == core) continue;
     const ThreadId other_thread = machine_->thread_on(other);
     if (other_thread == kNoThread) continue;
     if (machine_->hierarchy().tlb(other).contains(page)) {
       matrix_.add(thread, other_thread);
+      ++matches;
     }
   }
+  if (match_counter_ != nullptr && matches > 0) match_counter_->add(matches);
   return config_.search_cost;
 }
 

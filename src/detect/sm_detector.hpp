@@ -37,10 +37,13 @@ class SmDetector final : public Detector {
   std::string name() const override { return "SM"; }
   const SmDetectorConfig& config() const { return config_; }
 
+  void set_observability(obs::ObsContext* obs) override;
+
  private:
   Machine* machine_;
   SmDetectorConfig config_;
   std::uint32_t miss_counter_ = 0;
+  obs::Counter* match_counter_ = nullptr;  ///< TLB hits found by searches
 };
 
 }  // namespace tlbmap

@@ -161,12 +161,18 @@ MachineStats Machine::run(std::vector<std::unique_ptr<ThreadStream>> streams,
 
           const Cycles global = config.observer->on_tick(ts.clock);
           if (global > 0) {
-            // A kernel-wide sweep stalls every thread equally.
+            // A kernel-wide sweep stalls every thread equally. A thread
+            // parked at a barrier still advances its clock (so the release
+            // time folds the stall into `latest` when that thread is the
+            // laggard), but the stall is not charged to its overhead[]: the
+            // wait absorbs it, and the release overwrite would erase the
+            // clock charge anyway — counting it would let
+            // detection_overhead_cycles exceed the sweep's actual
+            // critical-path impact.
             for (std::size_t o = 0; o < threads.size(); ++o) {
-              if (!threads[o].done) {
-                threads[o].clock += global;
-                overhead[o] += global;
-              }
+              if (threads[o].done) continue;
+              threads[o].clock += global;
+              if (!threads[o].at_barrier) overhead[o] += global;
             }
           }
         }

@@ -81,6 +81,128 @@ TEST(CommMatrix, Decay) {
   EXPECT_EQ(m.at(0, 1), 0u);
 }
 
+TEST(CommMatrix, DecayRoundsToNearest) {
+  CommMatrix m(3);
+  m.add(0, 1, 3);
+  m.add(1, 2, 1);
+  m.decay(0.6);
+  // 3 * 0.6 = 1.8 rounds to 2 and 1 * 0.6 = 0.6 rounds to 1 — truncation
+  // would bias both down and erase the small-but-real edge in one epoch.
+  EXPECT_EQ(m.at(0, 1), 2u);
+  EXPECT_EQ(m.at(1, 2), 1u);
+  EXPECT_EQ(m.max(), 2u);
+}
+
+TEST(CommMatrix, DecayTiesRoundTowardZero) {
+  // At the default ageing factor 0.5, odd cells land exactly on .5: ties
+  // go toward zero so every nonzero cell strictly shrinks (rounding ties
+  // up would keep a weight-1 edge alive forever).
+  CommMatrix m(3);
+  m.add(0, 1, 5);
+  m.add(1, 2, 1);
+  m.decay(0.5);
+  EXPECT_EQ(m.at(0, 1), 2u);
+  EXPECT_EQ(m.at(1, 2), 0u);
+}
+
+TEST(CommMatrix, MaxTracksAllMutations) {
+  CommMatrix m(3);
+  m.add(0, 1, 10);
+  m.add(1, 2, 4);
+  EXPECT_EQ(m.max(), 10u);
+  m.decay(0.25);  // 10 -> 2 (2.5 ties toward zero), 4 -> 1
+  EXPECT_EQ(m.max(), 2u);
+  CommMatrix other(3);
+  other.add(1, 2, 20);
+  m += other;
+  EXPECT_EQ(m.max(), 21u);
+  std::vector<CommMatrixShard> shards;
+  shards.emplace_back(3);
+  shards.back().add(0, 2, 50);
+  m.merge(shards);
+  EXPECT_EQ(m.max(), 50u);
+  EXPECT_DOUBLE_EQ(m.normalized(0, 2), 1.0);
+}
+
+// ------------------------------------------------------------------ shards
+
+TEST(CommMatrixShard, AddAtAndClear) {
+  CommMatrixShard s(4);
+  s.add(1, 3, 5);
+  s.add(3, 1, 2);  // either order hits the same cell
+  s.add(2, 2, 9);  // self-communication ignored
+  EXPECT_EQ(s.at(1, 3), 7u);
+  EXPECT_EQ(s.at(3, 1), 7u);
+  EXPECT_EQ(s.at(2, 2), 0u);
+  EXPECT_EQ(s.total(), 7u);
+  s.clear();
+  EXPECT_EQ(s.total(), 0u);
+}
+
+TEST(CommMatrixShard, BoundsChecked) {
+  CommMatrixShard s(4);
+  EXPECT_THROW(s.add(0, 4), std::out_of_range);
+  EXPECT_THROW(s.at(-1, 2), std::out_of_range);
+  EXPECT_THROW(CommMatrixShard(0), std::invalid_argument);
+}
+
+TEST(CommMatrix, MergeFoldsShardsSymmetrically) {
+  CommMatrix m(4);
+  m.add(0, 1, 1);
+  std::vector<CommMatrixShard> shards;
+  shards.emplace_back(4);
+  shards.emplace_back(4);
+  shards[0].add(0, 1, 2);
+  shards[0].add(2, 3, 4);
+  shards[1].add(1, 0, 3);
+  m.merge(shards);
+  EXPECT_EQ(m.at(0, 1), 6u);
+  EXPECT_EQ(m.at(1, 0), 6u);
+  EXPECT_EQ(m.at(2, 3), 4u);
+  EXPECT_EQ(m.total(), 10u);
+  std::vector<CommMatrixShard> wrong;
+  wrong.emplace_back(5);
+  EXPECT_THROW(m.merge(wrong), std::invalid_argument);
+}
+
+TEST(CommMatrix, MergeIsIndependentOfShardDistribution) {
+  // The same adds dealt across 1, 2 or 5 shards in different orders must
+  // produce the identical matrix — this is what lets a sharded producer
+  // claim bit-identity with a serial one.
+  struct Add {
+    ThreadId a, b;
+    std::uint64_t amount;
+  };
+  const std::vector<Add> adds = {{0, 1, 3}, {2, 5, 7}, {1, 0, 2}, {4, 5, 1},
+                                 {3, 2, 9}, {0, 5, 4}, {1, 2, 6}, {5, 2, 8}};
+  auto merged_with = [&](int num_shards, bool reverse) {
+    CommMatrix m(6);
+    std::vector<CommMatrixShard> shards;
+    for (int s = 0; s < num_shards; ++s) shards.emplace_back(6);
+    for (std::size_t i = 0; i < adds.size(); ++i) {
+      const Add& add = reverse ? adds[adds.size() - 1 - i] : adds[i];
+      shards[i % static_cast<std::size_t>(num_shards)].add(add.a, add.b,
+                                                           add.amount);
+    }
+    m.merge(shards);
+    return m;
+  };
+  const CommMatrix reference = merged_with(1, false);
+  for (const int num_shards : {2, 5}) {
+    for (const bool reverse : {false, true}) {
+      const CommMatrix other = merged_with(num_shards, reverse);
+      for (ThreadId a = 0; a < 6; ++a) {
+        for (ThreadId b = 0; b < 6; ++b) {
+          ASSERT_EQ(other.at(a, b), reference.at(a, b))
+              << num_shards << " shards, reverse=" << reverse << ", cell "
+              << a << "," << b;
+        }
+      }
+      EXPECT_EQ(other.max(), reference.max());
+    }
+  }
+}
+
 TEST(CommMatrix, PairsByWeightOrdered) {
   CommMatrix m(4);
   m.add(0, 1, 1);

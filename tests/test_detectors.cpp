@@ -216,6 +216,116 @@ TEST(HmDetector, Name) {
   EXPECT_EQ(hm.config().interval, 10'000'000u);  // paper default
 }
 
+TEST(HmDetector, SweepCadenceDoesNotDrift) {
+  Machine m(MachineConfig::tiny());
+  HmDetector hm(m, 2, HmDetectorConfig{/*interval=*/100, /*cost=*/7});
+  EXPECT_EQ(hm.on_tick(50), 0u);   // interval not yet elapsed
+  EXPECT_EQ(hm.on_tick(250), 7u);  // sweeps; cadence advances to 200
+  EXPECT_EQ(hm.on_tick(299), 0u);  // 99 cycles into the current interval
+  // 300 is the next grid point. Snapping the last sweep to the tick time
+  // (250) instead of the grid would push the next sweep to 350+ — under
+  // sparse ticks that drift accumulates and the sweep rate sags below the
+  // configured cadence.
+  EXPECT_EQ(hm.on_tick(300), 7u);
+  EXPECT_EQ(hm.searches(), 2u);
+}
+
+// ------------------------------------------ HM indexed sweep vs naive sweep
+
+MachineConfig config_for_cores(int cores) {
+  MachineConfig c = MachineConfig::harpertown();
+  if (cores > c.num_cores()) {
+    c.num_sockets = (cores + c.cores_per_socket - 1) / c.cores_per_socket;
+  }
+  return c;
+}
+
+/// Runs a ring workload with `threads` threads on cores 0..threads-1 so the
+/// TLBs hold a realistic mix of shared and private pages and the placement
+/// is registered.
+void prime_ring(Machine& m, int threads) {
+  SyntheticSpec spec;
+  spec.pattern = SyntheticSpec::Pattern::kRing;
+  spec.num_threads = threads;
+  spec.private_pages = 32;
+  spec.shared_pages = 8;
+  spec.iterations = 2;
+  const auto workload = make_synthetic(spec);
+  std::vector<std::unique_ptr<ThreadStream>> streams;
+  for (ThreadId t = 0; t < threads; ++t) {
+    streams.push_back(workload->stream(t, 7));
+  }
+  m.run(std::move(streams), run_with(nullptr, threads));
+}
+
+TEST(HmDetector, IndexedSweepMatchesNaiveBitForBit) {
+  // 6: partially occupied topology (cores 6, 7 empty); 8: full Harpertown
+  // (bitmask index); 36: multi-socket bitmask index; 68: beyond one mask
+  // word, exercising the sort-based grouping.
+  for (const int threads : {6, 8, 36, 68}) {
+    Machine m(config_for_cores(threads));
+    prime_ring(m, threads);
+    HmDetectorConfig naive_cfg;
+    naive_cfg.naive_sweep = true;
+    HmDetector naive(m, threads, naive_cfg);
+    HmDetector indexed(m, threads, HmDetectorConfig{});
+    naive.sweep();
+    indexed.sweep();
+    ASSERT_GT(naive.matrix().total(), 0u) << "P=" << threads;
+    for (ThreadId a = 0; a < threads; ++a) {
+      for (ThreadId b = 0; b < threads; ++b) {
+        ASSERT_EQ(indexed.matrix().at(a, b), naive.matrix().at(a, b))
+            << "P=" << threads << " cell " << a << "," << b;
+      }
+    }
+    EXPECT_EQ(indexed.matrix().max(), naive.matrix().max()) << "P=" << threads;
+  }
+}
+
+TEST(HmDetector, ShardedSweepMatchesSerial) {
+  const int threads = 36;
+  Machine m(config_for_cores(threads));
+  prime_ring(m, threads);
+  HmDetector serial(m, threads, HmDetectorConfig{});
+  HmDetectorConfig sharded_cfg;
+  sharded_cfg.sweep_workers = 3;
+  HmDetector sharded(m, threads, sharded_cfg);
+  // Two sweeps each: the second exercises shard reuse (clear between
+  // epochs) and accumulation on top of a non-empty matrix.
+  serial.sweep();
+  serial.sweep();
+  sharded.sweep();
+  sharded.sweep();
+  ASSERT_GT(serial.matrix().total(), 0u);
+  for (ThreadId a = 0; a < threads; ++a) {
+    for (ThreadId b = 0; b < threads; ++b) {
+      ASSERT_EQ(sharded.matrix().at(a, b), serial.matrix().at(a, b))
+          << "cell " << a << "," << b;
+    }
+  }
+  EXPECT_EQ(sharded.matrix().max(), serial.matrix().max());
+}
+
+TEST(HmDetector, PublishesIndexMetrics) {
+  obs::ObsContext ctx;
+  ctx.level = obs::ObsLevel::kPhases;
+  Machine m(config_for_cores(8));
+  prime_ring(m, 8);
+  HmDetector hm(m, 8);
+  hm.set_observability(&ctx);
+  hm.sweep();
+  const obs::Labels labels = {{"mechanism", "HM"}};
+  EXPECT_EQ(ctx.metrics.counter_value("detector.searches", labels), 1u);
+  // The ring workload shares pages, so the index holds entries, some pages
+  // have >= 2 sharers, and the sweep reports the pair matches it added.
+  EXPECT_GT(ctx.metrics.counter_value("detector.index_entries", labels), 0u);
+  EXPECT_GT(ctx.metrics.counter_value("detector.index_pages", labels), 0u);
+  EXPECT_EQ(ctx.metrics.counter_value("detector.matches", labels),
+            hm.matrix().total());
+  EXPECT_EQ(ctx.metrics.histogram("detector.index_build_us", labels).count(),
+            1u);
+}
+
 // ------------------------------------------------------------------ oracle
 
 TEST(OracleDetector, CountsSharingWithinWindow) {

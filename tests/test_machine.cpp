@@ -231,6 +231,47 @@ TEST(Machine, ObserverGlobalStallChargedToAll) {
   EXPECT_EQ(charged.detection_overhead_cycles, 10'000u);
 }
 
+TEST(Machine, BarrierWaitAbsorbsGlobalStallOverhead) {
+  Machine m(MachineConfig::tiny());
+
+  // Fires a global stall on two specific ticks: #5, while thread 0 waits at
+  // the barrier and thread 1 runs, and #9, while thread 0 runs alone after
+  // thread 1 finished.
+  class TimedStall final : public MachineObserver {
+   public:
+    Cycles on_access(ThreadId, CoreId, VirtAddr, PageNum, AccessType, bool,
+                     Cycles) override {
+      return 0;
+    }
+    Cycles on_tick(Cycles) override {
+      ++ticks;
+      return (ticks == 5 || ticks == 9) ? 10'000 : 0;
+    }
+    int ticks = 0;
+  } stall;
+
+  // Thread 0: one access, barrier, five accesses (ticks 1, 7-11).
+  // Thread 1: five slow accesses, barrier (ticks 2-6) — its clock dominates
+  // the release, so thread 0 waits through tick 5's stall.
+  std::vector<TraceEvent> a, b;
+  a.push_back(read_at(0));
+  a.push_back(TraceEvent::make_barrier());
+  for (int i = 0; i < 5; ++i) a.push_back(read_at(0));
+  for (int i = 0; i < 5; ++i) b.push_back(read_at(4096, 1000));
+  b.push_back(TraceEvent::make_barrier());
+
+  Machine::RunConfig run = identity_run(2);
+  run.observer = &stall;
+  const MachineStats stats = m.run(streams_of({a, b}), run);
+  ASSERT_EQ(stall.ticks, 11);
+  // Tick 5's stall folds into thread 0's barrier wait (the release
+  // overwrites its clock), so it may only count against thread 1; tick 9's
+  // stall hits thread 0 alone. Each thread carries exactly one stall —
+  // charging the barrier-parked thread too would report 20'000 here, more
+  // than the sweeps' actual critical-path impact.
+  EXPECT_EQ(stats.detection_overhead_cycles, 10'000u);
+}
+
 TEST(Machine, TlbMissFlagReachesObserver) {
   Machine m(MachineConfig::tiny());
 
