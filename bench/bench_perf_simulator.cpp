@@ -115,6 +115,46 @@ BENCHMARK(BM_SimulatorWithHmDetector)
     ->ArgNames({"threads", "naive"})
     ->Unit(benchmark::kMillisecond);
 
+// Tentpole A/B: a coherence-bound run where every thread hammers one shared
+// buffer, so nearly every L2 miss probes the bus and every write strips
+// sharers. broadcast=1 resolves each probe by walking all num_l2 cache
+// sets (the reference path); broadcast=0 uses the line-occupancy
+// directory, O(holders) per transaction. The accesses/s ratio at a given
+// core count is the directory speedup as the simulator experiences it;
+// stats are bit-identical either way (test_fastpath_differential).
+void BM_CoherenceBoundScaling(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const bool broadcast = state.range(1) != 0;
+  SyntheticSpec spec;
+  spec.pattern = SyntheticSpec::Pattern::kAllToAll;
+  spec.num_threads = threads;
+  spec.shared_pages = 32;
+  spec.private_pages = 2;
+  spec.shared_accesses = 4096;
+  spec.private_accesses = 256;
+  spec.iterations = 2;
+  std::uint64_t accesses = 0;
+  for (auto _ : state) {
+    const auto workload = make_synthetic(spec);
+    MachineConfig config = machine_for_threads(threads);
+    config.cores_per_l2 = 1;  // one L2 per core: num_l2 snoop peers = cores
+    config.coherence_broadcast = broadcast;
+    Machine machine(config);
+    std::vector<std::unique_ptr<ThreadStream>> streams;
+    for (ThreadId t = 0; t < threads; ++t) {
+      streams.push_back(workload->stream(t, 1));
+    }
+    Machine::RunConfig cfg;
+    for (int t = 0; t < threads; ++t) cfg.thread_to_core.push_back(t);
+    accesses += machine.run(std::move(streams), cfg).accesses;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(accesses));
+}
+BENCHMARK(BM_CoherenceBoundScaling)
+    ->ArgsProduct({{16, 32, 64}, {0, 1}})
+    ->ArgNames({"cores", "broadcast"})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_SimulatorWithOracle(benchmark::State& state) {
   const int threads = static_cast<int>(state.range(0));
   std::uint64_t accesses = 0;

@@ -73,6 +73,9 @@ std::string cli_usage() {
       "  --hm-naive-sweep     use the reference pairwise HM sweep instead\n"
       "                       of the inverted page index (same results;\n"
       "                       for A/B benchmarking)\n"
+      "  --coherence-broadcast  resolve coherence probes by walking every\n"
+      "                       L2 instead of the line-occupancy directory\n"
+      "                       (same results; for A/B benchmarking)\n"
       "  --apps A,B,...       suite: restrict the application set\n"
       "  --mapping 0,1,...    evaluate/replay: explicit thread->core list\n"
       "  --out DIR / --in DIR record/replay trace directory\n"
@@ -119,6 +122,8 @@ CliOptions parse_cli(int argc, const char* const* argv) {
         opt.numa = true;
       } else if (arg == "--hm-naive-sweep") {
         opt.hm_naive_sweep = true;
+      } else if (arg == "--coherence-broadcast") {
+        opt.coherence_broadcast = true;
       } else if (arg == "--app") {
         if (const char* v = next_value()) opt.app = v;
       } else if (arg == "--mechanism") {
@@ -178,8 +183,10 @@ CliOptions parse_cli(int argc, const char* const* argv) {
 namespace {
 
 MachineConfig machine_for(const CliOptions& opt) {
-  return opt.numa ? MachineConfig::numa_harpertown()
-                  : MachineConfig::harpertown();
+  MachineConfig machine = opt.numa ? MachineConfig::numa_harpertown()
+                                   : MachineConfig::harpertown();
+  machine.coherence_broadcast = opt.coherence_broadcast;
+  return machine;
 }
 
 WorkloadParams params_for(const CliOptions& opt) {

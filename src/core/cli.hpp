@@ -36,6 +36,11 @@ struct CliOptions {
   /// matrices; the naive path exists for A/B benchmarking and as a
   /// cross-check of the fast path.
   bool hm_naive_sweep = false;
+  /// Resolve coherence probes with the reference walked broadcast instead
+  /// of the line-occupancy directory. Same contract as --hm-naive-sweep:
+  /// bit-identical statistics, kept for A/B benchmarking and as a
+  /// cross-check of the fast path.
+  bool coherence_broadcast = false;
   std::vector<std::string> apps;  ///< suite only; empty = all nine
   Mapping mapping;                ///< evaluate/replay; empty = detect+map
   std::string dir;                ///< record --out / replay --in

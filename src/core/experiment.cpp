@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <functional>
+#include <memory>
 #include <ostream>
 #include <sstream>
 #include <thread>
@@ -270,128 +272,147 @@ SuiteResult run_suite(const SuiteConfig& config, std::ostream* progress,
           ? config.parallel_workers
           : std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
 
-  for (std::size_t i = 0; i < config.apps.size(); ++i) {
-    const std::string& name = config.apps[i];
-    const auto workload = make_npb_workload(name, config.workload);
-    // Detection observes a longer trace (the paper detects over the whole
-    // execution of the real benchmark).
-    WorkloadParams detect_params = config.workload;
-    detect_params.iter_scale *= config.detect_iter_scale;
-    const auto detect_workload = make_npb_workload(name, detect_params);
-    AppExperiment app;
-    app.app = workload->name();
-
-    obs::TraceSpan app_span(obs::tracer_at(obs, obs::ObsLevel::kPhases),
-                            "suite." + app.app, "suite");
-
-    Pipeline pipe(config.machine);
-    pipe.sm_config() = config.sm;
-    pipe.hm_config() = config.hm;
-    pipe.oracle_config() = config.oracle;
-    pipe.set_observability(obs);
-
-    if (progress != nullptr) *progress << "[suite] " << name << ": detect\n";
-    // The three detection runs simulate independent machines, so they fan
-    // out like the evaluation runs instead of serializing on one pipeline;
-    // each accumulates its own CommMatrix (the HM sweep can additionally
-    // shard its accumulation via hm.sweep_workers). Results are identical
-    // for any worker count.
-    {
-      struct DetectTask {
-        DetectionResult* slot;
-        Pipeline::Mechanism mechanism;
-      };
-      const DetectTask detect_tasks[] = {
-          {&app.sm_detection, Pipeline::Mechanism::kSoftwareManaged},
-          {&app.hm_detection, Pipeline::Mechanism::kHardwareManaged},
-          {&app.oracle_detection, Pipeline::Mechanism::kOracle},
-      };
-      auto detect_one = [&](const DetectTask& task) {
-        Pipeline detect_pipe(config.machine);
-        detect_pipe.sm_config() = config.sm;
-        detect_pipe.hm_config() = config.hm;
-        detect_pipe.oracle_config() = config.oracle;
-        detect_pipe.set_observability(obs);
-        *task.slot = detect_pipe.detect(*detect_workload, task.mechanism,
-                                        config.base_seed);
-      };
-      if (worker_budget == 1) {
-        for (const DetectTask& task : detect_tasks) detect_one(task);
-      } else {
-        std::vector<std::thread> detect_pool;
-        detect_pool.reserve(3);
-        for (const DetectTask& task : detect_tasks) {
-          detect_pool.emplace_back([&detect_one, &task] { detect_one(task); });
-        }
-        for (std::thread& t : detect_pool) t.join();
-      }
-    }
-
-    app.sm_mapping = pipe.map(app.sm_detection.matrix);
-    app.hm_mapping = pipe.map(app.hm_detection.matrix);
-
-    app.os_runs.label = "OS";
-    app.sm_runs.label = "SM";
-    app.hm_runs.label = "HM";
-    if (progress != nullptr) {
-      *progress << "[suite] " << name << ": evaluate x" << config.repetitions
-                << "\n";
-    }
-    // The evaluation runs are fully independent (each constructs its own
-    // Machine), so they fan out over a small worker pool. Every task writes
-    // a preassigned slot: results are identical for any worker count.
-    const int reps = config.repetitions;
-    app.os_runs.runs.resize(static_cast<std::size_t>(reps));
-    app.sm_runs.runs.resize(static_cast<std::size_t>(reps));
-    app.hm_runs.runs.resize(static_cast<std::size_t>(reps));
-    struct Task {
-      MachineStats* slot;
-      Mapping mapping;
-      std::uint64_t run_seed;
-    };
-    std::vector<Task> tasks;
-    tasks.reserve(static_cast<std::size_t>(reps) * 3);
-    for (int rep = 0; rep < reps; ++rep) {
-      const std::uint64_t run_seed =
-          config.base_seed + 1000 + static_cast<std::uint64_t>(rep);
-      // The OS baseline lands on fresh random cores every run.
-      const Mapping os_mapping = random_mapping(
-          workload->num_threads(), cores,
-          config.base_seed * 7919 + i * 131 +
-              static_cast<std::uint64_t>(rep));
-      tasks.push_back({&app.os_runs.runs[static_cast<std::size_t>(rep)],
-                       os_mapping, run_seed});
-      tasks.push_back({&app.sm_runs.runs[static_cast<std::size_t>(rep)],
-                       app.sm_mapping, run_seed});
-      tasks.push_back({&app.hm_runs.runs[static_cast<std::size_t>(rep)],
-                       app.hm_mapping, run_seed});
-    }
+  // The suite runs as three global phases — detect, map, evaluate — instead
+  // of app-by-app: every simulation run in a phase is independent (its own
+  // Machine, its own preassigned result slot), so one shared worker pool
+  // drains all apps' runs at once and the tail of a short app overlaps the
+  // head of a long one. Task order, seeds and slots are fixed up front, so
+  // results are bit-identical for any worker count.
+  auto run_tasks = [&](std::size_t count,
+                       const std::function<void(std::size_t)>& body) {
     const int workers =
-        std::max(1, std::min<int>(worker_budget,
-                                  static_cast<int>(tasks.size())));
+        std::max(1, std::min<int>(worker_budget, static_cast<int>(count)));
+    if (workers == 1) {
+      for (std::size_t idx = 0; idx < count; ++idx) body(idx);
+      return;
+    }
     std::atomic<std::size_t> next_task{0};
     auto worker_fn = [&] {
       for (;;) {
         const std::size_t idx = next_task.fetch_add(1);
-        if (idx >= tasks.size()) return;
-        Task& task = tasks[idx];
-        Pipeline worker_pipe(config.machine);
-        // The tracer and registry are thread-safe; evaluation spans from
-        // parallel workers interleave in the ring like any other events.
-        worker_pipe.set_observability(obs);
-        *task.slot =
-            worker_pipe.evaluate(*workload, task.mapping, task.run_seed);
+        if (idx >= count) return;
+        body(idx);
       }
     };
-    if (workers == 1) {
-      worker_fn();
-    } else {
-      std::vector<std::thread> pool;
-      pool.reserve(static_cast<std::size_t>(workers));
-      for (int w = 0; w < workers; ++w) pool.emplace_back(worker_fn);
-      for (std::thread& t : pool) t.join();
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) pool.emplace_back(worker_fn);
+    for (std::thread& t : pool) t.join();
+  };
+
+  const std::size_t num_apps = config.apps.size();
+  result.apps.resize(num_apps);
+  std::vector<std::unique_ptr<Workload>> eval_workloads(num_apps);
+  std::vector<std::unique_ptr<Workload>> detect_workloads(num_apps);
+  for (std::size_t i = 0; i < num_apps; ++i) {
+    eval_workloads[i] = make_npb_workload(config.apps[i], config.workload);
+    // Detection observes a longer trace (the paper detects over the whole
+    // execution of the real benchmark).
+    WorkloadParams detect_params = config.workload;
+    detect_params.iter_scale *= config.detect_iter_scale;
+    detect_workloads[i] = make_npb_workload(config.apps[i], detect_params);
+    result.apps[i].app = eval_workloads[i]->name();
+  }
+
+  // Phase 1: all detection runs (3 mechanisms per app) in one pool. Each
+  // accumulates its own CommMatrix (the HM sweep can additionally shard its
+  // accumulation via hm.sweep_workers).
+  {
+    obs::TraceSpan span(obs::tracer_at(obs, obs::ObsLevel::kPhases),
+                        "suite.detect", "suite");
+    if (progress != nullptr) {
+      *progress << "[suite] detect: " << num_apps << " apps x 3 mechanisms\n";
     }
-    result.apps.push_back(std::move(app));
+    struct DetectTask {
+      DetectionResult* slot;
+      std::size_t app;
+      Pipeline::Mechanism mechanism;
+    };
+    std::vector<DetectTask> tasks;
+    tasks.reserve(num_apps * 3);
+    for (std::size_t i = 0; i < num_apps; ++i) {
+      tasks.push_back({&result.apps[i].sm_detection, i,
+                       Pipeline::Mechanism::kSoftwareManaged});
+      tasks.push_back({&result.apps[i].hm_detection, i,
+                       Pipeline::Mechanism::kHardwareManaged});
+      tasks.push_back(
+          {&result.apps[i].oracle_detection, i, Pipeline::Mechanism::kOracle});
+    }
+    run_tasks(tasks.size(), [&](std::size_t idx) {
+      const DetectTask& task = tasks[idx];
+      Pipeline detect_pipe(config.machine);
+      detect_pipe.sm_config() = config.sm;
+      detect_pipe.hm_config() = config.hm;
+      detect_pipe.oracle_config() = config.oracle;
+      detect_pipe.set_observability(obs);
+      *task.slot = detect_pipe.detect(*detect_workloads[task.app],
+                                      task.mechanism, config.base_seed);
+    });
+  }
+
+  // Phase 2: mapping is a cheap serial step between the two fan-outs.
+  {
+    obs::TraceSpan span(obs::tracer_at(obs, obs::ObsLevel::kPhases),
+                        "suite.map", "suite");
+    Pipeline map_pipe(config.machine);
+    map_pipe.set_observability(obs);
+    for (AppExperiment& app : result.apps) {
+      app.sm_mapping = map_pipe.map(app.sm_detection.matrix);
+      app.hm_mapping = map_pipe.map(app.hm_detection.matrix);
+    }
+  }
+
+  // Phase 3: all evaluation runs (3 mappings x repetitions per app) in one
+  // pool.
+  {
+    obs::TraceSpan span(obs::tracer_at(obs, obs::ObsLevel::kPhases),
+                        "suite.evaluate", "suite");
+    if (progress != nullptr) {
+      *progress << "[suite] evaluate: " << num_apps << " apps x 3 mappings x "
+                << config.repetitions << " repetitions\n";
+    }
+    const int reps = config.repetitions;
+    struct EvalTask {
+      MachineStats* slot;
+      std::size_t app;
+      Mapping mapping;
+      std::uint64_t run_seed;
+    };
+    std::vector<EvalTask> tasks;
+    tasks.reserve(num_apps * static_cast<std::size_t>(reps) * 3);
+    for (std::size_t i = 0; i < num_apps; ++i) {
+      AppExperiment& app = result.apps[i];
+      app.os_runs.label = "OS";
+      app.sm_runs.label = "SM";
+      app.hm_runs.label = "HM";
+      app.os_runs.runs.resize(static_cast<std::size_t>(reps));
+      app.sm_runs.runs.resize(static_cast<std::size_t>(reps));
+      app.hm_runs.runs.resize(static_cast<std::size_t>(reps));
+      for (int rep = 0; rep < reps; ++rep) {
+        const std::uint64_t run_seed =
+            config.base_seed + 1000 + static_cast<std::uint64_t>(rep);
+        // The OS baseline lands on fresh random cores every run.
+        const Mapping os_mapping = random_mapping(
+            eval_workloads[i]->num_threads(), cores,
+            config.base_seed * 7919 + i * 131 +
+                static_cast<std::uint64_t>(rep));
+        tasks.push_back({&app.os_runs.runs[static_cast<std::size_t>(rep)], i,
+                         os_mapping, run_seed});
+        tasks.push_back({&app.sm_runs.runs[static_cast<std::size_t>(rep)], i,
+                         app.sm_mapping, run_seed});
+        tasks.push_back({&app.hm_runs.runs[static_cast<std::size_t>(rep)], i,
+                         app.hm_mapping, run_seed});
+      }
+    }
+    run_tasks(tasks.size(), [&](std::size_t idx) {
+      const EvalTask& task = tasks[idx];
+      Pipeline worker_pipe(config.machine);
+      // The tracer and registry are thread-safe; evaluation spans from
+      // parallel workers interleave in the ring like any other events.
+      worker_pipe.set_observability(obs);
+      *task.slot = worker_pipe.evaluate(*eval_workloads[task.app],
+                                        task.mapping, task.run_seed);
+    });
   }
 
   if (caching) {

@@ -46,11 +46,13 @@ struct SuiteConfig {
   double detect_iter_scale = 4.0;
   std::uint64_t base_seed = 42;
   bool use_cache = true;
-  /// Worker threads for the independent simulation runs: the three
-  /// detection runs (SM/HM/oracle) and the evaluation repetitions both fan
-  /// out over this budget. 0 = one per hardware core. Results are
-  /// bit-identical regardless of the worker count — each run simulates its
-  /// own Machine and writes its own slot. (The HM sweep itself can shard
+  /// Worker threads for the independent simulation runs. The suite executes
+  /// as three global phases — detect, map, evaluate — and the detect and
+  /// evaluate phases each drain every app's runs through one shared pool of
+  /// this size (suite-wide, not per app: a short app's tail overlaps a long
+  /// app's head). 0 = one per hardware core. Results are bit-identical
+  /// regardless of the worker count — each run simulates its own Machine
+  /// and writes its own preassigned slot. (The HM sweep itself can shard
   /// its matrix accumulation further via HmDetectorConfig::sweep_workers.)
   int parallel_workers = 0;
 };
@@ -96,9 +98,10 @@ struct SuiteResult {
 };
 
 /// Runs (or loads from cache) the whole evaluation. `progress`, when given,
-/// receives one line per completed step. `obs`, when given, receives one
-/// span per app plus everything the underlying Pipeline publishes (cached
-/// loads record a "suite.cache_load" span and nothing else).
+/// receives one line per phase. `obs`, when given, receives one span per
+/// phase (suite.detect / suite.map / suite.evaluate) plus everything the
+/// underlying Pipeline publishes (cached loads record a "suite.cache_load"
+/// span and nothing else).
 SuiteResult run_suite(const SuiteConfig& config,
                       std::ostream* progress = nullptr,
                       obs::ObsContext* obs = nullptr);

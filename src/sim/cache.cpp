@@ -81,11 +81,4 @@ std::size_t Cache::valid_lines() const {
                     [](const CacheLine& l) { return l.valid(); }));
 }
 
-void Cache::for_each_line(
-    const std::function<void(const CacheLine&)>& fn) const {
-  for (const CacheLine& l : lines_) {
-    if (l.valid()) fn(l);
-  }
-}
-
 }  // namespace tlbmap

@@ -8,7 +8,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <optional>
 #include <vector>
 
@@ -83,8 +82,15 @@ class Cache {
   /// Number of currently valid lines (test/debug aid; O(capacity)).
   std::size_t valid_lines() const;
 
-  /// Visits every valid line (test/debug aid).
-  void for_each_line(const std::function<void(const CacheLine&)>& fn) const;
+  /// Visits every valid line. Templated on the visitor so the call inlines
+  /// instead of going through a std::function thunk — the directory
+  /// consistency check walks entire caches with it.
+  template <typename Fn>
+  void for_each_line(Fn&& fn) const {
+    for (const CacheLine& line : lines_) {
+      if (line.valid()) fn(line);
+    }
+  }
 
  private:
   CacheLine* find_in_set(std::size_t set, LineAddr addr);

@@ -1,16 +1,33 @@
 #include "sim/coherence.hpp"
 
 #include <algorithm>
+#include <bit>
 
 namespace tlbmap {
 
 CoherenceDomain::CoherenceDomain(const MachineConfig& config,
                                  const Topology& topology,
                                  Interconnect& interconnect)
-    : l2_latency_(config.l2.latency), interconnect_(&interconnect) {
+    : l2_latency_(config.l2.latency),
+      interconnect_(&interconnect),
+      directory_enabled_(!config.coherence_broadcast &&
+                         topology.num_l2() <= 64) {
   l2s_.reserve(static_cast<std::size_t>(topology.num_l2()));
   for (int i = 0; i < topology.num_l2(); ++i) {
     l2s_.emplace_back(config.l2);
+  }
+  if (directory_enabled_) {
+    same_socket_mask_.assign(l2s_.size(), 0);
+    for (int a = 0; a < topology.num_l2(); ++a) {
+      for (int b = 0; b < topology.num_l2(); ++b) {
+        if (topology.socket_of_l2(a) == topology.socket_of_l2(b)) {
+          same_socket_mask_[static_cast<std::size_t>(a)] |= bit(b);
+        }
+      }
+    }
+    // Worst case one entry per distinct resident line across all L2s.
+    directory_.reserve(l2s_.size() * l2s_.front().num_sets() *
+                       l2s_.front().ways());
   }
 }
 
@@ -18,7 +35,21 @@ void CoherenceDomain::drop(L2Id holder, LineAddr line) {
   if (on_line_drop_) on_line_drop_(holder, line);
 }
 
-L2Id CoherenceDomain::probe(L2Id me, LineAddr line, MachineStats& stats) {
+std::uint64_t CoherenceDomain::remote_holders(L2Id me, LineAddr line) const {
+  const auto it = directory_.find(line);
+  if (it == directory_.end()) return 0;
+  return it->second & ~bit(me);
+}
+
+void CoherenceDomain::directory_clear(L2Id holder, LineAddr line) {
+  const auto it = directory_.find(line);
+  if (it == directory_.end()) return;
+  it->second &= ~bit(holder);
+  if (it->second == 0) directory_.erase(it);
+}
+
+L2Id CoherenceDomain::probe_broadcast(L2Id me, LineAddr line,
+                                      MachineStats& stats) {
   L2Id best = -1;
   for (int other = 0; other < num_l2(); ++other) {
     if (other == me) continue;
@@ -32,9 +63,30 @@ L2Id CoherenceDomain::probe(L2Id me, LineAddr line, MachineStats& stats) {
   return best;
 }
 
+L2Id CoherenceDomain::probe(L2Id me, LineAddr line, MachineStats& stats) {
+  if (!directory_enabled_) return probe_broadcast(me, line, stats);
+  // The address probe still goes out to every peer on the bus — only the
+  // simulator-side resolution is a mask lookup instead of a set walk.
+  interconnect_->record_probe_broadcast(me, stats);
+  ++dir_stats_.probes;
+  const std::uint64_t holders = remote_holders(me, line);
+  if (holders == 0) return -1;
+  ++dir_stats_.holder_hits;
+  // Nearest holder, matching the broadcast scan's tie-break: the
+  // lowest-indexed holder on my socket when one exists, else the
+  // lowest-indexed holder overall.
+  const std::uint64_t local =
+      holders & same_socket_mask_[static_cast<std::size_t>(me)];
+  return std::countr_zero(local != 0 ? local : holders);
+}
+
 void CoherenceDomain::insert_line(L2Id me, LineAddr line, MesiState state,
                                   MachineStats& stats) {
   auto evicted = l2s_[static_cast<std::size_t>(me)].insert(line, state);
+  if (directory_enabled_) {
+    directory_[line] |= bit(me);
+    if (evicted.has_value()) directory_clear(me, evicted->addr);
+  }
   if (evicted.has_value()) {
     if (evicted->state == MesiState::kModified) ++stats.writebacks;
     drop(me, evicted->addr);
@@ -85,14 +137,28 @@ Cycles CoherenceDomain::write(L2Id me, LineAddr line, Cycles memory_latency,
         // Ownership upgrade: invalidate every remote copy. Messages go out
         // in parallel, so the stall is the slowest acknowledgement.
         Cycles worst = 0;
-        for (int other = 0; other < num_l2(); ++other) {
-          if (other == me) continue;
-          Cache& theirs = l2s_[static_cast<std::size_t>(other)];
-          if (theirs.invalidate(line).has_value()) {
+        if (directory_enabled_) {
+          for (std::uint64_t m = remote_holders(me, line); m != 0;
+               m &= m - 1) {
+            const L2Id other = std::countr_zero(m);
+            ++dir_stats_.holder_visits;
+            l2s_[static_cast<std::size_t>(other)].invalidate(line);
             ++stats.invalidations;
-            worst = std::max(worst,
-                             interconnect_->invalidate(me, other, stats));
+            worst =
+                std::max(worst, interconnect_->invalidate(me, other, stats));
+            directory_clear(other, line);
             drop(other, line);
+          }
+        } else {
+          for (int other = 0; other < num_l2(); ++other) {
+            if (other == me) continue;
+            Cache& theirs = l2s_[static_cast<std::size_t>(other)];
+            if (theirs.invalidate(line).has_value()) {
+              ++stats.invalidations;
+              worst = std::max(worst,
+                               interconnect_->invalidate(me, other, stats));
+              drop(other, line);
+            }
           }
         }
         held->state = MesiState::kModified;
@@ -102,31 +168,51 @@ Cycles CoherenceDomain::write(L2Id me, LineAddr line, Cycles memory_latency,
         break;  // unreachable: find() only returns valid lines
     }
   }
-  // Write miss: read-for-ownership.
+  // Write miss: read-for-ownership. probe() names the transfer source, so
+  // it is always among the holders invalidated below — the data always
+  // arrives cache-to-cache when a holder exists, never from memory.
   ++stats.l2_misses;
   Cycles latency = 1;
   const L2Id source = probe(me, line, stats);
   if (source != -1) {
     // Invalidate every holder; data comes from the nearest one.
-    bool transferred = false;
     Cycles worst = 0;
-    for (int other = 0; other < num_l2(); ++other) {
-      if (other == me) continue;
-      Cache& theirs = l2s_[static_cast<std::size_t>(other)];
-      const auto old = theirs.invalidate(line);
-      if (!old.has_value()) continue;
-      ++stats.invalidations;
-      if (*old == MesiState::kModified) ++stats.writebacks;
-      drop(other, line);
-      if (other == source) {
-        ++stats.snoop_transactions;
-        worst = std::max(worst, interconnect_->transfer(other, me, stats));
-        transferred = true;
-      } else {
-        worst = std::max(worst, interconnect_->invalidate(me, other, stats));
+    if (directory_enabled_) {
+      for (std::uint64_t m = remote_holders(me, line); m != 0; m &= m - 1) {
+        const L2Id other = std::countr_zero(m);
+        ++dir_stats_.holder_visits;
+        const auto old =
+            l2s_[static_cast<std::size_t>(other)].invalidate(line);
+        ++stats.invalidations;
+        if (old.has_value() && *old == MesiState::kModified) {
+          ++stats.writebacks;
+        }
+        directory_clear(other, line);
+        drop(other, line);
+        if (other == source) {
+          ++stats.snoop_transactions;
+          worst = std::max(worst, interconnect_->transfer(other, me, stats));
+        } else {
+          worst = std::max(worst, interconnect_->invalidate(me, other, stats));
+        }
+      }
+    } else {
+      for (int other = 0; other < num_l2(); ++other) {
+        if (other == me) continue;
+        Cache& theirs = l2s_[static_cast<std::size_t>(other)];
+        const auto old = theirs.invalidate(line);
+        if (!old.has_value()) continue;
+        ++stats.invalidations;
+        if (*old == MesiState::kModified) ++stats.writebacks;
+        drop(other, line);
+        if (other == source) {
+          ++stats.snoop_transactions;
+          worst = std::max(worst, interconnect_->transfer(other, me, stats));
+        } else {
+          worst = std::max(worst, interconnect_->invalidate(me, other, stats));
+        }
       }
     }
-    (void)transferred;
     latency += worst;
   } else {
     ++stats.memory_fetches;
@@ -138,6 +224,32 @@ Cycles CoherenceDomain::write(L2Id me, LineAddr line, Cycles memory_latency,
 
 void CoherenceDomain::flush() {
   for (Cache& c : l2s_) c.flush();
+  directory_.clear();
+}
+
+bool CoherenceDomain::directory_consistent() const {
+  if (!directory_enabled_) return true;
+  // Every valid cached line must be tracked with its holder bit set...
+  for (std::size_t id = 0; id < l2s_.size(); ++id) {
+    bool ok = true;
+    l2s_[id].for_each_line([&](const CacheLine& cl) {
+      const auto it = directory_.find(cl.addr);
+      if (it == directory_.end() ||
+          (it->second & bit(static_cast<L2Id>(id))) == 0) {
+        ok = false;
+      }
+    });
+    if (!ok) return false;
+  }
+  // ...and every directory bit must map back to a resident line.
+  for (const auto& [line, mask] : directory_) {
+    if (mask == 0) return false;  // empty masks are erased eagerly
+    for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+      const auto id = static_cast<std::size_t>(std::countr_zero(m));
+      if (id >= l2s_.size() || l2s_[id].peek(line) == nullptr) return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace tlbmap

@@ -8,9 +8,22 @@
 // *invalidations* counter). The interconnect prices each message by whether
 // it crosses the socket boundary — this is precisely the cost structure a
 // good thread mapping exploits.
+//
+// The simulator resolves the broadcast with a line-occupancy directory: a
+// LineAddr -> 64-bit holder bitmask maintained incrementally by every
+// insert/invalidate/eviction, so a probe is one hash lookup plus a ctz over
+// the socket-partitioned mask and the invalidation loops visit only actual
+// holders — O(holders) instead of Theta(num_l2) cache-set walks per miss.
+// This changes no simulated outcome: probe messages, snoop transactions,
+// invalidations, latencies and replacement state are identical bit for bit
+// (the differential test suite proves it). The literal walked broadcast is
+// kept behind MachineConfig::coherence_broadcast for A/B benchmarking, and
+// machines with more than 64 L2s fall back to it automatically.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/cache.hpp"
@@ -27,6 +40,15 @@ class CoherenceDomain {
   /// Called whenever an L2 loses a line (remote invalidation or eviction),
   /// so the private L1s above it can be kept inclusive.
   using LineDropFn = std::function<void(L2Id, LineAddr)>;
+
+  /// Bookkeeping of the directory fast path (not part of MachineStats: the
+  /// directory is an engine acceleration, not a simulated event). Published
+  /// by Machine::run as coherence.directory_* metrics.
+  struct DirectoryStats {
+    std::uint64_t probes = 0;         ///< directory lookups on L2 misses
+    std::uint64_t holder_hits = 0;    ///< probes that found a remote holder
+    std::uint64_t holder_visits = 0;  ///< L2s visited by upgrade/RFO loops
+  };
 
   CoherenceDomain(const MachineConfig& config, const Topology& topology,
                   Interconnect& interconnect);
@@ -59,10 +81,21 @@ class CoherenceDomain {
   /// Drops every line from every L2 (between experiment repetitions).
   void flush();
 
+  bool directory_enabled() const { return directory_enabled_; }
+  const DirectoryStats& directory_stats() const { return dir_stats_; }
+  /// Lines currently tracked by the directory (0 in broadcast mode).
+  std::size_t directory_lines() const { return directory_.size(); }
+
+  /// Ground-truth check: every valid L2 line has its holder bit set and
+  /// every directory bit maps to a resident line. Trivially true in
+  /// broadcast mode. Test/debug aid; O(total cache capacity).
+  bool directory_consistent() const;
+
  private:
   /// Index of the holder nearest to `me`, or -1 when no other L2 holds the
   /// line. Also records one probe message per remote L2 (broadcast snoop).
   L2Id probe(L2Id me, LineAddr line, MachineStats& stats);
+  L2Id probe_broadcast(L2Id me, LineAddr line, MachineStats& stats);
 
   /// Inserts into `me`, handling an inclusive eviction (writeback if the
   /// victim was modified; L1 shootdown either way).
@@ -71,10 +104,24 @@ class CoherenceDomain {
 
   void drop(L2Id holder, LineAddr line);
 
+  static std::uint64_t bit(L2Id id) {
+    return std::uint64_t{1} << static_cast<unsigned>(id);
+  }
+  /// Holder mask excluding `me`; 0 when the line is untracked.
+  std::uint64_t remote_holders(L2Id me, LineAddr line) const;
+  void directory_clear(L2Id holder, LineAddr line);
+
   Cycles l2_latency_;
   Interconnect* interconnect_;
   std::vector<Cache> l2s_;
   LineDropFn on_line_drop_;
+
+  bool directory_enabled_;
+  /// L2 bitmask of each socket, indexed by L2 id (same_socket_mask_[me] =
+  /// mask of the L2s on me's socket) — the nearest-holder partition.
+  std::vector<std::uint64_t> same_socket_mask_;
+  std::unordered_map<LineAddr, std::uint64_t> directory_;
+  DirectoryStats dir_stats_;
 };
 
 }  // namespace tlbmap

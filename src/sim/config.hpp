@@ -97,6 +97,15 @@ struct MachineConfig {
   bool numa = false;
   NumaPolicy numa_policy = NumaPolicy::kFirstTouch;
 
+  /// Resolve coherence probes by walking every other L2's cache set (the
+  /// literal snoop broadcast) instead of the line-occupancy directory. Both
+  /// paths produce bit-identical statistics — the simulated protocol *is* a
+  /// broadcast either way, and the probe/invalidation message counts are
+  /// accounted identically; the directory is purely an acceleration
+  /// structure (O(holders) instead of Theta(num_l2) per miss). Kept for A/B
+  /// benchmarking and differential testing, mirroring --hm-naive-sweep.
+  bool coherence_broadcast = false;
+
   CacheConfig l1{/*size_bytes=*/32 * 1024, /*line_size=*/64, /*ways=*/4,
                  /*latency=*/2};
   CacheConfig l2{/*size_bytes=*/6 * 1024 * 1024, /*line_size=*/64, /*ways=*/8,

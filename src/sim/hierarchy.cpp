@@ -24,10 +24,13 @@ MemoryHierarchy::MemoryHierarchy(const MachineConfig& config)
     tlbs_.emplace_back(config.tlb);
     l1s_.emplace_back(config.l1);
   }
+  memos_.resize(static_cast<std::size_t>(topology_.num_cores()));
   // Keep L1s inclusive: when an L2 loses a line, shoot it down in the L1s of
-  // the cores attached to that L2.
+  // the cores attached to that L2. Cores of an L2 are a contiguous id range.
   coherence_.set_line_drop_callback([this](L2Id l2, LineAddr line) {
-    for (CoreId core : topology_.cores_of_l2(l2)) {
+    const CoreId first = l2 * topology_.cores_per_l2();
+    for (CoreId core = first; core < first + topology_.cores_per_l2();
+         ++core) {
       l1s_[static_cast<std::size_t>(core)].invalidate(line);
     }
   });
@@ -48,33 +51,47 @@ MemoryHierarchy::AccessInfo MemoryHierarchy::access(CoreId core,
   // Address translation. On NUMA machines the first touch also homes the
   // page: on the toucher's socket (first-touch) or striped (interleave).
   info.page = page_table_.page_of(addr);
-  Tlb& tlb = tlbs_[static_cast<std::size_t>(core)];
-  if (tlb.lookup(info.page)) {
+  TranslationMemo& memo = memos_[static_cast<std::size_t>(core)];
+  PhysAddr phys;
+  Cycles memory_latency;
+  bool remote_home;
+  if (fast_path_ && memo.valid && memo.page == info.page) {
+    // Same-page streak: the page is this core's MRU TLB entry, so this is a
+    // guaranteed hit and the translation is already known.
     ++stats.tlb_hits;
+    phys = memo.frame_base | page_table_.page_offset(addr);
+    memory_latency = memo.memory_latency;
+    remote_home = memo.remote_home;
   } else {
-    ++stats.tlb_misses;
-    info.tlb_miss = true;
-    tlb.insert(info.page);
-    info.latency += config_.tlb.miss_penalty;
-  }
-  const int home =
-      config_.numa_policy == NumaPolicy::kInterleave
-          ? static_cast<int>(info.page %
-                             static_cast<PageNum>(config_.num_sockets))
-          : topology_.socket_of(core);
-  const PhysAddr phys =
-      (page_table_.frame_of(info.page, home) << config_.page_shift()) |
-      page_table_.page_offset(addr);
-  const LineAddr line = phys >> line_shift_;
+    Tlb& tlb = tlbs_[static_cast<std::size_t>(core)];
+    if (tlb.lookup(info.page)) {
+      ++stats.tlb_hits;
+    } else {
+      ++stats.tlb_misses;
+      info.tlb_miss = true;
+      tlb.insert(info.page);
+      info.latency += config_.tlb.miss_penalty;
+    }
+    const int home =
+        config_.numa_policy == NumaPolicy::kInterleave
+            ? static_cast<int>(info.page %
+                               static_cast<PageNum>(config_.num_sockets))
+            : topology_.socket_of(core);
+    const PhysAddr frame_base = page_table_.frame_of(info.page, home)
+                                << config_.page_shift();
+    phys = frame_base | page_table_.page_offset(addr);
 
-  // Memory latency depends on where the page actually lives (recorded at
-  // its first touch, which may have homed it elsewhere).
-  Cycles memory_latency = config_.interconnect.memory_latency;
-  const bool remote_home =
-      config_.numa && page_table_.home_of(info.page) != topology_.socket_of(core);
-  if (remote_home) {
-    memory_latency += config_.interconnect.memory_remote_extra;
+    // Memory latency depends on where the page actually lives (recorded at
+    // its first touch, which may have homed it elsewhere).
+    memory_latency = config_.interconnect.memory_latency;
+    remote_home = config_.numa &&
+                  page_table_.home_of(info.page) != topology_.socket_of(core);
+    if (remote_home) {
+      memory_latency += config_.interconnect.memory_remote_extra;
+    }
+    memo = {info.page, frame_base, memory_latency, remote_home, true};
   }
+  const LineAddr line = phys >> line_shift_;
 
   Cache& l1 = l1s_[static_cast<std::size_t>(core)];
   const L2Id l2 = topology_.l2_of(core);
@@ -113,9 +130,15 @@ MemoryHierarchy::AccessInfo MemoryHierarchy::access(CoreId core,
   }
   // Cores behind the same L2 do not appear on the snoop bus, so their L1
   // copies must be shot down locally or they would keep serving stale hits.
-  for (CoreId sibling : topology_.cores_of_l2(l2)) {
-    if (sibling != core) {
-      l1s_[static_cast<std::size_t>(sibling)].invalidate(line);
+  // The L1s are inclusive in the L2, so when the L2 itself does not hold
+  // the line no sibling L1 can either and the shootdown is a no-op.
+  if (!fast_path_ || coherence_.l2(l2).peek(line) != nullptr) {
+    const CoreId first = l2 * topology_.cores_per_l2();
+    for (CoreId sibling = first; sibling < first + topology_.cores_per_l2();
+         ++sibling) {
+      if (sibling != core) {
+        l1s_[static_cast<std::size_t>(sibling)].invalidate(line);
+      }
     }
   }
   const std::uint64_t fetches_before = stats.memory_fetches;
@@ -128,6 +151,7 @@ void MemoryHierarchy::flush_caches() {
   for (Tlb& t : tlbs_) t.flush();
   for (Cache& c : l1s_) c.flush();
   coherence_.flush();
+  for (TranslationMemo& m : memos_) m.valid = false;
 }
 
 }  // namespace tlbmap

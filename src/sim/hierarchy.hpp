@@ -37,6 +37,12 @@ class MemoryHierarchy {
   AccessInfo access(CoreId core, VirtAddr addr, AccessType type,
                     MachineStats& stats);
 
+  /// Engine fast paths (same-page translation memo, L2 presence check before
+  /// the sibling-L1 shootdown). Outcomes and statistics are bit-identical
+  /// either way; the switch exists so the differential tests can prove it.
+  void set_fast_path_enabled(bool enabled) { fast_path_ = enabled; }
+  bool fast_path_enabled() const { return fast_path_; }
+
   const MachineConfig& config() const { return config_; }
   const Topology& topology() const { return topology_; }
   Tlb& tlb(CoreId core) { return tlbs_[static_cast<std::size_t>(core)]; }
@@ -53,6 +59,20 @@ class MemoryHierarchy {
   void flush_caches();
 
  private:
+  /// Memo of a core's most recent translation. Between two consecutive
+  /// accesses by the same core nothing touches that core's TLB, so a
+  /// same-page repeat is a guaranteed hit on the MRU entry and the whole
+  /// page_of/lookup/frame_of/home_of chain can be skipped. Skipping the MRU
+  /// stamp refresh preserves relative LRU order, so future evictions are
+  /// unchanged. Reset by flush_caches().
+  struct TranslationMemo {
+    PageNum page = 0;
+    PhysAddr frame_base = 0;  ///< frame_of(page) << page_shift
+    Cycles memory_latency = 0;
+    bool remote_home = false;
+    bool valid = false;
+  };
+
   MachineConfig config_;
   Topology topology_;
   Interconnect interconnect_;
@@ -61,6 +81,8 @@ class MemoryHierarchy {
   std::vector<Cache> l1s_;
   CoherenceDomain coherence_;
   int line_shift_;
+  std::vector<TranslationMemo> memos_;
+  bool fast_path_ = true;
 };
 
 }  // namespace tlbmap

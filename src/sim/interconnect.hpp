@@ -41,6 +41,19 @@ class Interconnect {
     record(from, to, stats);
   }
 
+  /// Bulk equivalent of record_probe(from, to) for every other L2 at once:
+  /// the topology is uniform, so the locality split of a full broadcast is
+  /// a constant per sender. Used by the directory-accelerated probe, which
+  /// must account the same messages as the walked broadcast without
+  /// visiting the peers.
+  void record_probe_broadcast(L2Id from, MachineStats& stats) {
+    (void)from;  // every L2 sees the same split on a uniform topology
+    stats.intra_socket_messages +=
+        static_cast<std::uint64_t>(topology_->l2s_per_socket() - 1);
+    stats.inter_socket_messages += static_cast<std::uint64_t>(
+        topology_->num_l2() - topology_->l2s_per_socket());
+  }
+
   Cycles memory_latency() const { return config_.memory_latency; }
   const InterconnectConfig& config() const { return config_; }
 

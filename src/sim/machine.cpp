@@ -1,8 +1,12 @@
 #include "sim/machine.hpp"
 
 #include <algorithm>
+#include <functional>
+#include <queue>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 namespace tlbmap {
 
@@ -47,6 +51,8 @@ MachineStats Machine::run(std::vector<std::unique_ptr<ThreadStream>> streams,
                           "machine.run", "sim");
 
   MachineStats stats;
+  const CoherenceDomain::DirectoryStats dir_before =
+      hierarchy_.coherence().directory_stats();
   std::vector<ThreadState> threads(streams.size());
   // Per-thread detector cycles; the reported overhead is the critical-path
   // amount (max across threads), so overhead_fraction() stays a meaningful
@@ -59,6 +65,26 @@ MachineStats Machine::run(std::vector<std::unique_ptr<ThreadStream>> streams,
   // Working copy: a MigrationPolicy may replace it at barrier releases.
   std::vector<CoreId> placement = config.thread_to_core;
   int barrier_count = 0;
+
+  // Lazy min-heap over (clock, thread id) for the scheduler, used at or
+  // above the threshold. Entries go stale when a clock moves or a thread
+  // blocks; they are validated against live state on pop, so duplicates are
+  // harmless — the invariant is only that every runnable thread has at
+  // least one entry carrying its current clock. Ordering by the (clock, id)
+  // pair reproduces the linear scan's lowest-id tie-break.
+  const bool use_heap = num_threads >= config.scheduler_heap_threshold;
+  using HeapEntry = std::pair<Cycles, int>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      ready;
+  auto push_ready = [&](int t) {
+    const ThreadState& ts = threads[static_cast<std::size_t>(t)];
+    if (ts.runnable()) ready.emplace(ts.clock, t);
+  };
+  auto push_all_ready = [&] {
+    if (!use_heap) return;
+    for (int t = 0; t < num_threads; ++t) push_ready(t);
+  };
 
   auto apply_migration = [&](const std::vector<CoreId>& next) {
     if (next.empty()) return;
@@ -122,18 +148,35 @@ MachineStats Machine::run(std::vector<std::unique_ptr<ThreadStream>> streams,
       apply_migration(config.migration->on_barrier(
           barrier_count, latest + config.barrier_latency));
     }
+    // Every released thread has a fresh clock; reseed the scheduler heap.
+    push_all_ready();
   };
 
+  push_all_ready();
   while (live > 0) {
-    // Pick the runnable thread with the smallest clock. Thread counts are
-    // small (paper: 8), so a linear scan beats heap bookkeeping.
+    // Pick the runnable thread with the smallest clock (lowest id on ties).
     int next = -1;
-    for (int t = 0; t < num_threads; ++t) {
-      const ThreadState& ts = threads[static_cast<std::size_t>(t)];
-      if (!ts.runnable()) continue;
-      if (next == -1 ||
-          ts.clock < threads[static_cast<std::size_t>(next)].clock) {
+    if (use_heap) {
+      while (!ready.empty()) {
+        const auto [clk, t] = ready.top();
+        const ThreadState& ts = threads[static_cast<std::size_t>(t)];
+        if (!ts.runnable() || ts.clock != clk) {
+          ready.pop();  // stale: clock moved or thread blocked since push
+          continue;
+        }
+        ready.pop();
         next = t;
+        break;
+      }
+    } else {
+      // Thread counts this small (paper: 8) scan faster than heap churn.
+      for (int t = 0; t < num_threads; ++t) {
+        const ThreadState& ts = threads[static_cast<std::size_t>(t)];
+        if (!ts.runnable()) continue;
+        if (next == -1 ||
+            ts.clock < threads[static_cast<std::size_t>(next)].clock) {
+          next = t;
+        }
       }
     }
     if (next == -1) {
@@ -174,6 +217,13 @@ MachineStats Machine::run(std::vector<std::unique_ptr<ThreadStream>> streams,
               threads[o].clock += global;
               if (!threads[o].at_barrier) overhead[o] += global;
             }
+            if (use_heap) {
+              // Every runnable clock just moved; reseed (next is reseeded
+              // after the switch like any other issuing thread).
+              for (int t = 0; t < num_threads; ++t) {
+                if (t != next) push_ready(t);
+              }
+            }
           }
         }
         break;
@@ -188,6 +238,7 @@ MachineStats Machine::run(std::vector<std::unique_ptr<ThreadStream>> streams,
         release_barrier_if_ready();
         break;
     }
+    if (use_heap) push_ready(next);
   }
 
   Cycles finish = 0;
@@ -207,6 +258,18 @@ MachineStats Machine::run(std::vector<std::unique_ptr<ThreadStream>> streams,
       metrics->gauge("machine.sim_events_per_sec")
           .set(static_cast<double>(stats.accesses) * 1e6 /
                static_cast<double>(wall_us));
+    }
+    const CoherenceDomain& coherence = hierarchy_.coherence();
+    if (coherence.directory_enabled()) {
+      const CoherenceDomain::DirectoryStats& dir = coherence.directory_stats();
+      metrics->counter("coherence.directory_probes")
+          .add(dir.probes - dir_before.probes);
+      metrics->counter("coherence.directory_holder_hits")
+          .add(dir.holder_hits - dir_before.holder_hits);
+      metrics->counter("coherence.directory_holder_visits")
+          .add(dir.holder_visits - dir_before.holder_visits);
+      metrics->gauge("coherence.directory_lines")
+          .set(static_cast<double>(coherence.directory_lines()));
     }
     std::ostringstream args;
     args << "\"accesses\":" << stats.accesses

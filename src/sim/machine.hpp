@@ -72,6 +72,12 @@ class Machine {
     /// Flush caches/TLBs before the run (cold start, default) — repetitions
     /// of an experiment should not leak state into each other.
     bool flush_first = true;
+    /// Min-clock thread picker: linear scan below this thread count (the
+    /// paper's 8 threads fit in a cache line; scanning beats heap churn),
+    /// lazy binary heap at or above it (O(log T) per event instead of
+    /// O(T)). Both pickers select the same thread at every step, including
+    /// the lowest-id tie-break, so results are identical.
+    int scheduler_heap_threshold = 16;
     /// Optional observability sink: the run records a "machine.run" span
     /// (kPhases) and per-barrier/migration instants (kFull). Null = off.
     obs::ObsContext* obs = nullptr;

@@ -67,6 +67,11 @@ struct MachineStats {
   }
 
   MachineStats& operator+=(const MachineStats& o);
+
+  /// Field-wise equality over every counter. The differential tests lean on
+  /// this to prove the engine fast paths (coherence directory, translation
+  /// memo, heap scheduler) change no observable result.
+  bool operator==(const MachineStats&) const = default;
 };
 
 /// Mean and (sample) standard deviation of a sequence.

@@ -74,11 +74,4 @@ std::size_t Tlb::valid_entries() const {
                     [](const TlbEntry& e) { return e.valid; }));
 }
 
-void Tlb::for_each_entry(
-    const std::function<void(const TlbEntry&)>& fn) const {
-  for (const TlbEntry& e : entries_) {
-    if (e.valid) fn(e);
-  }
-}
-
 }  // namespace tlbmap

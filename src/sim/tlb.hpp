@@ -10,7 +10,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <span>
 #include <vector>
 
@@ -61,8 +60,14 @@ class Tlb {
   /// Number of valid entries (test/debug aid).
   std::size_t valid_entries() const;
 
-  /// Visits every valid entry.
-  void for_each_entry(const std::function<void(const TlbEntry&)>& fn) const;
+  /// Visits every valid entry. Templated so the visitor inlines instead of
+  /// going through a std::function thunk.
+  template <typename Fn>
+  void for_each_entry(Fn&& fn) const {
+    for (const TlbEntry& e : entries_) {
+      if (e.valid) fn(e);
+    }
+  }
 
  private:
   TlbEntry* find(PageNum page);

@@ -27,6 +27,7 @@ class Topology {
   int num_sockets() const { return num_sockets_; }
   int cores_per_l2() const { return cores_per_l2_; }
   int cores_per_socket() const { return cores_per_socket_; }
+  int l2s_per_socket() const { return cores_per_socket_ / cores_per_l2_; }
 
   L2Id l2_of(CoreId core) const { return core / cores_per_l2_; }
   SocketId socket_of(CoreId core) const { return core / cores_per_socket_; }

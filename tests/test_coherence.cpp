@@ -235,5 +235,128 @@ TEST_F(CoherenceTest, UpgradeLatencyIsWorstAcknowledgement) {
   EXPECT_EQ(lat, 1 + config_.interconnect.invalidate_inter_socket);
 }
 
+// ------------------------------------------------ line-occupancy directory
+
+TEST_F(CoherenceTest, DirectoryTracksHoldersIncrementally) {
+  ASSERT_TRUE(domain_.directory_enabled());
+  EXPECT_EQ(domain_.directory_lines(), 0u);
+
+  domain_.read(0, 10, stats_);
+  EXPECT_EQ(domain_.directory_lines(), 1u);
+  domain_.read(1, 10, stats_);  // second holder, same line
+  EXPECT_EQ(domain_.directory_lines(), 1u);
+  domain_.read(2, 20, stats_);
+  EXPECT_EQ(domain_.directory_lines(), 2u);
+  EXPECT_TRUE(domain_.directory_consistent());
+
+  // An RFO by L2 3 strips lines 10's other holders; the mask must follow.
+  domain_.write(3, 10, stats_);
+  EXPECT_TRUE(domain_.directory_consistent());
+
+  domain_.flush();
+  EXPECT_EQ(domain_.directory_lines(), 0u);
+  EXPECT_TRUE(domain_.directory_consistent());
+}
+
+TEST_F(CoherenceTest, DirectoryConsistentThroughEvictionPressure) {
+  // Hammer one L2's sets past capacity so inserts evict constantly, then
+  // pull lines across sockets; the masks must track every movement.
+  for (LineAddr a = 0; a < 400; ++a) {
+    domain_.read(static_cast<L2Id>(a % 4), a % 61, stats_);
+    domain_.write(static_cast<L2Id>((a + 2) % 4), a % 61, stats_);
+    if (a % 37 == 0) {
+      ASSERT_TRUE(domain_.directory_consistent()) << "at op " << a;
+    }
+  }
+  EXPECT_TRUE(domain_.directory_consistent());
+  EXPECT_GT(domain_.directory_stats().probes, 0u);
+  EXPECT_GT(domain_.directory_stats().holder_visits, 0u);
+}
+
+TEST_F(CoherenceTest, BroadcastConfigDisablesDirectory) {
+  MachineConfig broadcast = four_l2_config();
+  broadcast.coherence_broadcast = true;
+  Topology topology(broadcast);
+  Interconnect interconnect(topology, broadcast.interconnect);
+  CoherenceDomain domain(broadcast, topology, interconnect);
+  EXPECT_FALSE(domain.directory_enabled());
+
+  domain.read(0, 10, stats_);
+  domain.read(1, 10, stats_);
+  EXPECT_EQ(domain.directory_lines(), 0u);
+  EXPECT_EQ(domain.directory_stats().probes, 0u);
+  EXPECT_TRUE(domain.directory_consistent());
+}
+
+// Write miss with several sharers: the nearest holder sources the data (one
+// snoop transaction), every holder is invalidated, and — since the probe
+// names a live holder — the data never comes from memory. This pins the
+// intended RFO accounting for both probe resolutions.
+TEST_F(CoherenceTest, MultiHolderRfoAccountingMatchesBroadcast) {
+  for (const bool use_broadcast : {false, true}) {
+    MachineConfig cfg = four_l2_config();
+    cfg.coherence_broadcast = use_broadcast;
+    Topology topology(cfg);
+    Interconnect interconnect(topology, cfg.interconnect);
+    CoherenceDomain domain(cfg, topology, interconnect);
+    MachineStats stats;
+
+    domain.read(0, 10, stats);
+    domain.read(1, 10, stats);
+    domain.read(2, 10, stats);  // three sharers across both sockets
+    stats = {};
+    const Cycles lat = domain.write(3, 10, stats);
+
+    EXPECT_EQ(stats.invalidations, 3u) << "broadcast=" << use_broadcast;
+    EXPECT_EQ(stats.snoop_transactions, 1u) << "broadcast=" << use_broadcast;
+    EXPECT_EQ(stats.memory_fetches, 0u) << "broadcast=" << use_broadcast;
+    EXPECT_EQ(stats.writebacks, 0u) << "broadcast=" << use_broadcast;
+    // Source is L2 2 (same socket as 3): transfer is intra-socket, but the
+    // stall is bounded by the slowest cross-socket invalidation.
+    EXPECT_EQ(lat, 1 + cfg.interconnect.invalidate_inter_socket)
+        << "broadcast=" << use_broadcast;
+    const CacheLine* line = domain.l2(3).peek(10);
+    ASSERT_NE(line, nullptr);
+    EXPECT_EQ(line->state, MesiState::kModified);
+    for (L2Id other : {0, 1, 2}) {
+      EXPECT_EQ(domain.l2(other).peek(10), nullptr)
+          << "L2 " << other << " broadcast=" << use_broadcast;
+    }
+  }
+}
+
+// A dirty sharer hit by an RFO must write back before dying, under both
+// probe resolutions.
+TEST_F(CoherenceTest, RfoOverModifiedLineWritesBack) {
+  for (const bool use_broadcast : {false, true}) {
+    MachineConfig cfg = four_l2_config();
+    cfg.coherence_broadcast = use_broadcast;
+    Topology topology(cfg);
+    Interconnect interconnect(topology, cfg.interconnect);
+    CoherenceDomain domain(cfg, topology, interconnect);
+    MachineStats stats;
+
+    domain.write(0, 10, stats);  // Modified in L2 0
+    stats = {};
+    domain.write(2, 10, stats);  // cross-socket RFO
+    EXPECT_EQ(stats.writebacks, 1u) << "broadcast=" << use_broadcast;
+    EXPECT_EQ(stats.invalidations, 1u) << "broadcast=" << use_broadcast;
+    EXPECT_EQ(stats.snoop_transactions, 1u) << "broadcast=" << use_broadcast;
+    EXPECT_EQ(stats.memory_fetches, 0u) << "broadcast=" << use_broadcast;
+  }
+}
+
+// Probe accounting parity: the directory must bill the same broadcast
+// messages as the walked probe even when no one holds the line.
+TEST_F(CoherenceTest, DirectoryBillsFullProbeBroadcast) {
+  stats_ = {};
+  domain_.read(0, 99, stats_);  // cold miss, no holders anywhere
+  // 1 intra-socket peer (L2 1) + 2 cross-socket peers (L2s 2, 3).
+  EXPECT_EQ(stats_.intra_socket_messages, 1u);
+  EXPECT_EQ(stats_.inter_socket_messages, 2u);
+  EXPECT_EQ(domain_.directory_stats().probes, 1u);
+  EXPECT_EQ(domain_.directory_stats().holder_hits, 0u);
+}
+
 }  // namespace
 }  // namespace tlbmap

@@ -1,0 +1,265 @@
+// Differential tests for the simulator's engine fast paths. Each fast path
+// (the coherence line-occupancy directory, the per-core translation memo +
+// sibling-shootdown presence check, the heap thread scheduler) claims to be
+// a pure acceleration: the simulated outcome — every MachineStats counter —
+// must be bit-identical to the reference path. These tests run real NPB
+// workloads under both paths and compare the full counter structs, across
+// UMA and both NUMA policies, static and migrating (dynamic) runs. They
+// also hold the directory to its ground truth: after arbitrary runs, every
+// directory bit must agree with the actual L2 contents.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "mapping/mapping.hpp"
+#include "npb/workload.hpp"
+#include "sim/machine.hpp"
+
+namespace tlbmap {
+namespace {
+
+WorkloadParams small_params(int threads = 8) {
+  WorkloadParams p;
+  p.num_threads = threads;
+  p.size_scale = 0.5;
+  p.iter_scale = 0.25;
+  return p;
+}
+
+std::vector<std::unique_ptr<ThreadStream>> streams_of(
+    const Workload& workload, std::uint64_t seed) {
+  std::vector<std::unique_ptr<ThreadStream>> streams;
+  for (ThreadId t = 0; t < workload.num_threads(); ++t) {
+    streams.push_back(workload.stream(t, seed));
+  }
+  return streams;
+}
+
+MachineConfig machine_variant(const std::string& variant) {
+  if (variant == "uma") return MachineConfig::harpertown();
+  MachineConfig m = MachineConfig::numa_harpertown();
+  if (variant == "numa_interleave") m.numa_policy = NumaPolicy::kInterleave;
+  return m;
+}
+
+/// One full run at the Machine level with every engine knob exposed.
+MachineStats run_app(const MachineConfig& machine_config,
+                     const Workload& workload, const Mapping& mapping,
+                     bool fast_hierarchy, int heap_threshold,
+                     std::uint64_t seed) {
+  Machine machine(machine_config);
+  machine.hierarchy().set_fast_path_enabled(fast_hierarchy);
+  Machine::RunConfig run;
+  run.thread_to_core = mapping;
+  run.scheduler_heap_threshold = heap_threshold;
+  return machine.run(streams_of(workload, seed), run);
+}
+
+struct DiffParam {
+  const char* app;
+  const char* variant;  ///< "uma" | "numa_first_touch" | "numa_interleave"
+};
+
+class CoherenceDirectoryDifferential
+    : public ::testing::TestWithParam<DiffParam> {};
+
+// The tentpole contract: directory-resolved coherence produces exactly the
+// statistics of the walked broadcast — probe traffic, snoop transactions,
+// invalidations, writebacks, latencies — on identity and scrambled
+// placements alike.
+TEST_P(CoherenceDirectoryDifferential, BitIdenticalStatsToBroadcast) {
+  const auto [app, variant] = GetParam();
+  const auto workload = make_npb_workload(app, small_params());
+  MachineConfig directory_config = machine_variant(variant);
+  directory_config.coherence_broadcast = false;
+  MachineConfig broadcast_config = directory_config;
+  broadcast_config.coherence_broadcast = true;
+
+  const Mapping mappings[] = {
+      identity_mapping(workload->num_threads()),
+      random_mapping(workload->num_threads(), directory_config.num_cores(),
+                     /*seed=*/97),
+  };
+  for (const Mapping& mapping : mappings) {
+    const MachineStats with_directory =
+        run_app(directory_config, *workload, mapping,
+                /*fast_hierarchy=*/true, /*heap_threshold=*/16, /*seed=*/5);
+    const MachineStats with_broadcast =
+        run_app(broadcast_config, *workload, mapping,
+                /*fast_hierarchy=*/true, /*heap_threshold=*/16, /*seed=*/5);
+    EXPECT_TRUE(with_directory == with_broadcast)
+        << app << "/" << variant << ": directory and broadcast stats differ "
+        << "(cycles " << with_directory.execution_cycles << " vs "
+        << with_broadcast.execution_cycles << ", invalidations "
+        << with_directory.invalidations << " vs "
+        << with_broadcast.invalidations << ", messages "
+        << with_directory.intra_socket_messages << "+"
+        << with_directory.inter_socket_messages << " vs "
+        << with_broadcast.intra_socket_messages << "+"
+        << with_broadcast.inter_socket_messages << ")";
+  }
+}
+
+// The hierarchy fast paths (translation memo, shootdown presence check) are
+// equally invisible in the statistics.
+TEST_P(CoherenceDirectoryDifferential, HierarchyFastPathIsInvisible) {
+  const auto [app, variant] = GetParam();
+  const auto workload = make_npb_workload(app, small_params());
+  const MachineConfig config = machine_variant(variant);
+  const Mapping mapping = random_mapping(workload->num_threads(),
+                                         config.num_cores(), /*seed=*/31);
+  const MachineStats fast = run_app(config, *workload, mapping,
+                                    /*fast_hierarchy=*/true,
+                                    /*heap_threshold=*/16, /*seed=*/7);
+  const MachineStats slow = run_app(config, *workload, mapping,
+                                    /*fast_hierarchy=*/false,
+                                    /*heap_threshold=*/16, /*seed=*/7);
+  EXPECT_TRUE(fast == slow)
+      << app << "/" << variant << ": hierarchy fast path changed stats "
+      << "(tlb " << fast.tlb_hits << "/" << fast.tlb_misses << " vs "
+      << slow.tlb_hits << "/" << slow.tlb_misses << ", cycles "
+      << fast.execution_cycles << " vs " << slow.execution_cycles << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AppsAndMachines, CoherenceDirectoryDifferential,
+    ::testing::Values(DiffParam{"SP", "uma"}, DiffParam{"CG", "uma"},
+                      DiffParam{"UA", "uma"}, DiffParam{"FT", "numa_first_touch"},
+                      DiffParam{"MG", "numa_first_touch"},
+                      DiffParam{"SP", "numa_interleave"},
+                      DiffParam{"LU", "numa_interleave"}),
+    [](const ::testing::TestParamInfo<DiffParam>& info) {
+      return std::string(info.param.app) + "_" + info.param.variant;
+    });
+
+// Migration runs exercise the remaining path: detection attached, threads
+// moving between sockets at barriers, caches cooling behind them. The
+// dynamic result (stats, migration count, final placement) must not depend
+// on how coherence probes are resolved.
+TEST(CoherenceDirectoryDifferential, DynamicMigrationRunsMatchBroadcast) {
+  const auto workload = make_npb_workload("SP", small_params());
+  MachineConfig directory_config = MachineConfig::harpertown();
+  MachineConfig broadcast_config = directory_config;
+  broadcast_config.coherence_broadcast = true;
+
+  const Mapping initial = random_mapping(workload->num_threads(),
+                                         directory_config.num_cores(),
+                                         /*seed=*/123);
+  OnlineMapperConfig online;
+  online.remap_every_barriers = 2;
+
+  Pipeline directory_pipe(directory_config);
+  Pipeline broadcast_pipe(broadcast_config);
+  const auto with_directory =
+      directory_pipe.evaluate_dynamic(*workload, initial, online, /*seed=*/9);
+  const auto with_broadcast =
+      broadcast_pipe.evaluate_dynamic(*workload, initial, online, /*seed=*/9);
+
+  EXPECT_TRUE(with_directory.stats == with_broadcast.stats);
+  EXPECT_EQ(with_directory.migrations, with_broadcast.migrations);
+  EXPECT_EQ(with_directory.remap_decisions, with_broadcast.remap_decisions);
+  EXPECT_EQ(with_directory.final_mapping, with_broadcast.final_mapping);
+}
+
+// The heap and linear min-clock pickers must choose the same thread at
+// every step (including the lowest-id tie-break), so whole runs agree.
+TEST(SchedulerDifferential, HeapAndLinearPickersProduceIdenticalRuns) {
+  for (const char* app : {"SP", "CG", "IS"}) {
+    const auto workload = make_npb_workload(app, small_params());
+    const MachineConfig config = MachineConfig::harpertown();
+    const Mapping mapping = random_mapping(workload->num_threads(),
+                                           config.num_cores(), /*seed=*/17);
+    const MachineStats heap = run_app(config, *workload, mapping,
+                                      /*fast_hierarchy=*/true,
+                                      /*heap_threshold=*/1, /*seed=*/3);
+    const MachineStats linear = run_app(config, *workload, mapping,
+                                        /*fast_hierarchy=*/true,
+                                        /*heap_threshold=*/1 << 20,
+                                        /*seed=*/3);
+    EXPECT_TRUE(heap == linear)
+        << app << ": heap scheduler diverged from linear scan (cycles "
+        << heap.execution_cycles << " vs " << linear.execution_cycles << ")";
+  }
+}
+
+// A migrating run under the forced heap scheduler: barrier releases and
+// migrations rebuild the heap, and the run must still match the linear scan.
+TEST(SchedulerDifferential, HeapSurvivesBarriersAndMigrations) {
+  const auto workload = make_npb_workload("BT", small_params());
+  const MachineConfig config = MachineConfig::harpertown();
+  const Mapping initial = identity_mapping(workload->num_threads());
+  OnlineMapperConfig online;
+  online.remap_every_barriers = 2;
+
+  auto run_dynamic = [&](int heap_threshold) {
+    // evaluate_dynamic drives Machine::run internally with the default
+    // threshold; replicate it at the Machine level to force the picker.
+    Machine machine(config);
+    OnlineMapper mapper(machine, workload->num_threads(), initial, online);
+    Machine::RunConfig run;
+    run.thread_to_core = initial;
+    run.observer = &mapper;
+    run.migration = &mapper;
+    run.scheduler_heap_threshold = heap_threshold;
+    return machine.run(streams_of(*workload, /*seed=*/11), run);
+  };
+  const MachineStats heap = run_dynamic(1);
+  const MachineStats linear = run_dynamic(1 << 20);
+  EXPECT_TRUE(heap == linear);
+}
+
+// Ground truth for the directory itself: after an arbitrary run, the holder
+// bitmasks must match the L2 contents exactly in both directions — no stale
+// bits, no untracked lines. (The sanitize CI job runs this under
+// ASan/UBSan.)
+TEST(CoherenceDirectoryInvariant, MasksMatchCacheContentsAfterRuns) {
+  for (const char* app : {"SP", "UA"}) {
+    const auto workload = make_npb_workload(app, small_params());
+    const MachineConfig config = MachineConfig::harpertown();
+    Machine machine(config);
+    ASSERT_TRUE(machine.hierarchy().coherence().directory_enabled());
+
+    Machine::RunConfig run;
+    run.thread_to_core = random_mapping(workload->num_threads(),
+                                        config.num_cores(), /*seed=*/41);
+    machine.run(streams_of(*workload, /*seed=*/13), run);
+
+    const CoherenceDomain& coherence = machine.hierarchy().coherence();
+    EXPECT_TRUE(coherence.directory_consistent()) << app;
+    EXPECT_GT(coherence.directory_lines(), 0u) << app;
+    EXPECT_GT(coherence.directory_stats().probes, 0u) << app;
+    EXPECT_GE(coherence.directory_stats().probes,
+              coherence.directory_stats().holder_hits)
+        << app;
+
+    // flush_caches drops every line; the directory must empty with them.
+    machine.hierarchy().flush_caches();
+    EXPECT_EQ(coherence.directory_lines(), 0u) << app;
+    EXPECT_TRUE(coherence.directory_consistent()) << app;
+  }
+}
+
+// Opting out via MachineConfig::coherence_broadcast leaves the directory
+// dark: no entries, no stats, consistency trivially true.
+TEST(CoherenceDirectoryInvariant, BroadcastModeKeepsDirectoryEmpty) {
+  const auto workload = make_npb_workload("CG", small_params());
+  MachineConfig config = MachineConfig::harpertown();
+  config.coherence_broadcast = true;
+  Machine machine(config);
+  EXPECT_FALSE(machine.hierarchy().coherence().directory_enabled());
+
+  Machine::RunConfig run;
+  run.thread_to_core = identity_mapping(workload->num_threads());
+  machine.run(streams_of(*workload, /*seed=*/19), run);
+
+  const CoherenceDomain& coherence = machine.hierarchy().coherence();
+  EXPECT_EQ(coherence.directory_lines(), 0u);
+  EXPECT_EQ(coherence.directory_stats().probes, 0u);
+  EXPECT_TRUE(coherence.directory_consistent());
+}
+
+}  // namespace
+}  // namespace tlbmap
