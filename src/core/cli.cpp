@@ -80,6 +80,23 @@ std::string cli_usage() {
       "  --mapping 0,1,...    evaluate/replay: explicit thread->core list\n"
       "  --out DIR / --in DIR record/replay trace directory\n"
       "\n"
+      "fault injection (all rates in [0,1]; defaults 0 = disabled, in which\n"
+      "case results are bit-identical to a faultless build):\n"
+      "  --fault-seed N             seed of the fault-injection streams\n"
+      "  --fault-drop-rate X        drop a sampled SM TLB entry\n"
+      "  --fault-corrupt-rate X     corrupt a sampled SM page before search\n"
+      "  --fault-detect-fail-rate X SM detection instruction fails (search\n"
+      "                             charged, yields nothing)\n"
+      "  --fault-sweep-skip-rate X  silently skip a due HM sweep\n"
+      "  --fault-sweep-fail-rate X  fail an HM sweep (retried with backoff)\n"
+      "  --fault-sweep-delay N      delay each HM sweep by uniform [0,N]\n"
+      "                             cycles\n"
+      "  --fault-matrix-flip-rate X pairwise-swap comm-matrix cells when the\n"
+      "                             matrix is consumed\n"
+      "  --fault-matrix-zero-rate X zero comm-matrix cells when consumed\n"
+      "  --watchdog-events N        abort a run with a structured error\n"
+      "                             after N trace events (0 = off)\n"
+      "\n"
       "observability:\n"
       "  --obs-level L        off | phases | full (default off; implied\n"
       "                       phases when an output file is requested)\n"
@@ -115,6 +132,31 @@ CliOptions parse_cli(int argc, const char* const* argv) {
       }
       return argv[++i];
     };
+    // Strict numeric parsing: the whole token must be consumed, so garbage
+    // suffixes ("8x", "0.5junk") are structured usage errors rather than
+    // silently truncated values.
+    auto to_int = [](const std::string& v) {
+      std::size_t used = 0;
+      const int value = std::stoi(v, &used);
+      if (used != v.size()) throw std::invalid_argument(v);
+      return value;
+    };
+    auto to_double = [](const std::string& v) {
+      std::size_t used = 0;
+      const double value = std::stod(v, &used);
+      if (used != v.size()) throw std::invalid_argument(v);
+      return value;
+    };
+    auto to_u64 = [](const std::string& v) {
+      // stoull accepts "-1" by wrapping; reject any sign explicitly.
+      if (v.empty() || v[0] == '-' || v[0] == '+') {
+        throw std::invalid_argument(v);
+      }
+      std::size_t used = 0;
+      const std::uint64_t value = std::stoull(v, &used);
+      if (used != v.size()) throw std::invalid_argument(v);
+      return value;
+    };
     try {
       if (arg == "--help") {
         opt.help = true;
@@ -129,15 +171,35 @@ CliOptions parse_cli(int argc, const char* const* argv) {
       } else if (arg == "--mechanism") {
         if (const char* v = next_value()) opt.mechanism = v;
       } else if (arg == "--threads") {
-        if (const char* v = next_value()) opt.threads = std::stoi(v);
+        if (const char* v = next_value()) opt.threads = to_int(v);
       } else if (arg == "--size-scale") {
-        if (const char* v = next_value()) opt.size_scale = std::stod(v);
+        if (const char* v = next_value()) opt.size_scale = to_double(v);
       } else if (arg == "--iter-scale") {
-        if (const char* v = next_value()) opt.iter_scale = std::stod(v);
+        if (const char* v = next_value()) opt.iter_scale = to_double(v);
       } else if (arg == "--reps") {
-        if (const char* v = next_value()) opt.reps = std::stoi(v);
+        if (const char* v = next_value()) opt.reps = to_int(v);
       } else if (arg == "--seed") {
-        if (const char* v = next_value()) opt.seed = std::stoull(v);
+        if (const char* v = next_value()) opt.seed = to_u64(v);
+      } else if (arg == "--fault-seed") {
+        if (const char* v = next_value()) opt.fault.seed = to_u64(v);
+      } else if (arg == "--fault-drop-rate") {
+        if (const char* v = next_value()) opt.fault.drop_sample_rate = to_double(v);
+      } else if (arg == "--fault-corrupt-rate") {
+        if (const char* v = next_value()) opt.fault.corrupt_sample_rate = to_double(v);
+      } else if (arg == "--fault-detect-fail-rate") {
+        if (const char* v = next_value()) opt.fault.detect_fail_rate = to_double(v);
+      } else if (arg == "--fault-sweep-skip-rate") {
+        if (const char* v = next_value()) opt.fault.sweep_skip_rate = to_double(v);
+      } else if (arg == "--fault-sweep-fail-rate") {
+        if (const char* v = next_value()) opt.fault.sweep_fail_rate = to_double(v);
+      } else if (arg == "--fault-sweep-delay") {
+        if (const char* v = next_value()) opt.fault.sweep_delay_max = to_u64(v);
+      } else if (arg == "--fault-matrix-flip-rate") {
+        if (const char* v = next_value()) opt.fault.matrix_flip_rate = to_double(v);
+      } else if (arg == "--fault-matrix-zero-rate") {
+        if (const char* v = next_value()) opt.fault.matrix_zero_rate = to_double(v);
+      } else if (arg == "--watchdog-events") {
+        if (const char* v = next_value()) opt.watchdog_events = to_u64(v);
       } else if (arg == "--apps") {
         if (const char* v = next_value()) opt.apps = parse_list(v);
       } else if (arg == "--mapping") {
@@ -177,6 +239,21 @@ CliOptions parse_cli(int argc, const char* const* argv) {
       opt.dir.empty()) {
     opt.error = opt.command + " needs --out/--in DIR";
   }
+  if (opt.error.empty()) {
+    // Out-of-range fault rates are usage errors, reported through the same
+    // structured channel as every other parse failure.
+    try {
+      opt.fault.validate();
+    } catch (const std::exception& e) {
+      opt.error = e.what();
+    }
+  }
+  if (opt.error.empty() && opt.command == "record" &&
+      (opt.fault.enabled() || opt.watchdog_events > 0)) {
+    // Recording runs no simulated machine; silently ignoring the flags
+    // would mislead more than rejecting them.
+    opt.error = "fault/watchdog flags conflict with the record command";
+  }
   return opt;
 }
 
@@ -186,6 +263,8 @@ MachineConfig machine_for(const CliOptions& opt) {
   MachineConfig machine = opt.numa ? MachineConfig::numa_harpertown()
                                    : MachineConfig::harpertown();
   machine.coherence_broadcast = opt.coherence_broadcast;
+  machine.fault = opt.fault;
+  machine.watchdog_max_events = opt.watchdog_events;
   return machine;
 }
 

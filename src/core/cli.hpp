@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "core/fault.hpp"
 #include "mapping/mapping.hpp"
 
 namespace tlbmap {
@@ -41,6 +42,13 @@ struct CliOptions {
   /// bit-identical statistics, kept for A/B benchmarking and as a
   /// cross-check of the fast path.
   bool coherence_broadcast = false;
+  /// Seeded fault-injection plan assembled from the --fault-* flags
+  /// (DESIGN.md Sec. 11). Default-disabled: without any --fault-* flag the
+  /// pipeline is bit-identical to a faultless build.
+  FaultPlan fault{};
+  /// --watchdog-events: abort a run with a structured error after this many
+  /// issued trace events (0 = off).
+  std::uint64_t watchdog_events = 0;
   std::vector<std::string> apps;  ///< suite only; empty = all nine
   Mapping mapping;                ///< evaluate/replay; empty = detect+map
   std::string dir;                ///< record --out / replay --in

@@ -1,5 +1,6 @@
 #include "core/dynamic.hpp"
 
+#include <optional>
 #include <sstream>
 
 namespace tlbmap {
@@ -10,7 +11,12 @@ OnlineMapper::OnlineMapper(Machine& machine, int num_threads,
       mapper_(machine.topology()),
       topology_(&machine.topology()),
       config_(config),
-      current_(std::move(initial)) {}
+      current_(std::move(initial)) {
+  const FaultPlan& plan = machine.config().fault;
+  if (plan.matrix_flip_rate > 0.0 || plan.matrix_zero_rate > 0.0) {
+    fault_.emplace(plan, FaultInjector::kOnlineSalt);
+  }
+}
 
 Cycles OnlineMapper::on_access(ThreadId thread, CoreId core, VirtAddr addr,
                                PageNum page, AccessType type, bool tlb_miss,
@@ -30,10 +36,44 @@ std::vector<CoreId> OnlineMapper::on_barrier(int barrier_index,
           obs::metrics_at(obs_, obs::ObsLevel::kPhases)) {
     metrics->counter("online.remap_decisions").add();
   }
-  Mapping next = mapper_.map(detector_.matrix());
+  // Under matrix fault injection the decision runs on a noisy copy; the
+  // detector's accumulated matrix itself stays clean (faults model a
+  // corrupted read-out, not corrupted detection history).
+  std::optional<CommMatrix> noisy;
+  if (fault_) {
+    noisy.emplace(detector_.matrix());
+    noisy->apply_faults(*fault_);
+  }
+  const CommMatrix& decision_matrix = noisy ? *noisy : detector_.matrix();
+
+  // Quality gate (DESIGN.md Sec. 11): a degenerate matrix — empty, or
+  // uniform across all pairs — carries no placement preference, so a
+  // matching computed from it is pure noise. Fall back to the previous
+  // placement; the decision still counts and the matrix still ages, so the
+  // faultless decision cadence is unchanged.
+  const CommMatrix::Health health = decision_matrix.health();
+  if (health.degenerate()) {
+    ++degraded_decisions_;
+    if (obs::MetricsRegistry* metrics =
+            obs::metrics_at(obs_, obs::ObsLevel::kPhases)) {
+      metrics->counter("online.degraded_decisions").add();
+      metrics->gauge("pipeline.degraded_mode").set(1.0);
+    }
+    if (obs::Tracer* tracer = obs::tracer_at(obs_, obs::ObsLevel::kFull)) {
+      std::ostringstream args;
+      args << "\"barrier\":" << barrier_index << ",\"matrix\":\""
+           << health.describe() << "\"";
+      tracer->record_instant("online.degraded_fallback", "mapper",
+                             args.str());
+    }
+    detector_.decay_matrix(config_.decay);
+    return {};
+  }
+
+  Mapping next = mapper_.map(decision_matrix);
   const double current_cost =
-      mapping_cost(detector_.matrix(), current_, *topology_);
-  const double next_cost = mapping_cost(detector_.matrix(), next, *topology_);
+      mapping_cost(decision_matrix, current_, *topology_);
+  const double next_cost = mapping_cost(decision_matrix, next, *topology_);
   if (obs::Tracer* tracer = obs::tracer_at(obs_, obs::ObsLevel::kFull)) {
     std::ostringstream args;
     args << "\"barrier\":" << barrier_index
@@ -52,6 +92,16 @@ std::vector<CoreId> OnlineMapper::on_barrier(int barrier_index,
   if (next_cost > current_cost * (1.0 - config_.improvement_threshold)) {
     return {};
   }
+  // Cooldown: recently migrated — let the aged matrix re-confirm the
+  // pattern before moving again (anti-oscillation under noisy input).
+  if (cooldown_left_ > 0) {
+    --cooldown_left_;
+    if (obs::Tracer* tracer = obs::tracer_at(obs_, obs::ObsLevel::kFull)) {
+      tracer->record_instant("online.migration_cooldown", "mapper", "");
+    }
+    return {};
+  }
+  cooldown_left_ = config_.migration_cooldown;
   current_ = std::move(next);
   ++migrations_;
   if (obs::MetricsRegistry* metrics =

@@ -11,7 +11,9 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 
+#include "core/fault.hpp"
 #include "detect/sm_detector.hpp"
 #include "mapping/hierarchical.hpp"
 #include "sim/machine.hpp"
@@ -31,6 +33,12 @@ struct OnlineMapperConfig {
   /// current placement's. 0.15 = candidate must be 15 % better. Guards
   /// against oscillating between near-tie matchings of a noisy matrix.
   double improvement_threshold = 0.15;
+  /// After a migration, sit out this many remap decisions before migrating
+  /// again. Second oscillation guard, for inputs noisy enough (e.g. under
+  /// matrix fault injection) that single-decision hysteresis is beaten by
+  /// two alternating "15 % better" illusions. 0 (default) disables it —
+  /// the historical behaviour.
+  int migration_cooldown = 0;
   SmDetectorConfig detector{/*sample_threshold=*/10, /*search_cost=*/231};
 };
 
@@ -54,6 +62,14 @@ class OnlineMapper final : public MachineObserver, public MigrationPolicy {
   const Mapping& current_mapping() const { return current_; }
   int migrations() const { return migrations_; }
   int remap_decisions() const { return remap_decisions_; }
+  /// Decisions where the matrix was degenerate (empty/uniform) and the
+  /// mapper fell back to the previous placement instead of remapping.
+  int degraded_decisions() const { return degraded_decisions_; }
+  /// Injected-fault tally of the mapper's own matrix-noise injector (null
+  /// when the plan has no matrix faults).
+  const FaultCounters* fault_counters() const {
+    return fault_ ? &fault_->counters() : nullptr;
+  }
 
   /// Forwards the context to the embedded detector and records remap
   /// decisions / migrations as trace instants and counters.
@@ -71,6 +87,11 @@ class OnlineMapper final : public MachineObserver, public MigrationPolicy {
   Mapping current_;
   int migrations_ = 0;
   int remap_decisions_ = 0;
+  int degraded_decisions_ = 0;
+  int cooldown_left_ = 0;
+  /// Engaged only when the machine's plan carries matrix faults: the
+  /// decision then runs on a noisy copy of the detected matrix.
+  std::optional<FaultInjector> fault_;
 };
 
 }  // namespace tlbmap

@@ -17,7 +17,7 @@ namespace {
 
 /// Bump when workload definitions or counter semantics change, so stale
 /// cache entries are never reused across library revisions.
-constexpr int kSchemaVersion = 11;
+constexpr int kSchemaVersion = 12;
 
 std::uint64_t fnv1a(const std::string& s) {
   std::uint64_t h = 1469598103934665603ull;
@@ -185,6 +185,17 @@ std::string suite_cache_key(const SuiteConfig& c) {
       << c.machine.interconnect.memory_remote_extra << ','
       << (c.machine.numa ? 1 : 0) << ','
       << static_cast<int>(c.machine.numa_policy) << '|'
+      // Fault plan + watchdog: a faulty suite must never collide with a
+      // faultless one (or with a differently seeded/shaped fault plan).
+      << c.machine.fault.seed << ',' << c.machine.fault.drop_sample_rate
+      << ',' << c.machine.fault.corrupt_sample_rate << ','
+      << c.machine.fault.detect_fail_rate << ','
+      << c.machine.fault.sweep_skip_rate << ','
+      << c.machine.fault.sweep_fail_rate << ','
+      << c.machine.fault.sweep_delay_max << ','
+      << c.machine.fault.matrix_flip_rate << ','
+      << c.machine.fault.matrix_zero_rate << ','
+      << c.machine.watchdog_max_events << '|'
       << c.workload.num_threads << ',' << c.workload.size_scale << ','
       << c.workload.iter_scale << ',' << c.workload.gap_jitter << '|'
       << c.repetitions << '|' << c.sm.sample_threshold << ','
@@ -278,26 +289,67 @@ SuiteResult run_suite(const SuiteConfig& config, std::ostream* progress,
   // drains all apps' runs at once and the tail of a short app overlaps the
   // head of a long one. Task order, seeds and slots are fixed up front, so
   // results are bit-identical for any worker count.
-  auto run_tasks = [&](std::size_t count,
+  //
+  // Resilience (DESIGN.md Sec. 11): no exception escapes a worker. A task
+  // that throws is retried up to config.task_retries times, then folded
+  // into a structured kWorkerFailure with its result slot left at its
+  // default; the caller collects the failures per phase.
+  auto run_tasks = [&](const char* phase, std::size_t count,
                        const std::function<void(std::size_t)>& body) {
+    const int retries = std::max(0, config.task_retries);
+    std::vector<std::string> errors(count);
+    auto guarded = [&](std::size_t idx) {
+      for (int attempt = 0;; ++attempt) {
+        try {
+          body(idx);
+          errors[idx].clear();
+          return;
+        } catch (const std::exception& e) {
+          errors[idx] = e.what();
+        } catch (...) {
+          errors[idx] = "unknown exception";
+        }
+        if (attempt >= retries) return;
+        if (obs::Tracer* tracer = obs::tracer_at(obs, obs::ObsLevel::kFull)) {
+          std::ostringstream args;
+          args << "\"phase\":\"" << phase << "\",\"task\":" << idx
+               << ",\"attempt\":" << (attempt + 1);
+          tracer->record_instant("suite.task_retry", "suite", args.str());
+        }
+        if (obs::MetricsRegistry* metrics =
+                obs::metrics_at(obs, obs::ObsLevel::kPhases)) {
+          metrics->counter("suite.task_retries").add(1);
+        }
+      }
+    };
     const int workers =
         std::max(1, std::min<int>(worker_budget, static_cast<int>(count)));
     if (workers == 1) {
-      for (std::size_t idx = 0; idx < count; ++idx) body(idx);
-      return;
+      for (std::size_t idx = 0; idx < count; ++idx) guarded(idx);
+    } else {
+      std::atomic<std::size_t> next_task{0};
+      auto worker_fn = [&] {
+        for (;;) {
+          const std::size_t idx = next_task.fetch_add(1);
+          if (idx >= count) return;
+          guarded(idx);
+        }
+      };
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<std::size_t>(workers));
+      for (int w = 0; w < workers; ++w) pool.emplace_back(worker_fn);
+      for (std::thread& t : pool) t.join();
     }
-    std::atomic<std::size_t> next_task{0};
-    auto worker_fn = [&] {
-      for (;;) {
-        const std::size_t idx = next_task.fetch_add(1);
-        if (idx >= count) return;
-        body(idx);
+    for (std::size_t idx = 0; idx < count; ++idx) {
+      if (errors[idx].empty()) continue;
+      std::ostringstream msg;
+      msg << phase << " task " << idx << " failed after " << (retries + 1)
+          << " attempt(s): " << errors[idx];
+      result.failures.push_back(Error{ErrorCode::kWorkerFailure, msg.str()});
+      if (progress != nullptr) {
+        *progress << "[suite] DEGRADED: " << msg.str() << "\n";
       }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(workers));
-    for (int w = 0; w < workers; ++w) pool.emplace_back(worker_fn);
-    for (std::thread& t : pool) t.join();
+    }
   };
 
   const std::size_t num_apps = config.apps.size();
@@ -338,7 +390,7 @@ SuiteResult run_suite(const SuiteConfig& config, std::ostream* progress,
       tasks.push_back(
           {&result.apps[i].oracle_detection, i, Pipeline::Mechanism::kOracle});
     }
-    run_tasks(tasks.size(), [&](std::size_t idx) {
+    run_tasks("detect", tasks.size(), [&](std::size_t idx) {
       const DetectTask& task = tasks[idx];
       Pipeline detect_pipe(config.machine);
       detect_pipe.sm_config() = config.sm;
@@ -350,15 +402,34 @@ SuiteResult run_suite(const SuiteConfig& config, std::ostream* progress,
     });
   }
 
-  // Phase 2: mapping is a cheap serial step between the two fan-outs.
+  // Phase 2: mapping is a cheap serial step between the two fan-outs. A
+  // mapping that cannot be derived (matcher failure on a corrupted matrix)
+  // degrades to round-robin rather than aborting the suite.
   {
     obs::TraceSpan span(obs::tracer_at(obs, obs::ObsLevel::kPhases),
                         "suite.map", "suite");
     Pipeline map_pipe(config.machine);
     map_pipe.set_observability(obs);
+    auto map_or_fallback = [&](const AppExperiment& app,
+                               const DetectionResult& detection) -> Mapping {
+      try {
+        return map_pipe.map(detection.matrix);
+      } catch (const std::exception& e) {
+        std::ostringstream msg;
+        msg << "map task for " << app.app << " (" << detection.mechanism
+            << ") failed: " << e.what() << "; using round-robin fallback";
+        result.failures.push_back(
+            Error{ErrorCode::kMappingFailure, msg.str()});
+        if (progress != nullptr) {
+          *progress << "[suite] DEGRADED: " << msg.str() << "\n";
+        }
+        return round_robin_mapping(map_pipe.topology(),
+                                   detection.matrix.size());
+      }
+    };
     for (AppExperiment& app : result.apps) {
-      app.sm_mapping = map_pipe.map(app.sm_detection.matrix);
-      app.hm_mapping = map_pipe.map(app.hm_detection.matrix);
+      app.sm_mapping = map_or_fallback(app, app.sm_detection);
+      app.hm_mapping = map_or_fallback(app, app.hm_detection);
     }
   }
 
@@ -404,7 +475,7 @@ SuiteResult run_suite(const SuiteConfig& config, std::ostream* progress,
                          app.hm_mapping, run_seed});
       }
     }
-    run_tasks(tasks.size(), [&](std::size_t idx) {
+    run_tasks("evaluate", tasks.size(), [&](std::size_t idx) {
       const EvalTask& task = tasks[idx];
       Pipeline worker_pipe(config.machine);
       // The tracer and registry are thread-safe; evaluation spans from
@@ -415,6 +486,23 @@ SuiteResult run_suite(const SuiteConfig& config, std::ostream* progress,
     });
   }
 
+  if (obs::MetricsRegistry* metrics =
+          obs::metrics_at(obs, obs::ObsLevel::kPhases)) {
+    metrics->counter("suite.worker_failures")
+        .add(static_cast<std::uint64_t>(result.failures.size()));
+    metrics->gauge("pipeline.degraded_mode")
+        .set(result.degraded() ? 1.0 : 0.0);
+  }
+  if (result.degraded()) {
+    // Degraded results (zeroed slots, fallback mappings) must never poison
+    // the cache: the next run should recompute, not inherit the damage.
+    if (progress != nullptr) {
+      *progress << "[suite] " << result.failures.size()
+                << " task(s) failed; result is degraded and will not be"
+                   " cached\n";
+    }
+    return result;
+  }
   if (caching) {
     std::error_code ec;
     std::filesystem::create_directories(cache_dir(), ec);

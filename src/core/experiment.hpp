@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "core/expected.hpp"
 #include "core/pipeline.hpp"
 #include "sim/stats.hpp"
 
@@ -55,6 +56,11 @@ struct SuiteConfig {
   /// and writes its own preassigned slot. (The HM sweep itself can shard
   /// its matrix accumulation further via HmDetectorConfig::sweep_workers.)
   int parallel_workers = 0;
+  /// Retries per failed suite task (DESIGN.md Sec. 11). A worker never lets
+  /// an exception escape: a task that throws is retried this many times,
+  /// then recorded as a structured kWorkerFailure and its result slot left
+  /// zeroed. Suites with failed tasks are reported degraded and not cached.
+  int task_retries = 1;
 };
 
 /// Repeated performance runs under one mapping policy.
@@ -95,6 +101,12 @@ struct AppExperiment {
 struct SuiteResult {
   SuiteConfig config;
   std::vector<AppExperiment> apps;
+  /// Structured failures of suite tasks that exhausted their retries (empty
+  /// on a clean run). Each failed task's result slot holds default values;
+  /// degraded results are never written to the cache.
+  std::vector<Error> failures;
+
+  bool degraded() const { return !failures.empty(); }
 };
 
 /// Runs (or loads from cache) the whole evaluation. `progress`, when given,

@@ -1,0 +1,116 @@
+#include "core/fault.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace tlbmap {
+
+namespace {
+
+void check_rate(double rate, const char* name) {
+  if (!std::isfinite(rate) || rate < 0.0 || rate > 1.0) {
+    throw std::invalid_argument(std::string("FaultPlan: ") + name +
+                                " must be in [0, 1]");
+  }
+}
+
+}  // namespace
+
+void FaultPlan::validate() const {
+  check_rate(drop_sample_rate, "drop_sample_rate");
+  check_rate(corrupt_sample_rate, "corrupt_sample_rate");
+  check_rate(detect_fail_rate, "detect_fail_rate");
+  check_rate(sweep_skip_rate, "sweep_skip_rate");
+  check_rate(sweep_fail_rate, "sweep_fail_rate");
+  check_rate(matrix_flip_rate, "matrix_flip_rate");
+  check_rate(matrix_zero_rate, "matrix_zero_rate");
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan, std::uint64_t salt)
+    : plan_(plan), state_(plan.seed ^ salt) {}
+
+std::uint64_t FaultInjector::next_u64() {
+  // splitmix64 (public-domain constants): statistically solid, two
+  // multiplies per draw, and — unlike std::mt19937 — identical on every
+  // platform, which the per-seed determinism contract depends on.
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+bool FaultInjector::chance(double rate) {
+  if (rate <= 0.0) return false;
+  if (rate >= 1.0) {
+    (void)next_u64();  // keep the stream in lockstep across rate changes
+    return true;
+  }
+  // 53-bit mantissa draw; exact enough for fault rates.
+  const double u =
+      static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  return u < rate;
+}
+
+bool FaultInjector::drop_sample() {
+  const bool fired = chance(plan_.drop_sample_rate);
+  if (fired) ++counters_.dropped_samples;
+  return fired;
+}
+
+bool FaultInjector::corrupt_sample() {
+  const bool fired = chance(plan_.corrupt_sample_rate);
+  if (fired) ++counters_.corrupted_samples;
+  return fired;
+}
+
+bool FaultInjector::fail_search() {
+  const bool fired = chance(plan_.detect_fail_rate);
+  if (fired) ++counters_.failed_searches;
+  return fired;
+}
+
+bool FaultInjector::skip_sweep() {
+  const bool fired = chance(plan_.sweep_skip_rate);
+  if (fired) ++counters_.skipped_sweeps;
+  return fired;
+}
+
+bool FaultInjector::fail_sweep() {
+  const bool fired = chance(plan_.sweep_fail_rate);
+  if (fired) ++counters_.failed_sweeps;
+  return fired;
+}
+
+bool FaultInjector::flip_cell() {
+  const bool fired = chance(plan_.matrix_flip_rate);
+  if (fired) ++counters_.flipped_cells;
+  return fired;
+}
+
+bool FaultInjector::zero_cell() {
+  const bool fired = chance(plan_.matrix_zero_rate);
+  if (fired) ++counters_.zeroed_cells;
+  return fired;
+}
+
+Cycles FaultInjector::draw_sweep_delay() {
+  if (plan_.sweep_delay_max == 0) return 0;
+  const Cycles delay = next_u64() % (plan_.sweep_delay_max + 1);
+  if (delay > 0) ++counters_.delayed_sweeps;
+  return delay;
+}
+
+PageNum FaultInjector::perturb_page(PageNum page) {
+  // Flip 1-4 low bits: the corrupted search lands on a wrong page that is
+  // plausibly nearby (a real bit-flip in the mirrored TLB entry).
+  const std::uint64_t flips = (next_u64() & 0xF) | 0x1;
+  return page ^ static_cast<PageNum>(flips);
+}
+
+std::size_t FaultInjector::draw_index(std::size_t n) {
+  if (n == 0) return 0;
+  return static_cast<std::size_t>(next_u64() % n);
+}
+
+}  // namespace tlbmap

@@ -1,0 +1,144 @@
+// Seeded, deterministic fault injection for the detect -> map -> evaluate
+// pipeline (DESIGN.md Sec. 11).
+//
+// The paper's whole premise is that TLB-based detection is *approximate*:
+// 1-in-100 sampled SM misses and periodic HM sweeps see a noisy, partial
+// view of the true sharing pattern. The FaultPlan makes that noise an
+// explicit, reproducible input instead of an accident of scale: it can drop
+// or corrupt sampled TLB entries, make the detection instruction fail,
+// delay or skip whole HM sweeps (with the detector retrying under backoff),
+// and flip or zero communication-matrix cells. Every decision comes from a
+// splitmix64 stream seeded by `plan.seed` xor a per-consumer salt, so runs
+// are bit-reproducible per seed and two consumers never share a stream.
+//
+// A default-constructed plan is disabled: consumers skip injector
+// construction entirely, so the faults-off pipeline is bit-identical to a
+// build without this subsystem (asserted by tests/test_fault.cpp).
+//
+// This header depends only on sim/types.hpp; it is compiled into its own
+// tiny target (tlbmap_fault) so both the sim and detect layers can link it
+// without cycles.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace tlbmap {
+
+/// What to break, how often, and under which seed. Rates are probabilities
+/// in [0, 1] evaluated independently per opportunity.
+struct FaultPlan {
+  /// Base seed of every injector stream derived from this plan.
+  std::uint64_t seed = 0;
+
+  // --- software-managed detector (per sampled TLB miss) ---
+  /// Sampled miss is dropped before the search runs (entry lost).
+  double drop_sample_rate = 0.0;
+  /// Sampled page is corrupted before the search (wrong entry searched).
+  double corrupt_sample_rate = 0.0;
+  /// The detection instruction itself fails: the search is charged but
+  /// yields nothing.
+  double detect_fail_rate = 0.0;
+
+  // --- hardware-managed detector (per due sweep) ---
+  /// Sweep is silently skipped (one detection epoch lost).
+  double sweep_skip_rate = 0.0;
+  /// Sweep fails; the detector retries with exponential backoff.
+  double sweep_fail_rate = 0.0;
+  /// Each sweep is delayed by a uniform draw from [0, sweep_delay_max].
+  Cycles sweep_delay_max = 0;
+
+  // --- communication matrix (applied when a detected matrix is consumed) ---
+  /// Fraction of upper-triangle cells whose values are swapped pairwise
+  /// (inverts hot edges into cold ones and vice versa).
+  double matrix_flip_rate = 0.0;
+  /// Fraction of upper-triangle cells zeroed.
+  double matrix_zero_rate = 0.0;
+
+  /// True when any fault can actually fire. Disabled plans cost nothing:
+  /// consumers skip injector construction entirely.
+  bool enabled() const {
+    return drop_sample_rate > 0.0 || corrupt_sample_rate > 0.0 ||
+           detect_fail_rate > 0.0 || sweep_skip_rate > 0.0 ||
+           sweep_fail_rate > 0.0 || sweep_delay_max > 0 ||
+           matrix_flip_rate > 0.0 || matrix_zero_rate > 0.0;
+  }
+
+  /// Throws std::invalid_argument when a rate is outside [0, 1] or not
+  /// finite (matching the validate() style of the sim configs).
+  void validate() const;
+};
+
+/// Tally of every fault actually injected; published to the metrics
+/// registry as fault.injected_* counters by the consuming phase.
+struct FaultCounters {
+  std::uint64_t dropped_samples = 0;
+  std::uint64_t corrupted_samples = 0;
+  std::uint64_t failed_searches = 0;
+  std::uint64_t skipped_sweeps = 0;
+  std::uint64_t failed_sweeps = 0;
+  std::uint64_t delayed_sweeps = 0;
+  std::uint64_t flipped_cells = 0;
+  std::uint64_t zeroed_cells = 0;
+
+  std::uint64_t total() const {
+    return dropped_samples + corrupted_samples + failed_searches +
+           skipped_sweeps + failed_sweeps + delayed_sweeps + flipped_cells +
+           zeroed_cells;
+  }
+};
+
+/// One consumer's deterministic fault stream. Distinct consumers (SM
+/// detector, HM detector, online mapper, pipeline matrix stage) construct
+/// their own injector with a distinct salt so their decisions are
+/// independent of each other and of evaluation order.
+class FaultInjector {
+ public:
+  // Well-known consumer salts (any distinct constants work; fixed here so
+  // runs are reproducible across binaries).
+  static constexpr std::uint64_t kSmSalt = 0x5343'414e'534d'0001ull;
+  static constexpr std::uint64_t kHmSalt = 0x5343'414e'484d'0002ull;
+  static constexpr std::uint64_t kMatrixSalt = 0x5343'414e'4d58'0003ull;
+  static constexpr std::uint64_t kOnlineSalt = 0x5343'414e'4f4e'0004ull;
+
+  FaultInjector(const FaultPlan& plan, std::uint64_t salt);
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultCounters& counters() const { return counters_; }
+
+  // Per-opportunity decisions; each consumes one PRNG draw and bumps the
+  // matching counter when it fires.
+  bool drop_sample();
+  bool corrupt_sample();
+  bool fail_search();
+  bool skip_sweep();
+  bool fail_sweep();
+  /// Per-matrix-cell decisions (consumed by CommMatrix::apply_faults).
+  bool flip_cell();
+  bool zero_cell();
+
+  /// Uniform draw from [0, plan.sweep_delay_max]; 0 when delays are off.
+  Cycles draw_sweep_delay();
+
+  /// Deterministic perturbation of a sampled page (corrupt_sample fired):
+  /// flips low-order bits so the search looks up a nearby-but-wrong page.
+  PageNum perturb_page(PageNum page);
+
+  /// Uniform index draw in [0, n) for matrix-cell selection.
+  std::size_t draw_index(std::size_t n);
+
+ private:
+  /// splitmix64 step; uniform in [0, 2^64).
+  std::uint64_t next_u64();
+  /// True with probability `rate` (one draw, even for rate 0 — callers gate
+  /// on the plan before constructing an injector, not per call).
+  bool chance(double rate);
+
+  FaultPlan plan_;
+  std::uint64_t state_;
+  FaultCounters counters_;
+};
+
+}  // namespace tlbmap

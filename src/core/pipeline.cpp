@@ -22,6 +22,30 @@ std::vector<std::unique_ptr<ThreadStream>> make_streams(
   return streams;
 }
 
+/// Mirrors an injected-fault tally into the metrics registry. Published
+/// only when faults actually ran, so faultless runs carry no fault series.
+void publish_fault_counters(obs::MetricsRegistry* metrics,
+                            const FaultCounters& counters) {
+  if (metrics == nullptr) return;
+  metrics->counter("fault.injected_dropped_samples")
+      .add(counters.dropped_samples);
+  metrics->counter("fault.injected_corrupted_samples")
+      .add(counters.corrupted_samples);
+  metrics->counter("fault.injected_failed_searches")
+      .add(counters.failed_searches);
+  metrics->counter("fault.injected_skipped_sweeps")
+      .add(counters.skipped_sweeps);
+  metrics->counter("fault.injected_failed_sweeps")
+      .add(counters.failed_sweeps);
+  metrics->counter("fault.injected_delayed_sweeps")
+      .add(counters.delayed_sweeps);
+  metrics->counter("fault.injected_flipped_cells")
+      .add(counters.flipped_cells);
+  metrics->counter("fault.injected_zeroed_cells").add(counters.zeroed_cells);
+  metrics->gauge("pipeline.degraded_mode")
+      .set(counters.total() > 0 ? 1.0 : 0.0);
+}
+
 }  // namespace
 
 void Pipeline::record_phase(const char* phase, std::uint64_t wall_us,
@@ -75,6 +99,21 @@ DetectionResult Pipeline::detect(const Workload& workload,
     result.matrix = detector->matrix();
     result.searches = detector->searches();
     result.mechanism = detector->name();
+    if (config_.fault.enabled()) {
+      FaultCounters injected;
+      if (const FaultCounters* c = detector->fault_counters()) injected = *c;
+      if (config_.fault.matrix_flip_rate > 0.0 ||
+          config_.fault.matrix_zero_rate > 0.0) {
+        // Corrupt the *consumed* matrix, not the detector's history: models
+        // a faulty read-out of the kernel's accumulated counters.
+        FaultInjector matrix_fault(config_.fault, FaultInjector::kMatrixSalt);
+        result.matrix.apply_faults(matrix_fault);
+        injected.flipped_cells += matrix_fault.counters().flipped_cells;
+        injected.zeroed_cells += matrix_fault.counters().zeroed_cells;
+      }
+      publish_fault_counters(obs::metrics_at(obs_, obs::ObsLevel::kPhases),
+                             injected);
+    }
     if (obs::MetricsRegistry* metrics =
             obs::metrics_at(obs_, obs::ObsLevel::kPhases)) {
       std::ostringstream args;
@@ -151,7 +190,12 @@ Pipeline::DynamicRunResult Pipeline::evaluate_dynamic(
   result.stats = machine.run(make_streams(workload, seed), run);
   result.migrations = online.migrations();
   result.remap_decisions = online.remap_decisions();
+  result.degraded_decisions = online.degraded_decisions();
   result.final_mapping = online.current_mapping();
+  if (const FaultCounters* injected = online.fault_counters()) {
+    publish_fault_counters(obs::metrics_at(obs_, obs::ObsLevel::kPhases),
+                           *injected);
+  }
   if (obs::MetricsRegistry* metrics =
           obs::metrics_at(obs_, obs::ObsLevel::kPhases)) {
     std::ostringstream args;

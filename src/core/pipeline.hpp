@@ -67,8 +67,9 @@ class Pipeline {
   /// Result of a dynamically mapped run (detection + migration online).
   struct DynamicRunResult {
     MachineStats stats;
-    int migrations = 0;        ///< placements actually changed
-    int remap_decisions = 0;   ///< matcher invocations
+    int migrations = 0;          ///< placements actually changed
+    int remap_decisions = 0;     ///< matcher invocations
+    int degraded_decisions = 0;  ///< decisions fallen back on degenerate input
     Mapping final_mapping;
   };
 

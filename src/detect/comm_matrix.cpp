@@ -6,7 +6,21 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/fault.hpp"
+
 namespace tlbmap {
+
+namespace {
+
+/// Saturating 64-bit add: pins at CommMatrix::kCounterMax instead of
+/// wrapping. Wrapping would turn the hottest pair into the coldest and
+/// silently invert the mapping decision.
+std::uint64_t sat_add(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t s = a + b;
+  return s < a ? CommMatrix::kCounterMax : s;
+}
+
+}  // namespace
 
 CommMatrixShard::CommMatrixShard(int num_threads) : n_(num_threads) {
   if (num_threads <= 0) {
@@ -22,7 +36,8 @@ void CommMatrixShard::add(ThreadId a, ThreadId b, std::uint64_t amount) {
     throw std::out_of_range("CommMatrixShard::add: thread id out of range");
   }
   if (a > b) std::swap(a, b);
-  cells_[tri(a, b)] += amount;
+  std::uint64_t& cell = cells_[tri(a, b)];
+  cell = sat_add(cell, amount);
 }
 
 std::uint64_t CommMatrixShard::at(ThreadId a, ThreadId b) const {
@@ -57,9 +72,10 @@ void CommMatrix::add(ThreadId a, ThreadId b, std::uint64_t amount) {
   if (a < 0 || b < 0 || a >= n_ || b >= n_) {
     throw std::out_of_range("CommMatrix::add: thread id out of range");
   }
-  cells_[index(a, b)] += amount;
-  cells_[index(b, a)] += amount;
-  max_ = std::max(max_, cells_[index(a, b)]);
+  const std::uint64_t next = sat_add(cells_[index(a, b)], amount);
+  cells_[index(a, b)] = next;
+  cells_[index(b, a)] = next;
+  max_ = std::max(max_, next);
 }
 
 std::uint64_t CommMatrix::at(ThreadId a, ThreadId b) const {
@@ -101,7 +117,7 @@ CommMatrix& CommMatrix::operator+=(const CommMatrix& other) {
   }
   std::uint64_t m = 0;
   for (std::size_t i = 0; i < cells_.size(); ++i) {
-    cells_[i] += other.cells_[i];
+    cells_[i] = sat_add(cells_[i], other.cells_[i]);
     m = std::max(m, cells_[i]);
   }
   max_ = m;
@@ -118,24 +134,87 @@ void CommMatrix::merge(const std::vector<CommMatrixShard>& shards) {
       for (ThreadId b = a + 1; b < n_; ++b, ++i) {
         const std::uint64_t amount = shard.cells_[i];
         if (amount == 0) continue;
-        cells_[index(a, b)] += amount;
-        cells_[index(b, a)] += amount;
-        max_ = std::max(max_, cells_[index(a, b)]);
+        const std::uint64_t next = sat_add(cells_[index(a, b)], amount);
+        cells_[index(a, b)] = next;
+        cells_[index(b, a)] = next;
+        max_ = std::max(max_, next);
       }
     }
   }
 }
 
 void CommMatrix::decay(double factor) {
+  // NaN-free invariant: a non-finite or negative factor would poison every
+  // cell through the double round-trip; treat it as "forget everything",
+  // the conservative ageing for a corrupted parameter.
+  if (!std::isfinite(factor) || factor < 0.0) factor = 0.0;
   std::uint64_t m = 0;
   for (std::uint64_t& c : cells_) {
     // Round to nearest, ties toward zero: ceil(x - 0.5). Plain truncation
     // biases every cell down by ~0.5 per epoch and erases small-but-real
     // edges; ties rounding *up* would make odd cells immortal at the
     // default ageing factor 0.5 (1 -> 0.5 -> 1 -> ...).
-    c = static_cast<std::uint64_t>(
-        std::ceil(static_cast<double>(c) * factor - 0.5));
+    const double scaled = std::ceil(static_cast<double>(c) * factor - 0.5);
+    // Clamp both ends: casting a double >= 2^64 (saturated cell, factor
+    // ~1) or negative (-0.0 from the tie rule) to uint64 is undefined.
+    c = scaled >= static_cast<double>(kCounterMax)
+            ? kCounterMax
+            : static_cast<std::uint64_t>(scaled > 0.0 ? scaled : 0.0);
     m = std::max(m, c);
+  }
+  max_ = m;
+}
+
+const char* CommMatrix::Health::describe() const {
+  if (empty) return "empty";
+  if (uniform) return "uniform";
+  if (saturated) return "saturated";
+  return "ok";
+}
+
+CommMatrix::Health CommMatrix::health() const {
+  Health h;
+  std::uint64_t lo = kCounterMax;
+  std::uint64_t hi = 0;
+  std::size_t pairs = 0;
+  for (ThreadId a = 0; a < n_; ++a) {
+    for (ThreadId b = a + 1; b < n_; ++b, ++pairs) {
+      const std::uint64_t c = cells_[index(a, b)];
+      lo = std::min(lo, c);
+      hi = std::max(hi, c);
+    }
+  }
+  h.empty = pairs == 0 || hi == 0;
+  h.uniform = !h.empty && pairs > 1 && lo == hi;
+  h.saturated = hi == kCounterMax;
+  return h;
+}
+
+void CommMatrix::apply_faults(FaultInjector& injector) {
+  const std::size_t un = static_cast<std::size_t>(n_);
+  const std::size_t npairs = un * (un - 1) / 2;
+  if (npairs == 0) return;
+  // Work on the packed upper triangle, then mirror back so symmetry and
+  // the cached max() survive arbitrary corruption.
+  std::vector<std::uint64_t> tri;
+  tri.reserve(npairs);
+  for (ThreadId a = 0; a < n_; ++a) {
+    for (ThreadId b = a + 1; b < n_; ++b) tri.push_back(cells_[index(a, b)]);
+  }
+  for (std::size_t i = 0; i < npairs; ++i) {
+    if (injector.flip_cell()) {
+      std::swap(tri[i], tri[injector.draw_index(npairs)]);
+    }
+    if (injector.zero_cell()) tri[i] = 0;
+  }
+  std::size_t i = 0;
+  std::uint64_t m = 0;
+  for (ThreadId a = 0; a < n_; ++a) {
+    for (ThreadId b = a + 1; b < n_; ++b, ++i) {
+      cells_[index(a, b)] = tri[i];
+      cells_[index(b, a)] = tri[i];
+      m = std::max(m, tri[i]);
+    }
   }
   max_ = m;
 }

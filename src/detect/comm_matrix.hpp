@@ -23,6 +23,8 @@
 
 namespace tlbmap {
 
+class FaultInjector;
+
 /// Per-worker accumulator for one CommMatrix: upper triangle only, no
 /// derived state, bounds enforced at construction sites rather than per add
 /// (the hot path of a parallel sweep). Merge shards back with
@@ -62,12 +64,33 @@ class CommMatrixShard {
 
 class CommMatrix {
  public:
+  /// Counter ceiling: every mutator saturates here instead of wrapping.
+  /// A wrapped counter silently inverts the hottest edge into the coldest —
+  /// the worst possible corruption for a mapping input — whereas a pinned
+  /// maximum keeps the pair ranked first, which is the right degradation.
+  static constexpr std::uint64_t kCounterMax = ~std::uint64_t{0};
+
+  /// Structural invariants of a detected matrix, checked before mapping
+  /// consumes it (DESIGN.md Sec. 11). A degenerate matrix carries no
+  /// placement signal: mapping from it is noise, so callers fall back.
+  struct Health {
+    bool empty = false;      ///< total() == 0: nothing was detected
+    bool uniform = false;    ///< all pairs equal (>0): no preference either
+    bool saturated = false;  ///< some counter pinned at kCounterMax
+
+    /// True when the matrix should not drive a mapping decision.
+    bool degenerate() const { return empty || uniform; }
+    /// Short label for logs/metrics ("ok", "empty", "uniform", "saturated").
+    const char* describe() const;
+  };
+
   explicit CommMatrix(int num_threads);
 
   int size() const { return n_; }
 
   /// Records `amount` units of communication between two distinct threads.
-  /// Self-communication is meaningless and ignored.
+  /// Self-communication is meaningless and ignored. Saturates at
+  /// kCounterMax (never wraps).
   void add(ThreadId a, ThreadId b, std::uint64_t amount = 1);
 
   std::uint64_t at(ThreadId a, ThreadId b) const;
@@ -96,6 +119,16 @@ class CommMatrix {
   /// small-but-real edges to zero. Ties round toward zero, so ageing at
   /// factor 0.5 still strictly shrinks every nonzero cell.
   void decay(double factor);
+
+  /// Evaluates the structural invariants (empty / uniform / saturated).
+  /// O(n^2); called once per mapping decision, not per add.
+  Health health() const;
+
+  /// Applies the injector's matrix faults to the upper triangle: each cell
+  /// is independently swapped with a random other cell (flip) and/or zeroed
+  /// per the plan's matrix_flip_rate / matrix_zero_rate. Deterministic per
+  /// injector stream; symmetry and the max() cache are restored afterwards.
+  void apply_faults(FaultInjector& injector);
 
   /// All pairs (a < b) ordered by decreasing communication.
   std::vector<std::pair<ThreadId, ThreadId>> pairs_by_weight() const;

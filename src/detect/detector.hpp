@@ -7,6 +7,7 @@
 #include <sstream>
 #include <string>
 
+#include "core/fault.hpp"
 #include "detect/comm_matrix.hpp"
 #include "obs/obs.hpp"
 #include "sim/machine.hpp"
@@ -29,6 +30,11 @@ class Detector : public MachineObserver {
   std::uint64_t misses_seen() const { return misses_seen_; }
 
   virtual std::string name() const = 0;
+
+  /// Tally of injected faults, or null when this detector runs without an
+  /// injector (the default). The pipeline publishes these as
+  /// fault.injected_* counters after the detect phase.
+  virtual const FaultCounters* fault_counters() const { return nullptr; }
 
   void reset_matrix() { matrix_ = CommMatrix(matrix_.size()); }
 

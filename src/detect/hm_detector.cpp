@@ -9,7 +9,11 @@ namespace tlbmap {
 
 HmDetector::HmDetector(Machine& machine, int num_threads,
                        HmDetectorConfig config)
-    : Detector(num_threads), machine_(&machine), config_(config) {}
+    : Detector(num_threads), machine_(&machine), config_(config) {
+  if (machine.config().fault.enabled()) {
+    fault_.emplace(machine.config().fault, FaultInjector::kHmSalt);
+  }
+}
 
 Cycles HmDetector::on_access(ThreadId /*thread*/, CoreId /*core*/,
                              VirtAddr /*addr*/, PageNum /*page*/,
@@ -20,6 +24,7 @@ Cycles HmDetector::on_access(ThreadId /*thread*/, CoreId /*core*/,
 }
 
 Cycles HmDetector::on_tick(Cycles now) {
+  if (fault_) return on_tick_faulty(now);
   // Figure 1b: run a sweep once `interval` cycles have passed since the
   // last one. `now` is a per-thread clock and may jitter backwards slightly
   // relative to the previous call; the early return covers that too.
@@ -28,6 +33,54 @@ Cycles HmDetector::on_tick(Cycles now) {
   // accumulates drift under sparse ticks, so sweeps would run ever later
   // than the configured cadence.
   last_sweep_ += (now - last_sweep_) / config_.interval * config_.interval;
+  sweep();
+  return config_.search_cost;
+}
+
+Cycles HmDetector::on_tick_faulty(Cycles now) {
+  // Outstanding retry of a failed sweep: attempt again once the backoff
+  // window has passed. Each attempt — failed or not — still stalls the
+  // machine for search_cost (the kernel ran either way).
+  if (retry_count_ > 0) {
+    if (now < retry_at_) return 0;
+    if (fault_->fail_sweep()) {
+      if (retry_count_ >= kMaxSweepRetries) {
+        // Give up: this detection epoch is lost; the regular cadence
+        // resumes at the next interval boundary.
+        retry_count_ = 0;
+        if (obs_ != nullptr && obs_->full()) {
+          obs_->tracer.record_instant("HM.sweep_abandoned", "detector", "");
+        }
+      } else {
+        retry_at_ = now + (std::max<Cycles>(config_.interval / 8, 1)
+                           << retry_count_);
+        ++retry_count_;
+      }
+      return config_.search_cost;
+    }
+    retry_count_ = 0;
+    if (obs_ != nullptr && obs_->full()) {
+      obs_->tracer.record_instant("HM.sweep_retry_ok", "detector", "");
+    }
+    sweep();
+    return config_.search_cost;
+  }
+
+  // Same grid cadence as the faultless path, shifted by the injected delay
+  // of this epoch (drawn when the previous epoch completed).
+  if (now < last_sweep_ + config_.interval + pending_delay_) return 0;
+  last_sweep_ += (now - last_sweep_) / config_.interval * config_.interval;
+  pending_delay_ = fault_->draw_sweep_delay();
+  if (fault_->skip_sweep()) return 0;  // epoch silently lost, no stall
+  if (fault_->fail_sweep()) {
+    // First failure: charge the attempt and schedule a backoff retry.
+    retry_count_ = 1;
+    retry_at_ = now + std::max<Cycles>(config_.interval / 8, 1);
+    if (obs_ != nullptr && obs_->full()) {
+      obs_->tracer.record_instant("HM.sweep_failed", "detector", "");
+    }
+    return config_.search_cost;
+  }
   sweep();
   return config_.search_cost;
 }

@@ -20,10 +20,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "core/fault.hpp"
 #include "detect/detector.hpp"
 #include "sim/machine.hpp"
 
@@ -57,6 +59,9 @@ class HmDetector final : public Detector {
 
   std::string name() const override { return "HM"; }
   const HmDetectorConfig& config() const { return config_; }
+  const FaultCounters* fault_counters() const override {
+    return fault_ ? &fault_->counters() : nullptr;
+  }
 
   void set_observability(obs::ObsContext* obs) override;
 
@@ -65,6 +70,9 @@ class HmDetector final : public Detector {
   void sweep();
 
  private:
+  /// Fault-aware tick path: identical cadence plus injected sweep delays,
+  /// silent skips, and failed sweeps retried under exponential backoff.
+  Cycles on_tick_faulty(Cycles now);
   void sweep_naive();
   void sweep_indexed();
   /// Adds C(k, 2) pair counts for the shared-page groups [begin, end).
@@ -74,6 +82,16 @@ class HmDetector final : public Detector {
   Machine* machine_;
   HmDetectorConfig config_;
   Cycles last_sweep_ = 0;
+
+  /// Engaged only when the machine's FaultPlan is enabled; otherwise
+  /// on_tick runs the exact pre-fault-injection path.
+  std::optional<FaultInjector> fault_;
+  /// Give up on a failed sweep after this many backoff retries (the epoch
+  /// is lost; detection resumes at the next interval).
+  static constexpr int kMaxSweepRetries = 4;
+  Cycles pending_delay_ = 0;  ///< injected delay of the next due sweep
+  int retry_count_ = 0;       ///< outstanding retries of a failed sweep
+  Cycles retry_at_ = 0;       ///< earliest time the next retry may run
 
   // Scratch reused across sweeps so the hot path stays allocation-free
   // after warm-up. `group_threads_` holds the sharer threads of every page

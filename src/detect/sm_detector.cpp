@@ -4,7 +4,11 @@ namespace tlbmap {
 
 SmDetector::SmDetector(Machine& machine, int num_threads,
                        SmDetectorConfig config)
-    : Detector(num_threads), machine_(&machine), config_(config) {}
+    : Detector(num_threads), machine_(&machine), config_(config) {
+  if (machine.config().fault.enabled()) {
+    fault_.emplace(machine.config().fault, FaultInjector::kSmSalt);
+  }
+}
 
 void SmDetector::set_observability(obs::ObsContext* obs) {
   Detector::set_observability(obs);
@@ -24,6 +28,20 @@ Cycles SmDetector::on_access(ThreadId thread, CoreId core,
   // Figure 1a: below the threshold, just count the miss and return.
   if (++miss_counter_ < config_.sample_threshold) return 0;
   miss_counter_ = 0;
+  if (fault_) {
+    // Dropped before the search routine even starts: the sampled entry is
+    // lost, no search runs and no cycles are charged.
+    if (fault_->drop_sample()) return 0;
+    // The detection instruction fails: the OS pays for the search but the
+    // comparison yields nothing.
+    if (fault_->fail_search()) {
+      count_search();
+      return config_.search_cost;
+    }
+    // A corrupted mirror entry: the search runs against a nearby-but-wrong
+    // page, adding noise (usually zero matches) to the matrix.
+    if (fault_->corrupt_sample()) page = fault_->perturb_page(page);
+  }
   count_search();
   // Search every other TLB for the missed page. Tlb::contains probes only
   // the page's set, so the whole sweep is Theta(P * associativity).

@@ -9,7 +9,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
+#include "core/fault.hpp"
 #include "detect/detector.hpp"
 #include "sim/machine.hpp"
 
@@ -36,6 +38,9 @@ class SmDetector final : public Detector {
 
   std::string name() const override { return "SM"; }
   const SmDetectorConfig& config() const { return config_; }
+  const FaultCounters* fault_counters() const override {
+    return fault_ ? &fault_->counters() : nullptr;
+  }
 
   void set_observability(obs::ObsContext* obs) override;
 
@@ -44,6 +49,9 @@ class SmDetector final : public Detector {
   SmDetectorConfig config_;
   std::uint32_t miss_counter_ = 0;
   obs::Counter* match_counter_ = nullptr;  ///< TLB hits found by searches
+  /// Engaged only when the machine's FaultPlan is enabled; with it absent
+  /// the sampled-search path is the exact pre-fault-injection code.
+  std::optional<FaultInjector> fault_;
 };
 
 }  // namespace tlbmap

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "core/fault.hpp"
 #include "sim/types.hpp"
 
 namespace tlbmap {
@@ -113,6 +114,19 @@ struct MachineConfig {
   TlbConfig tlb{};
   InterconnectConfig interconnect{};
 
+  /// Seeded fault-injection plan (DESIGN.md Sec. 11). Disabled by default;
+  /// the detectors and the pipeline consult it through Machine::config().
+  /// With the default (disabled) plan no injector is even constructed, so
+  /// the simulated results are bit-identical to a faultless build.
+  FaultPlan fault{};
+
+  /// Watchdog for Machine::run: abort the run with a structured
+  /// kWatchdogTimeout error once this many trace events have been issued.
+  /// 0 disables the watchdog (the default — a finite trace always ends).
+  /// Guards against malformed/looping recorded traces and misbehaving
+  /// workload generators in long suite runs.
+  std::uint64_t watchdog_max_events = 0;
+
   int num_cores() const { return num_sockets * cores_per_socket; }
   int num_l2() const { return num_cores() / cores_per_l2; }
   int page_shift() const {
@@ -134,6 +148,7 @@ struct MachineConfig {
     l1.validate();
     l2.validate();
     tlb.validate();
+    fault.validate();
   }
 
   /// The paper's evaluation machine (2x Harpertown, Table II).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <optional>
 #include <queue>
 #include <sstream>
 #include <stdexcept>
@@ -30,18 +31,36 @@ struct ThreadState {
 
 MachineStats Machine::run(std::vector<std::unique_ptr<ThreadStream>> streams,
                           const RunConfig& config) {
+  Expected<MachineStats> result = try_run(std::move(streams), config);
+  if (!result) {
+    const Error& err = result.error();
+    if (err.code == ErrorCode::kInvalidArgument ||
+        err.code == ErrorCode::kInvalidMapping) {
+      throw std::invalid_argument(err.message);
+    }
+    throw std::runtime_error(err.to_string());
+  }
+  return *result;
+}
+
+Expected<MachineStats> Machine::try_run(
+    std::vector<std::unique_ptr<ThreadStream>> streams,
+    const RunConfig& config) {
   const int num_threads = static_cast<int>(streams.size());
   if (config.thread_to_core.size() != streams.size()) {
-    throw std::invalid_argument("Machine::run: mapping size != thread count");
+    return Error{ErrorCode::kInvalidMapping,
+                 "Machine::run: mapping size != thread count"};
   }
   std::fill(thread_on_core_.begin(), thread_on_core_.end(), kNoThread);
   for (ThreadId t = 0; t < num_threads; ++t) {
     const CoreId core = config.thread_to_core[static_cast<std::size_t>(t)];
     if (core < 0 || core >= topology().num_cores()) {
-      throw std::invalid_argument("Machine::run: core id out of range");
+      return Error{ErrorCode::kInvalidMapping,
+                   "Machine::run: core id out of range"};
     }
     if (thread_on_core_[static_cast<std::size_t>(core)] != kNoThread) {
-      throw std::invalid_argument("Machine::run: two threads on one core");
+      return Error{ErrorCode::kInvalidMapping,
+                   "Machine::run: two threads on one core"};
     }
     thread_on_core_[static_cast<std::size_t>(core)] = t;
   }
@@ -86,19 +105,51 @@ MachineStats Machine::run(std::vector<std::unique_ptr<ThreadStream>> streams,
     for (int t = 0; t < num_threads; ++t) push_ready(t);
   };
 
+  // Set when a non-recoverable failure happens inside a nested helper; the
+  // event loop checks it after every step and unwinds with the error.
+  std::optional<Error> fatal;
+
   auto apply_migration = [&](const std::vector<CoreId>& next) {
     if (next.empty()) return;
-    if (next.size() != placement.size()) {
-      throw std::invalid_argument("MigrationPolicy: wrong mapping size");
+    // Validate before mutating thread_on_core_ so a rejected migration
+    // leaves the current placement untouched (graceful mode keeps running).
+    bool valid = next.size() == placement.size();
+    if (valid) {
+      std::vector<bool> used(static_cast<std::size_t>(topology().num_cores()),
+                             false);
+      for (const CoreId core : next) {
+        if (core < 0 || core >= topology().num_cores() ||
+            used[static_cast<std::size_t>(core)]) {
+          valid = false;
+          break;
+        }
+        used[static_cast<std::size_t>(core)] = true;
+      }
+    }
+    if (!valid) {
+      if (config.strict_migrations) {
+        fatal = Error{ErrorCode::kInvalidMapping,
+                      next.size() == placement.size()
+                          ? "MigrationPolicy: invalid mapping"
+                          : "MigrationPolicy: wrong mapping size"};
+        return;
+      }
+      // Graceful degradation: reject the migration, keep the current
+      // placement, record the event, and continue the run.
+      if (obs::Tracer* tracer =
+              obs::tracer_at(config.obs, obs::ObsLevel::kFull)) {
+        tracer->record_instant("machine.migration_rejected", "sim", "");
+      }
+      if (obs::MetricsRegistry* metrics =
+              obs::metrics_at(config.obs, obs::ObsLevel::kPhases)) {
+        metrics->counter("machine.rejected_migrations").add(1);
+      }
+      return;
     }
     std::fill(thread_on_core_.begin(), thread_on_core_.end(), kNoThread);
     int moved = 0;
     for (ThreadId t = 0; t < num_threads; ++t) {
       const CoreId core = next[static_cast<std::size_t>(t)];
-      if (core < 0 || core >= topology().num_cores() ||
-          thread_on_core_[static_cast<std::size_t>(core)] != kNoThread) {
-        throw std::invalid_argument("MigrationPolicy: invalid mapping");
-      }
       thread_on_core_[static_cast<std::size_t>(core)] = t;
       if (core != placement[static_cast<std::size_t>(t)] &&
           !threads[static_cast<std::size_t>(t)].done) {
@@ -152,8 +203,25 @@ MachineStats Machine::run(std::vector<std::unique_ptr<ThreadStream>> streams,
     push_all_ready();
   };
 
+  // Watchdog: a finite, well-formed trace always reaches kEnd, but recorded
+  // traces can be truncated/corrupted into loops and generators can
+  // misbehave; the event budget turns a hang into a structured error.
+  const std::uint64_t watchdog_budget = hierarchy_.config().watchdog_max_events;
+  std::uint64_t events_issued = 0;
+
   push_all_ready();
   while (live > 0) {
+    if (fatal) return *std::move(fatal);
+    if (watchdog_budget != 0 && events_issued >= watchdog_budget) {
+      std::ostringstream msg;
+      msg << "Machine::run: watchdog tripped after " << events_issued
+          << " events (budget " << watchdog_budget << ")";
+      if (obs::MetricsRegistry* metrics =
+              obs::metrics_at(config.obs, obs::ObsLevel::kPhases)) {
+        metrics->counter("machine.watchdog_trips").add(1);
+      }
+      return Error{ErrorCode::kWatchdogTimeout, msg.str()};
+    }
     // Pick the runnable thread with the smallest clock (lowest id on ties).
     int next = -1;
     if (use_heap) {
@@ -188,6 +256,7 @@ MachineStats Machine::run(std::vector<std::unique_ptr<ThreadStream>> streams,
 
     ThreadState& ts = threads[static_cast<std::size_t>(next)];
     const TraceEvent ev = ts.stream->next();
+    ++events_issued;
     switch (ev.kind) {
       case TraceEvent::Kind::kAccess: {
         const CoreId core = placement[static_cast<std::size_t>(next)];
@@ -240,6 +309,7 @@ MachineStats Machine::run(std::vector<std::unique_ptr<ThreadStream>> streams,
     }
     if (use_heap) push_ready(next);
   }
+  if (fatal) return *std::move(fatal);
 
   Cycles finish = 0;
   for (const ThreadState& ts : threads) {

@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/expected.hpp"
 #include "obs/obs.hpp"
 #include "sim/hierarchy.hpp"
 #include "sim/stats.hpp"
@@ -81,16 +82,39 @@ class Machine {
     /// Optional observability sink: the run records a "machine.run" span
     /// (kPhases) and per-barrier/migration instants (kFull). Null = off.
     obs::ObsContext* obs = nullptr;
+    /// How to treat an invalid mapping returned by the MigrationPolicy
+    /// mid-run. Strict (default) aborts the run with kInvalidMapping —
+    /// the historical throwing behaviour, right for tests and for policies
+    /// that must be correct. Non-strict *rejects* the migration, keeps the
+    /// current placement, counts machine.rejected_migrations and carries
+    /// on: the graceful-degradation mode the OnlineMapper runs under.
+    bool strict_migrations = true;
   };
 
   /// Runs every stream to completion and returns the collected counters.
   /// streams[t] is thread t's trace.
+  ///
+  /// Thin wrapper over try_run() preserving the historical throwing API:
+  /// configuration errors surface as std::invalid_argument, watchdog trips
+  /// as std::runtime_error.
   MachineStats run(std::vector<std::unique_ptr<ThreadStream>> streams,
                    const RunConfig& config);
+
+  /// Non-throwing variant: every failure mode — bad placement, invalid
+  /// mid-run migration under strict_migrations, watchdog budget exceeded —
+  /// returns a structured Error instead of raising. This is the entry point
+  /// the resilient suite worker pool uses; no exception escapes it for any
+  /// input that does not itself throw from a user-supplied stream/observer.
+  Expected<MachineStats> try_run(
+      std::vector<std::unique_ptr<ThreadStream>> streams,
+      const RunConfig& config);
 
   MemoryHierarchy& hierarchy() { return hierarchy_; }
   const MemoryHierarchy& hierarchy() const { return hierarchy_; }
   const Topology& topology() const { return hierarchy_.topology(); }
+  /// The configuration this machine was built from; detectors read the
+  /// fault-injection plan (config().fault) through this.
+  const MachineConfig& config() const { return hierarchy_.config(); }
 
   /// Thread currently pinned to `core`, or kNoThread. Valid during run()
   /// (detectors query it to turn core-level TLB matches into thread pairs).

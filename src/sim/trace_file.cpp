@@ -1,8 +1,10 @@
 #include "sim/trace_file.hpp"
 
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 
 namespace tlbmap {
 
@@ -29,7 +31,24 @@ std::int64_t zigzag_decode(std::uint64_t v) {
          -static_cast<std::int64_t>(v & 1);
 }
 
+std::string format_trace_error(const std::string& what,
+                               std::size_t byte_offset,
+                               std::uint64_t record_index) {
+  std::ostringstream msg;
+  msg << what << " at byte " << byte_offset << ", record " << record_index;
+  return msg.str();
+}
+
 }  // namespace
+
+TraceFormatError::TraceFormatError(ErrorCode code, const std::string& what,
+                                   std::size_t byte_offset,
+                                   std::uint64_t record_index)
+    : std::invalid_argument(
+          format_trace_error(what, byte_offset, record_index)),
+      code_(code),
+      byte_offset_(byte_offset),
+      record_index_(record_index) {}
 
 TraceWriter::TraceWriter() {
   bytes_.assign(kMagic, kMagic + 4);
@@ -87,9 +106,21 @@ std::vector<std::uint8_t> TraceWriter::finish() {
 
 TraceReader::TraceReader(std::vector<std::uint8_t> bytes)
     : bytes_(std::move(bytes)) {
-  if (bytes_.size() < 5 || !std::equal(kMagic, kMagic + 4, bytes_.begin()) ||
-      bytes_[4] != kVersion) {
-    throw std::invalid_argument("TraceReader: bad header");
+  if (bytes_.size() < 5) {
+    throw TraceFormatError(ErrorCode::kTruncatedTrace,
+                           "TraceReader: bad header (buffer too short)",
+                           bytes_.size(), 0);
+  }
+  if (!std::equal(kMagic, kMagic + 4, bytes_.begin())) {
+    throw TraceFormatError(ErrorCode::kMalformedTrace,
+                           "TraceReader: bad header (magic mismatch)", 0, 0);
+  }
+  if (bytes_[4] != kVersion) {
+    throw TraceFormatError(
+        ErrorCode::kMalformedTrace,
+        "TraceReader: bad header (unsupported version " +
+            std::to_string(static_cast<int>(bytes_[4])) + ")",
+        4, 0);
   }
   pos_ = 5;
 }
@@ -102,21 +133,34 @@ std::uint64_t TraceReader::get_varint() {
     value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
     if ((byte & 0x80) == 0) return value;
     shift += 7;
-    if (shift > 63) break;
+    if (shift > 63) {
+      throw TraceFormatError(ErrorCode::kMalformedTrace,
+                             "TraceReader: overlong varint", pos_, records_);
+    }
   }
-  throw std::invalid_argument("TraceReader: truncated varint");
+  throw TraceFormatError(ErrorCode::kTruncatedTrace,
+                         "TraceReader: truncated varint", pos_, records_);
 }
 
 TraceEvent TraceReader::next() {
   if (done_ || pos_ >= bytes_.size()) return TraceEvent::make_end();
+  const std::size_t record_start = pos_;
   const std::uint8_t header = bytes_[pos_++];
+  ++records_;
   if (header == kBarrier) return TraceEvent::make_barrier();
   if (header == kEnd) {
     done_ = true;
     return TraceEvent::make_end();
   }
   if ((header & kAccess) == 0) {
-    throw std::invalid_argument("TraceReader: bad record header");
+    throw TraceFormatError(
+        ErrorCode::kMalformedTrace,
+        "TraceReader: bad record header 0x" + [&] {
+          std::ostringstream hex;
+          hex << std::hex << static_cast<int>(header);
+          return hex.str();
+        }(),
+        record_start, records_ - 1);
   }
   const std::uint64_t raw = get_varint();
   VirtAddr addr;
@@ -134,6 +178,86 @@ TraceEvent TraceReader::next() {
   const AccessType type = (header & kFlagWrite) != 0 ? AccessType::kWrite
                                                      : AccessType::kRead;
   return TraceEvent::make_access(addr, type, gap);
+}
+
+Expected<TraceStats> validate_trace(const std::vector<std::uint8_t>& bytes) {
+  TraceStats stats;
+  stats.bytes = bytes.size();
+  std::size_t pos = 0;
+  std::uint64_t record = 0;
+  auto fail = [&](ErrorCode code, const std::string& what,
+                  std::size_t offset) {
+    return Error{code, format_trace_error(what, offset, record)};
+  };
+  if (bytes.size() < 5) {
+    return fail(ErrorCode::kTruncatedTrace,
+                "validate_trace: bad header (buffer too short)",
+                bytes.size());
+  }
+  if (!std::equal(kMagic, kMagic + 4, bytes.begin())) {
+    return fail(ErrorCode::kMalformedTrace,
+                "validate_trace: bad header (magic mismatch)", 0);
+  }
+  if (bytes[4] != kVersion) {
+    return fail(ErrorCode::kMalformedTrace,
+                "validate_trace: bad header (unsupported version " +
+                    std::to_string(static_cast<int>(bytes[4])) + ")",
+                4);
+  }
+  pos = 5;
+  // skip_varint returns an empty message on success, else the failure kind.
+  auto skip_varint = [&]() -> std::optional<Error> {
+    int shift = 0;
+    while (pos < bytes.size()) {
+      const std::uint8_t byte = bytes[pos++];
+      if ((byte & 0x80) == 0) return std::nullopt;
+      shift += 7;
+      if (shift > 63) {
+        return fail(ErrorCode::kMalformedTrace,
+                    "validate_trace: overlong varint", pos);
+      }
+    }
+    return fail(ErrorCode::kTruncatedTrace, "validate_trace: truncated varint",
+                pos);
+  };
+  while (pos < bytes.size()) {
+    const std::size_t record_start = pos;
+    const std::uint8_t header = bytes[pos++];
+    if (header == kBarrier) {
+      ++stats.barriers;
+      ++stats.records;
+      ++record;
+      continue;
+    }
+    if (header == kEnd) {
+      ++stats.records;
+      stats.explicit_end = true;
+      if (pos != bytes.size()) {
+        return fail(ErrorCode::kMalformedTrace,
+                    "validate_trace: trailing bytes after end marker", pos);
+      }
+      return stats;
+    }
+    if ((header & kAccess) == 0) {
+      std::ostringstream hex;
+      hex << std::hex << static_cast<int>(header);
+      return fail(ErrorCode::kMalformedTrace,
+                  "validate_trace: bad record header 0x" + hex.str(),
+                  record_start);
+    }
+    if (auto err = skip_varint()) return *err;
+    if ((header & kFlagHasGap) != 0) {
+      if (auto err = skip_varint()) return *err;
+    }
+    ++stats.accesses;
+    ++stats.records;
+    ++record;
+  }
+  // EOF without an end marker replays fine (the reader synthesises kEnd),
+  // but a validator flags it: a writer always emits 0x01, so its absence
+  // means the tail of the file was lost.
+  return fail(ErrorCode::kTruncatedTrace,
+              "validate_trace: missing end marker (file truncated)", pos);
 }
 
 std::vector<std::vector<std::uint8_t>> record_workload(
@@ -200,25 +324,43 @@ void save_recording(const std::vector<std::vector<std::uint8_t>>& buffers,
   }
 }
 
-std::vector<std::vector<std::uint8_t>> load_recording(
+Expected<std::vector<std::vector<std::uint8_t>>> try_load_recording(
     const std::filesystem::path& dir) {
   std::vector<std::vector<std::uint8_t>> buffers;
   for (std::size_t t = 0;; ++t) {
     std::ostringstream name;
     name << "thread_" << t << ".tlbt";
     const std::filesystem::path file = dir / name.str();
-    if (!std::filesystem::exists(file)) break;
+    std::error_code ec;
+    if (!std::filesystem::exists(file, ec) || ec) break;
     std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      return Error{ErrorCode::kIoError,
+                   "load_recording: cannot open " + file.string()};
+    }
     std::vector<std::uint8_t> bytes(
         (std::istreambuf_iterator<char>(in)),
         std::istreambuf_iterator<char>());
+    Expected<TraceStats> checked = validate_trace(bytes);
+    if (!checked) {
+      return Error{checked.error().code,
+                   file.string() + ": " + checked.error().message};
+    }
     buffers.push_back(std::move(bytes));
   }
   if (buffers.empty()) {
-    throw std::runtime_error("load_recording: no thread files in " +
-                             dir.string());
+    return Error{ErrorCode::kIoError,
+                 "load_recording: no thread files in " + dir.string()};
   }
   return buffers;
+}
+
+std::vector<std::vector<std::uint8_t>> load_recording(
+    const std::filesystem::path& dir) {
+  Expected<std::vector<std::vector<std::uint8_t>>> loaded =
+      try_load_recording(dir);
+  if (!loaded) throw std::runtime_error(loaded.error().message);
+  return std::move(loaded.value());
 }
 
 }  // namespace tlbmap

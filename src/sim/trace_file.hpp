@@ -21,13 +21,55 @@
 #include <cstdint>
 #include <filesystem>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "core/expected.hpp"
 #include "sim/trace.hpp"
 #include "sim/workload.hpp"
 
 namespace tlbmap {
+
+/// Structured parse failure: every malformed or truncated trace error
+/// carries the byte offset where decoding stopped and the index of the
+/// record being decoded, both embedded in what() and exposed as fields.
+/// Derives from std::invalid_argument so callers that catch the historical
+/// exception type keep working.
+class TraceFormatError : public std::invalid_argument {
+ public:
+  TraceFormatError(ErrorCode code, const std::string& what,
+                   std::size_t byte_offset, std::uint64_t record_index);
+
+  ErrorCode code() const { return code_; }
+  /// Byte position in the buffer where decoding failed.
+  std::size_t byte_offset() const { return byte_offset_; }
+  /// Zero-based index of the record being decoded when decoding failed
+  /// (0 while still reading the file header).
+  std::uint64_t record_index() const { return record_index_; }
+  /// The same information as an Expected-compatible Error.
+  Error to_error() const { return Error{code_, what()}; }
+
+ private:
+  ErrorCode code_;
+  std::size_t byte_offset_;
+  std::uint64_t record_index_;
+};
+
+/// Summary returned by validate_trace() on a well-formed buffer.
+struct TraceStats {
+  std::uint64_t records = 0;   ///< total records decoded (incl. end marker)
+  std::uint64_t accesses = 0;  ///< access records
+  std::uint64_t barriers = 0;  ///< barrier records
+  std::size_t bytes = 0;       ///< buffer size
+  bool explicit_end = false;   ///< true if a 0x01 end marker was present
+};
+
+/// Walks a serialised buffer end to end without replaying it, returning
+/// either summary statistics or a structured error (kMalformedTrace /
+/// kTruncatedTrace) whose message pins the byte offset and record index.
+/// Never throws.
+Expected<TraceStats> validate_trace(const std::vector<std::uint8_t>& bytes);
 
 /// Serialises one thread's events into a byte buffer.
 class TraceWriter {
@@ -53,9 +95,11 @@ class TraceWriter {
 /// Replays a serialised buffer as a ThreadStream.
 class TraceReader final : public ThreadStream {
  public:
-  /// Throws std::invalid_argument on a bad header.
+  /// Throws TraceFormatError (a std::invalid_argument) on a bad header.
   explicit TraceReader(std::vector<std::uint8_t> bytes);
 
+  /// Throws TraceFormatError on a malformed or truncated record; the error
+  /// message names the byte offset and record index of the failure.
   TraceEvent next() override;
 
  private:
@@ -64,6 +108,7 @@ class TraceReader final : public ThreadStream {
   std::vector<std::uint8_t> bytes_;
   std::size_t pos_ = 0;
   VirtAddr last_addr_ = 0;
+  std::uint64_t records_ = 0;
   bool done_ = false;
 };
 
@@ -99,6 +144,13 @@ class RecordedWorkload final : public Workload {
 void save_recording(const std::vector<std::vector<std::uint8_t>>& buffers,
                     const std::filesystem::path& dir);
 std::vector<std::vector<std::uint8_t>> load_recording(
+    const std::filesystem::path& dir);
+
+/// Non-throwing load: reads and validates every per-thread file, returning
+/// a structured error (kIoError on a missing/empty directory, the
+/// validate_trace() taxonomy for a corrupt file — message names the file)
+/// instead of throwing. load_recording() stays the throwing wrapper.
+Expected<std::vector<std::vector<std::uint8_t>>> try_load_recording(
     const std::filesystem::path& dir);
 
 }  // namespace tlbmap

@@ -121,6 +121,96 @@ TEST(Cli, ObsOutputImpliesPhases) {
             "full");
 }
 
+TEST(Cli, FaultFlagsParsed) {
+  const CliOptions opt = parse(
+      {"detect", "--fault-seed", "9", "--fault-drop-rate", "0.25",
+       "--fault-corrupt-rate", "0.1", "--fault-detect-fail-rate", "0.05",
+       "--fault-sweep-skip-rate", "0.2", "--fault-sweep-fail-rate", "0.3",
+       "--fault-sweep-delay", "1000", "--fault-matrix-flip-rate", "0.15",
+       "--fault-matrix-zero-rate", "0.05", "--watchdog-events", "500000"});
+  ASSERT_TRUE(opt.ok()) << opt.error;
+  EXPECT_EQ(opt.fault.seed, 9u);
+  EXPECT_DOUBLE_EQ(opt.fault.drop_sample_rate, 0.25);
+  EXPECT_DOUBLE_EQ(opt.fault.corrupt_sample_rate, 0.1);
+  EXPECT_DOUBLE_EQ(opt.fault.detect_fail_rate, 0.05);
+  EXPECT_DOUBLE_EQ(opt.fault.sweep_skip_rate, 0.2);
+  EXPECT_DOUBLE_EQ(opt.fault.sweep_fail_rate, 0.3);
+  EXPECT_EQ(opt.fault.sweep_delay_max, 1000u);
+  EXPECT_DOUBLE_EQ(opt.fault.matrix_flip_rate, 0.15);
+  EXPECT_DOUBLE_EQ(opt.fault.matrix_zero_rate, 0.05);
+  EXPECT_EQ(opt.watchdog_events, 500000u);
+  EXPECT_TRUE(opt.fault.enabled());
+  EXPECT_FALSE(parse({"detect"}).fault.enabled());
+}
+
+TEST(Cli, FaultFlagsValidated) {
+  // Out-of-range rates are structured usage errors, not aborts.
+  EXPECT_FALSE(parse({"detect", "--fault-drop-rate", "1.5"}).ok());
+  EXPECT_FALSE(parse({"detect", "--fault-matrix-zero-rate", "-0.1"}).ok());
+  EXPECT_FALSE(parse({"detect", "--fault-drop-rate", "nan"}).ok());
+  // record conflicts with fault/watchdog flags: a corrupted recording
+  // poisons every later replay, so the combination is refused outright.
+  EXPECT_FALSE(parse({"record", "--app", "EP", "--out", "/tmp/x",
+                      "--fault-drop-rate", "0.1"})
+                   .ok());
+  EXPECT_FALSE(parse({"record", "--app", "EP", "--out", "/tmp/x",
+                      "--watchdog-events", "10"})
+                   .ok());
+}
+
+TEST(CliFuzz, GarbageNeverAbortsAlwaysStructured) {
+  // Property-style sweep: every parse either succeeds or fails with a
+  // non-empty error message — never throws, never aborts, never UB.
+  const std::vector<std::vector<const char*>> cases = {
+      {"detect", "--threads", "-3"},
+      {"detect", "--threads", "99999999999999999999"},
+      {"detect", "--threads", "8abc"},
+      {"detect", "--threads", ""},
+      {"detect", "--seed", "-1"},
+      {"detect", "--seed", "+4"},
+      {"detect", "--seed", "0x10"},
+      {"detect", "--size-scale", "1e"},
+      {"detect", "--size-scale", "inf garbage"},
+      {"detect", "--iter-scale", "--reps"},
+      {"detect", "--fault-seed", "-9"},
+      {"detect", "--fault-drop-rate", "0.5extra"},
+      {"detect", "--fault-sweep-delay", "1.5"},
+      {"detect", "--fault-sweep-delay", "-1"},
+      {"detect", "--watchdog-events", "ten"},
+      {"suite", "--apps", ",,,"},
+      {"evaluate", "--mapping", "0,1,2,"},
+      {"evaluate", "--mapping", "-1,0"},
+      {"evaluate", "--mapping", "999999999999999999999,0"},
+      {"replay", "--in", ""},
+      {"detect", "--obs-level"},
+      {"detect", "\xff\xfe"},
+      {"--fault-drop-rate", "0.1"},  // flag before any command
+  };
+  for (const auto& argv_tail : cases) {
+    std::vector<const char*> argv = {"tlbmap_cli"};
+    argv.insert(argv.end(), argv_tail.begin(), argv_tail.end());
+    CliOptions opt;
+    ASSERT_NO_THROW(
+        opt = parse_cli(static_cast<int>(argv.size()), argv.data()))
+        << "argv[1]=" << argv_tail[0];
+    if (!opt.ok()) {
+      EXPECT_FALSE(opt.error.empty()) << "argv[1]=" << argv_tail[0];
+    }
+  }
+}
+
+TEST(CliFuzz, NumericBoundsAreStrict) {
+  // Full-token parsing: trailing junk and embedded signs are rejected
+  // (stoull would silently wrap "-1" to 2^64-1).
+  EXPECT_FALSE(parse({"detect", "--seed", "1 2"}).ok());
+  EXPECT_FALSE(parse({"detect", "--fault-seed", "+1"}).ok());
+  EXPECT_FALSE(parse({"detect", "--watchdog-events", "-5"}).ok());
+  EXPECT_FALSE(parse({"detect", "--reps", "2.5"}).ok());
+  // Plain values still parse.
+  EXPECT_TRUE(parse({"detect", "--seed", "18446744073709551615"}).ok());
+  EXPECT_TRUE(parse({"detect", "--reps", "3"}).ok());
+}
+
 TEST(CliRun, UsageErrorExitCode) {
   EXPECT_EQ(run_cli(parse({"nonsense"})), 2);
   EXPECT_EQ(run_cli(parse({"--help"})), 0);

@@ -1,4 +1,6 @@
 // Tests for the communication matrix and its accuracy metrics.
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "detect/comm_matrix.hpp"
@@ -103,6 +105,88 @@ TEST(CommMatrix, DecayTiesRoundTowardZero) {
   m.decay(0.5);
   EXPECT_EQ(m.at(0, 1), 2u);
   EXPECT_EQ(m.at(1, 2), 0u);
+}
+
+TEST(CommMatrix, CounterSaturatesAtMax) {
+  // A wrap at 2^64 would invert the hottest edge into the coldest; the
+  // counters saturate instead (DESIGN.md Sec. 11).
+  CommMatrix m(3);
+  m.add(0, 1, CommMatrix::kCounterMax - 5);
+  m.add(0, 1, 100);  // would wrap without saturation
+  EXPECT_EQ(m.at(0, 1), CommMatrix::kCounterMax);
+  m.add(0, 1, 1);  // already saturated: stays pinned
+  EXPECT_EQ(m.at(0, 1), CommMatrix::kCounterMax);
+  EXPECT_EQ(m.max(), CommMatrix::kCounterMax);
+
+  // operator+= saturates too.
+  CommMatrix a(3), b(3);
+  a.add(0, 1, CommMatrix::kCounterMax - 1);
+  b.add(0, 1, 7);
+  a += b;
+  EXPECT_EQ(a.at(0, 1), CommMatrix::kCounterMax);
+
+  // Decay of a saturated cell stays in range (no double->u64 overflow UB).
+  m.decay(1.0);
+  EXPECT_EQ(m.at(0, 1), CommMatrix::kCounterMax);
+  m.decay(0.5);
+  EXPECT_LT(m.at(0, 1), CommMatrix::kCounterMax);
+}
+
+TEST(CommMatrix, ShardedAddSaturates) {
+  std::vector<CommMatrixShard> shards(1, CommMatrixShard(3));
+  shards[0].add(0, 1, CommMatrix::kCounterMax - 1);
+  shards[0].add(0, 1, 50);
+  CommMatrix m(3);
+  m.merge(shards);
+  EXPECT_EQ(m.at(0, 1), CommMatrix::kCounterMax);
+  // Merging a saturated shard into a nonzero matrix saturates again.
+  std::vector<CommMatrixShard> more(1, CommMatrixShard(3));
+  more[0].add(0, 1, 3);
+  m.merge(more);
+  EXPECT_EQ(m.at(0, 1), CommMatrix::kCounterMax);
+}
+
+TEST(CommMatrix, DecayRejectsNonFiniteFactor) {
+  CommMatrix m(3);
+  m.add(0, 1, 100);
+  m.decay(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(m.at(0, 1), 0u);  // NaN treated as 0: reset, never poisoned
+  m.add(0, 1, 100);
+  m.decay(-2.0);
+  EXPECT_EQ(m.at(0, 1), 0u);
+}
+
+TEST(CommMatrixHealth, ClassifiesDegenerateShapes) {
+  CommMatrix empty(4);
+  EXPECT_TRUE(empty.health().empty);
+  EXPECT_TRUE(empty.health().degenerate());
+  EXPECT_STREQ(empty.health().describe(), "empty");
+
+  CommMatrix uniform(4);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = a + 1; b < 4; ++b) uniform.add(a, b, 9);
+  }
+  EXPECT_TRUE(uniform.health().uniform);
+  EXPECT_TRUE(uniform.health().degenerate());
+  EXPECT_STREQ(uniform.health().describe(), "uniform");
+
+  CommMatrix ok(4);
+  ok.add(0, 1, 10);
+  ok.add(2, 3, 4);
+  EXPECT_FALSE(ok.health().degenerate());
+  EXPECT_STREQ(ok.health().describe(), "ok");
+
+  CommMatrix saturated(3);
+  saturated.add(0, 1, CommMatrix::kCounterMax);
+  saturated.add(1, 2, 5);
+  EXPECT_TRUE(saturated.health().saturated);
+  EXPECT_FALSE(saturated.health().degenerate());  // still mappable signal
+  EXPECT_STREQ(saturated.health().describe(), "saturated");
+
+  // A 1x1 matrix has no pairs at all: empty, never uniform.
+  CommMatrix one(1);
+  EXPECT_TRUE(one.health().empty);
+  EXPECT_FALSE(one.health().uniform);
 }
 
 TEST(CommMatrix, MaxTracksAllMutations) {

@@ -117,6 +117,28 @@ TEST(Hierarchical, SingleThreadPair) {
   EXPECT_TRUE(is_valid_mapping(m, 2));
 }
 
+TEST(Hierarchical, OddThreadCountsMapValidly) {
+  // Odd thread counts exercise the virtual-padding path and the
+  // odd-tolerant matching entry points (DESIGN.md Sec. 11): no assert,
+  // no throw, a valid placement out.
+  HierarchicalMapper mapper(harpertown());
+  HierarchicalMapper greedy(
+      harpertown(),
+      HierarchicalMapperConfig{HierarchicalMapperConfig::Matcher::kGreedy});
+  for (int n : {1, 3, 5, 7}) {
+    CommMatrix comm(n);
+    for (int a = 0; a < n; ++a) {
+      for (int b = a + 1; b < n; ++b) comm.add(a, b, (a + b) % 5 + 1);
+    }
+    const Mapping m = mapper.map(comm);
+    EXPECT_EQ(m.size(), static_cast<std::size_t>(n));
+    EXPECT_TRUE(is_valid_mapping(m, 8)) << "blossom n=" << n;
+    EXPECT_TRUE(is_valid_mapping(greedy.map(comm), 8)) << "greedy n=" << n;
+  }
+  // Odd and all-zero at once: the fully degenerate input.
+  EXPECT_TRUE(is_valid_mapping(mapper.map(CommMatrix(5)), 8));
+}
+
 TEST(Hierarchical, RejectsMoreThreadsThanCores) {
   HierarchicalMapper mapper(harpertown());
   EXPECT_THROW(mapper.map(CommMatrix(9)), std::invalid_argument);

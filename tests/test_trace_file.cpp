@@ -59,6 +59,142 @@ TEST(TraceFile, RejectsGarbage) {
                std::invalid_argument);
 }
 
+TEST(TraceFile, ErrorsCarryOffsetAndRecordIndex) {
+  // Truncated header: buffer shorter than magic + version.
+  try {
+    TraceReader({1, 2, 3});
+    FAIL() << "expected TraceFormatError";
+  } catch (const TraceFormatError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kTruncatedTrace);
+    EXPECT_EQ(e.byte_offset(), 3u);
+    EXPECT_NE(std::string(e.what()).find("at byte 3"), std::string::npos);
+  }
+  // Unsupported version: offset pins the version byte.
+  try {
+    TraceReader({'T', 'L', 'B', 'T', 99});
+    FAIL() << "expected TraceFormatError";
+  } catch (const TraceFormatError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kMalformedTrace);
+    EXPECT_EQ(e.byte_offset(), 4u);
+    EXPECT_NE(std::string(e.what()).find("version 99"), std::string::npos);
+  }
+}
+
+TEST(TraceFile, BadRecordHeaderNamesByteAndRecord) {
+  // Valid header, one barrier, then a byte that is neither a record kind
+  // nor an access header (bit 1 clear, nonzero).
+  TraceReader reader({'T', 'L', 'B', 'T', 1, 0x00, 0x41});
+  EXPECT_EQ(reader.next().kind, TraceEvent::Kind::kBarrier);
+  try {
+    reader.next();
+    FAIL() << "expected TraceFormatError";
+  } catch (const TraceFormatError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kMalformedTrace);
+    EXPECT_EQ(e.byte_offset(), 6u);   // the offending byte
+    EXPECT_EQ(e.record_index(), 1u);  // second record (0-based)
+    EXPECT_NE(std::string(e.what()).find("record 1"), std::string::npos);
+  }
+}
+
+TEST(TraceFile, TruncatedVarintIsStructured) {
+  // Access record whose varint address never terminates (all
+  // continuation bits set, then EOF).
+  TraceReader reader({'T', 'L', 'B', 'T', 1, 0x02, 0x80, 0x80});
+  try {
+    reader.next();
+    FAIL() << "expected TraceFormatError";
+  } catch (const TraceFormatError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kTruncatedTrace);
+    EXPECT_EQ(e.to_error().code, ErrorCode::kTruncatedTrace);
+  }
+}
+
+TEST(TraceFile, OverlongVarintIsMalformed) {
+  // 11 continuation bytes push the shift past 63 bits.
+  std::vector<std::uint8_t> bytes = {'T', 'L', 'B', 'T', 1, 0x02};
+  for (int i = 0; i < 11; ++i) bytes.push_back(0x80);
+  bytes.push_back(0x01);
+  TraceReader reader(bytes);
+  try {
+    reader.next();
+    FAIL() << "expected TraceFormatError";
+  } catch (const TraceFormatError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kMalformedTrace);
+  }
+}
+
+TEST(TraceFile, ValidateTraceAcceptsWriterOutput) {
+  TraceWriter writer;
+  writer.write(TraceEvent::make_access(4096, AccessType::kRead, 0));
+  writer.write(TraceEvent::make_access(4104, AccessType::kWrite, 7));
+  writer.write(TraceEvent::make_barrier());
+  const auto bytes = writer.finish();
+  const Expected<TraceStats> stats = validate_trace(bytes);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->accesses, 2u);
+  EXPECT_EQ(stats->barriers, 1u);
+  EXPECT_EQ(stats->records, 4u);  // incl. the end marker
+  EXPECT_TRUE(stats->explicit_end);
+  EXPECT_EQ(stats->bytes, bytes.size());
+}
+
+TEST(TraceFile, ValidateTraceFlagsCorruptFixtures) {
+  struct Fixture {
+    const char* label;
+    std::vector<std::uint8_t> bytes;
+    ErrorCode expected;
+  };
+  const std::vector<Fixture> fixtures = {
+      {"empty", {}, ErrorCode::kTruncatedTrace},
+      {"short header", {'T', 'L'}, ErrorCode::kTruncatedTrace},
+      {"bad magic", {'X', 'L', 'B', 'T', 1, 0x01}, ErrorCode::kMalformedTrace},
+      {"bad version", {'T', 'L', 'B', 'T', 7, 0x01},
+       ErrorCode::kMalformedTrace},
+      {"bad record header", {'T', 'L', 'B', 'T', 1, 0x41, 0x01},
+       ErrorCode::kMalformedTrace},
+      {"truncated varint", {'T', 'L', 'B', 'T', 1, 0x02, 0x80},
+       ErrorCode::kTruncatedTrace},
+      {"missing end marker", {'T', 'L', 'B', 'T', 1, 0x00},
+       ErrorCode::kTruncatedTrace},
+      {"trailing bytes", {'T', 'L', 'B', 'T', 1, 0x01, 0x00},
+       ErrorCode::kMalformedTrace},
+  };
+  for (const Fixture& f : fixtures) {
+    const Expected<TraceStats> result = validate_trace(f.bytes);
+    ASSERT_FALSE(result.has_value()) << f.label;
+    EXPECT_EQ(result.error().code, f.expected) << f.label;
+    EXPECT_NE(result.error().message.find("at byte"), std::string::npos)
+        << f.label << ": " << result.error().message;
+  }
+}
+
+TEST(TraceFile, TryLoadRecordingRejectsCorruptFile) {
+  SyntheticSpec spec;
+  spec.pattern = SyntheticSpec::Pattern::kPrivate;
+  spec.private_pages = 4;
+  spec.iterations = 1;
+  const auto live = make_synthetic(spec);
+  const auto buffers = record_workload(*live, 1);
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "tlbmap_test_corrupt_rec";
+  std::filesystem::remove_all(dir);
+  save_recording(buffers, dir);
+  ASSERT_TRUE(try_load_recording(dir).has_value());
+
+  // Truncate thread_0's file mid-stream: structured error, names the file.
+  std::filesystem::resize_file(dir / "thread_0.tlbt", 6);
+  const auto result = try_load_recording(dir);
+  ASSERT_FALSE(result.has_value());
+  EXPECT_NE(result.error().message.find("thread_0.tlbt"), std::string::npos);
+  EXPECT_THROW(load_recording(dir), std::runtime_error);
+  std::filesystem::remove_all(dir);
+
+  const auto missing = try_load_recording(dir);
+  ASSERT_FALSE(missing.has_value());
+  EXPECT_EQ(missing.error().code, ErrorCode::kIoError);
+}
+
 TEST(TraceFile, RandomEventsRoundTripExactly) {
   std::mt19937_64 rng(5);
   TraceWriter writer;
