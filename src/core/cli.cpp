@@ -3,12 +3,15 @@
 #include <cstdio>
 #include <exception>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <sstream>
 
 #include "core/experiment.hpp"
+#include "core/io.hpp"
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
+#include "core/shutdown.hpp"
 #include "npb/workload.hpp"
 #include "obs/obs.hpp"
 #include "sim/trace_file.hpp"
@@ -79,6 +82,16 @@ std::string cli_usage() {
       "  --apps A,B,...       suite: restrict the application set\n"
       "  --mapping 0,1,...    evaluate/replay: explicit thread->core list\n"
       "  --out DIR / --in DIR record/replay trace directory\n"
+      "\n"
+      "crash safety (suite only):\n"
+      "  --checkpoint-dir DIR checkpoint suite progress to DIR/suite.ckpt\n"
+      "                       and handle SIGINT/SIGTERM cleanly (the run\n"
+      "                       stops at a task boundary and exits 130)\n"
+      "  --checkpoint-every-events N\n"
+      "                       simulated accesses between checkpoint writes\n"
+      "                       (default 0 = write after every task)\n"
+      "  --resume             continue from DIR/suite.ckpt; a missing or\n"
+      "                       invalid checkpoint falls back to a fresh run\n"
       "\n"
       "fault injection (all rates in [0,1]; defaults 0 = disabled, in which\n"
       "case results are bit-identical to a faultless build):\n"
@@ -200,6 +213,14 @@ CliOptions parse_cli(int argc, const char* const* argv) {
         if (const char* v = next_value()) opt.fault.matrix_zero_rate = to_double(v);
       } else if (arg == "--watchdog-events") {
         if (const char* v = next_value()) opt.watchdog_events = to_u64(v);
+      } else if (arg == "--checkpoint-dir") {
+        if (const char* v = next_value()) opt.checkpoint_dir = v;
+      } else if (arg == "--checkpoint-every-events") {
+        if (const char* v = next_value()) {
+          opt.checkpoint_every_events = to_u64(v);
+        }
+      } else if (arg == "--resume") {
+        opt.resume = true;
       } else if (arg == "--apps") {
         if (const char* v = next_value()) opt.apps = parse_list(v);
       } else if (arg == "--mapping") {
@@ -238,6 +259,15 @@ CliOptions parse_cli(int argc, const char* const* argv) {
   if ((opt.command == "record" || opt.command == "replay") &&
       opt.dir.empty()) {
     opt.error = opt.command + " needs --out/--in DIR";
+  }
+  if (opt.error.empty() && opt.command != "suite" &&
+      (!opt.checkpoint_dir.empty() || opt.checkpoint_every_events > 0 ||
+       opt.resume)) {
+    opt.error = "checkpoint/resume flags only apply to the suite command";
+  }
+  if (opt.error.empty() && opt.checkpoint_dir.empty() &&
+      (opt.resume || opt.checkpoint_every_events > 0)) {
+    opt.error = "--resume/--checkpoint-every-events need --checkpoint-dir";
   }
   if (opt.error.empty()) {
     // Out-of-range fault rates are usage errors, reported through the same
@@ -376,7 +406,23 @@ int cmd_suite(const CliOptions& opt, obs::ObsContext* obs) {
   // Bit-identical to the indexed sweep, so the cache key ignores it.
   config.hm.naive_sweep = opt.hm_naive_sweep;
   if (!opt.apps.empty()) config.apps = opt.apps;
+  config.checkpoint_dir = opt.checkpoint_dir;
+  config.checkpoint_every_events = opt.checkpoint_every_events;
+  config.resume = opt.resume;
+  if (!opt.checkpoint_dir.empty()) {
+    // Clean shutdown (DESIGN.md Sec. 12): the first SIGINT/SIGTERM sets the
+    // cooperative flag — workers stop at the next task/event boundary and
+    // the suite checkpoints what completed. A second signal kills the
+    // process the default way.
+    install_shutdown_handlers();
+  }
   const SuiteResult result = run_suite(config, &std::cerr, obs);
+  if (result.interrupted) {
+    std::fprintf(stderr,
+                 "suite interrupted; partial results not shown "
+                 "(resume with --resume)\n");
+    return 130;  // conventional 128 + SIGINT
+  }
   TextTable table({"app", "time SM/OS", "time HM/OS", "inv SM/OS",
                    "snoop SM/OS", "L2 SM/OS"});
   for (const AppExperiment& app : result.apps) {
@@ -428,13 +474,35 @@ namespace {
 
 /// Writes the requested trace/metrics artifacts and prints the phase
 /// profile. Runs after the command even on failure: a partial trace is the
-/// tool you debug the failure with.
+/// tool you debug the failure with. Both artifacts are rendered into
+/// memory first — with the stream's badbit checked — and land on disk via
+/// atomic_write_file, so a crash or full disk mid-export can never leave a
+/// truncated JSON/JSONL file behind.
 void finish_observability(const CliOptions& options, obs::ObsContext* obs) {
   if (obs == nullptr) return;
+  auto export_artifact = [](const std::string& path, const char* what,
+                            const std::function<void(std::ostream&)>& render)
+      -> bool {
+    std::ostringstream buffer;
+    render(buffer);
+    if (!buffer.good()) {
+      std::fprintf(stderr, "[obs] %s export stream failed; %s not written\n",
+                   what, path.c_str());
+      return false;
+    }
+    const Expected<void> written = atomic_write_file(path, buffer.str());
+    if (!written) {
+      std::fprintf(stderr, "[obs] cannot write %s to %s: %s\n", what,
+                   path.c_str(), written.error().to_string().c_str());
+      return false;
+    }
+    return true;
+  };
   if (!options.trace_out.empty()) {
-    std::ofstream out(options.trace_out);
-    if (out) {
-      obs->tracer.export_chrome_trace(out);
+    const bool ok = export_artifact(
+        options.trace_out, "trace",
+        [&](std::ostream& out) { obs->tracer.export_chrome_trace(out); });
+    if (ok) {
       std::fprintf(stderr, "[obs] trace written to %s (%zu events",
                    options.trace_out.c_str(), obs->tracer.size());
       if (obs->tracer.dropped() > 0) {
@@ -442,19 +510,14 @@ void finish_observability(const CliOptions& options, obs::ObsContext* obs) {
                      static_cast<unsigned long long>(obs->tracer.dropped()));
       }
       std::fprintf(stderr, ")\n");
-    } else {
-      std::fprintf(stderr, "[obs] cannot write trace to %s\n",
-                   options.trace_out.c_str());
     }
   }
   if (!options.metrics_out.empty()) {
-    std::ofstream out(options.metrics_out);
-    if (out) {
-      obs->metrics.export_jsonl(out);
+    const bool ok = export_artifact(
+        options.metrics_out, "metrics",
+        [&](std::ostream& out) { obs->metrics.export_jsonl(out); });
+    if (ok) {
       std::fprintf(stderr, "[obs] metrics written to %s\n",
-                   options.metrics_out.c_str());
-    } else {
-      std::fprintf(stderr, "[obs] cannot write metrics to %s\n",
                    options.metrics_out.c_str());
     }
   }

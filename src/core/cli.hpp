@@ -52,6 +52,13 @@ struct CliOptions {
   std::vector<std::string> apps;  ///< suite only; empty = all nine
   Mapping mapping;                ///< evaluate/replay; empty = detect+map
   std::string dir;                ///< record --out / replay --in
+  // Crash safety (suite only, DESIGN.md Sec. 12). With --checkpoint-dir
+  // set, SIGINT/SIGTERM handlers are installed, progress is checkpointed
+  // as tasks complete, and an interrupted suite exits with code 130;
+  // --resume continues from the saved snapshot.
+  std::string checkpoint_dir;            ///< empty = checkpointing off
+  std::uint64_t checkpoint_every_events = 0;  ///< 0 = every completed task
+  bool resume = false;
   // Observability (see src/obs/): "off" records nothing. Passing
   // --trace-out/--metrics-out with the default level upgrades it to
   // "phases" so the artifacts are never silently empty.
@@ -70,7 +77,8 @@ CliOptions parse_cli(int argc, const char* const* argv);
 std::string cli_usage();
 
 /// Executes a parsed command, printing results to stdout. Returns the
-/// process exit code (0 success, 2 usage error, 1 runtime failure).
+/// process exit code (0 success, 2 usage error, 1 runtime failure, 130
+/// when a checkpointed suite was interrupted by SIGINT/SIGTERM).
 int run_cli(const CliOptions& options);
 
 }  // namespace tlbmap

@@ -2,6 +2,7 @@
 
 #include <optional>
 #include <sstream>
+#include <stdexcept>
 
 namespace tlbmap {
 
@@ -16,6 +17,30 @@ OnlineMapper::OnlineMapper(Machine& machine, int num_threads,
   if (plan.matrix_flip_rate > 0.0 || plan.matrix_zero_rate > 0.0) {
     fault_.emplace(plan, FaultInjector::kOnlineSalt);
   }
+}
+
+OnlineMapperState OnlineMapper::state() const {
+  OnlineMapperState s;
+  s.detector = detector_.state();
+  s.mapping = current_;
+  s.migrations = migrations_;
+  s.remap_decisions = remap_decisions_;
+  s.degraded_decisions = degraded_decisions_;
+  s.cooldown_left = cooldown_left_;
+  return s;
+}
+
+void OnlineMapper::restore(const OnlineMapperState& state) {
+  if (state.mapping.size() != current_.size()) {
+    throw std::invalid_argument(
+        "OnlineMapper::restore: snapshot mapping length mismatch");
+  }
+  detector_.restore(state.detector);  // throws on matrix-size mismatch
+  current_ = state.mapping;
+  migrations_ = state.migrations;
+  remap_decisions_ = state.remap_decisions;
+  degraded_decisions_ = state.degraded_decisions;
+  cooldown_left_ = state.cooldown_left;
 }
 
 Cycles OnlineMapper::on_access(ThreadId thread, CoreId core, VirtAddr addr,

@@ -42,6 +42,22 @@ struct OnlineMapperConfig {
   SmDetectorConfig detector{/*sample_threshold=*/10, /*search_cost=*/231};
 };
 
+/// Serializable decision state of an OnlineMapper (DESIGN.md Sec. 12): the
+/// embedded SM detector's snapshot plus the current placement and the
+/// decision/hysteresis cursors. Restoring it into a fresh mapper of the
+/// same shape reproduces the original's future remap decisions exactly
+/// (faultless plans).
+struct OnlineMapperState {
+  SmDetectorState detector;
+  Mapping mapping;
+  std::int32_t migrations = 0;
+  std::int32_t remap_decisions = 0;
+  std::int32_t degraded_decisions = 0;
+  std::int32_t cooldown_left = 0;
+
+  bool operator==(const OnlineMapperState&) const = default;
+};
+
 class OnlineMapper final : public MachineObserver, public MigrationPolicy {
  public:
   /// `machine` must outlive the mapper; `initial` is the starting placement
@@ -77,6 +93,13 @@ class OnlineMapper final : public MachineObserver, public MigrationPolicy {
     obs_ = obs;
     detector_.set_observability(obs);
   }
+
+  /// Copies out the decision state (checkpoint support).
+  OnlineMapperState state() const;
+  /// Overwrites the decision state from a snapshot. Throws
+  /// std::invalid_argument when the snapshot's shape (matrix size, mapping
+  /// length) does not match this mapper's.
+  void restore(const OnlineMapperState& state);
 
  private:
   obs::ObsContext* obs_ = nullptr;

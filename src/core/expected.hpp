@@ -30,6 +30,9 @@ enum class ErrorCode {
   kDegenerateMatrix,  ///< comm matrix carries no mappable signal
   kMappingFailure,    ///< matcher could not produce a placement
   kWorkerFailure,     ///< suite worker task failed after retries
+  kInterrupted,       ///< run stopped by the cooperative shutdown flag
+  kCorruptCheckpoint,     ///< checkpoint bytes fail magic/version/CRC checks
+  kCheckpointMismatch,    ///< checkpoint is valid but for another config
 };
 
 inline const char* to_string(ErrorCode code) {
@@ -43,6 +46,9 @@ inline const char* to_string(ErrorCode code) {
     case ErrorCode::kDegenerateMatrix: return "degenerate_matrix";
     case ErrorCode::kMappingFailure: return "mapping_failure";
     case ErrorCode::kWorkerFailure: return "worker_failure";
+    case ErrorCode::kInterrupted: return "interrupted";
+    case ErrorCode::kCorruptCheckpoint: return "corrupt_checkpoint";
+    case ErrorCode::kCheckpointMismatch: return "checkpoint_mismatch";
   }
   return "unknown";
 }

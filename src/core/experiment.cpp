@@ -7,9 +7,14 @@
 #include <fstream>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <thread>
+
+#include "core/checkpoint.hpp"
+#include "core/io.hpp"
+#include "core/shutdown.hpp"
 
 namespace tlbmap {
 
@@ -131,6 +136,47 @@ bool cache_disabled() {
   return v != nullptr && v[0] != '\0' && v[0] != '0';
 }
 
+/// Everything that affects suite results, in one canonical string. Hashed
+/// for both the cache file name and the checkpoint config fingerprint.
+/// The crash-safety knobs (checkpoint_dir / checkpoint_every_events /
+/// resume) are deliberately absent: they change durability, not results.
+std::string suite_key_string(const SuiteConfig& c) {
+  std::ostringstream key;
+  key << "v" << kSchemaVersion << '|' << c.machine.num_sockets << ','
+      << c.machine.cores_per_socket << ',' << c.machine.cores_per_l2 << ','
+      << c.machine.page_size << ',' << c.machine.l1.size_bytes << ','
+      << c.machine.l1.ways << ',' << c.machine.l2.size_bytes << ','
+      << c.machine.l2.ways << ',' << c.machine.tlb.entries << ','
+      << c.machine.tlb.ways << ',' << c.machine.tlb.miss_penalty << ','
+      << c.machine.interconnect.snoop_intra_socket << ','
+      << c.machine.interconnect.snoop_inter_socket << ','
+      << c.machine.interconnect.invalidate_intra_socket << ','
+      << c.machine.interconnect.invalidate_inter_socket << ','
+      << c.machine.interconnect.memory_latency << ','
+      << c.machine.interconnect.memory_remote_extra << ','
+      << (c.machine.numa ? 1 : 0) << ','
+      << static_cast<int>(c.machine.numa_policy) << '|'
+      // Fault plan + watchdog: a faulty suite must never collide with a
+      // faultless one (or with a differently seeded/shaped fault plan).
+      << c.machine.fault.seed << ',' << c.machine.fault.drop_sample_rate
+      << ',' << c.machine.fault.corrupt_sample_rate << ','
+      << c.machine.fault.detect_fail_rate << ','
+      << c.machine.fault.sweep_skip_rate << ','
+      << c.machine.fault.sweep_fail_rate << ','
+      << c.machine.fault.sweep_delay_max << ','
+      << c.machine.fault.matrix_flip_rate << ','
+      << c.machine.fault.matrix_zero_rate << ','
+      << c.machine.watchdog_max_events << '|'
+      << c.workload.num_threads << ',' << c.workload.size_scale << ','
+      << c.workload.iter_scale << ',' << c.workload.gap_jitter << '|'
+      << c.repetitions << '|' << c.sm.sample_threshold << ','
+      << c.sm.search_cost << '|' << c.hm.interval << ',' << c.hm.search_cost
+      << '|' << c.oracle.window << ',' << c.oracle.granularity_shift << '|' << c.base_seed << '|'
+      << c.detect_iter_scale << '|';
+  for (const std::string& app : c.apps) key << app << ',';
+  return key.str();
+}
+
 }  // namespace
 
 double metric_value(const MachineStats& stats, Metric metric) {
@@ -170,42 +216,13 @@ double AppExperiment::normalized(const MappingRuns& runs,
 }
 
 std::string suite_cache_key(const SuiteConfig& c) {
-  std::ostringstream key;
-  key << "v" << kSchemaVersion << '|' << c.machine.num_sockets << ','
-      << c.machine.cores_per_socket << ',' << c.machine.cores_per_l2 << ','
-      << c.machine.page_size << ',' << c.machine.l1.size_bytes << ','
-      << c.machine.l1.ways << ',' << c.machine.l2.size_bytes << ','
-      << c.machine.l2.ways << ',' << c.machine.tlb.entries << ','
-      << c.machine.tlb.ways << ',' << c.machine.tlb.miss_penalty << ','
-      << c.machine.interconnect.snoop_intra_socket << ','
-      << c.machine.interconnect.snoop_inter_socket << ','
-      << c.machine.interconnect.invalidate_intra_socket << ','
-      << c.machine.interconnect.invalidate_inter_socket << ','
-      << c.machine.interconnect.memory_latency << ','
-      << c.machine.interconnect.memory_remote_extra << ','
-      << (c.machine.numa ? 1 : 0) << ','
-      << static_cast<int>(c.machine.numa_policy) << '|'
-      // Fault plan + watchdog: a faulty suite must never collide with a
-      // faultless one (or with a differently seeded/shaped fault plan).
-      << c.machine.fault.seed << ',' << c.machine.fault.drop_sample_rate
-      << ',' << c.machine.fault.corrupt_sample_rate << ','
-      << c.machine.fault.detect_fail_rate << ','
-      << c.machine.fault.sweep_skip_rate << ','
-      << c.machine.fault.sweep_fail_rate << ','
-      << c.machine.fault.sweep_delay_max << ','
-      << c.machine.fault.matrix_flip_rate << ','
-      << c.machine.fault.matrix_zero_rate << ','
-      << c.machine.watchdog_max_events << '|'
-      << c.workload.num_threads << ',' << c.workload.size_scale << ','
-      << c.workload.iter_scale << ',' << c.workload.gap_jitter << '|'
-      << c.repetitions << '|' << c.sm.sample_threshold << ','
-      << c.sm.search_cost << '|' << c.hm.interval << ',' << c.hm.search_cost
-      << '|' << c.oracle.window << ',' << c.oracle.granularity_shift << '|' << c.base_seed << '|'
-      << c.detect_iter_scale << '|';
-  for (const std::string& app : c.apps) key << app << ',';
   std::ostringstream name;
-  name << "suite_" << std::hex << fnv1a(key.str()) << ".txt";
+  name << "suite_" << std::hex << fnv1a(suite_key_string(c)) << ".txt";
   return name.str();
+}
+
+std::uint64_t suite_config_hash(const SuiteConfig& c) {
+  return fnv1a(suite_key_string(c));
 }
 
 std::string serialize_suite(const SuiteResult& result) {
@@ -283,6 +300,113 @@ SuiteResult run_suite(const SuiteConfig& config, std::ostream* progress,
           ? config.parallel_workers
           : std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
 
+  // Crash safety (DESIGN.md Sec. 12). Tasks are the checkpoint granularity:
+  // each is independent with a preassigned seed and result slot, so a
+  // resumed suite replays exactly the missing tasks and lands on a
+  // bit-identical SuiteResult. The in-memory SuiteCheckpoint mirrors every
+  // completed task; `ckpt_mutex` guards it (workers commit concurrently)
+  // and saves go through atomic_write_file, so the on-disk file is always
+  // a complete, CRC-sealed snapshot.
+  const bool checkpointing = !config.checkpoint_dir.empty();
+  const std::filesystem::path ckpt_file =
+      std::filesystem::path(config.checkpoint_dir) / "suite.ckpt";
+  const std::uint64_t config_hash = suite_config_hash(config);
+  const std::uint64_t expected_detect_tasks = config.apps.size() * 3;
+  const std::uint64_t expected_eval_tasks =
+      config.apps.size() * 3 *
+      static_cast<std::uint64_t>(std::max(0, config.repetitions));
+  SuiteCheckpoint ckpt;
+  ckpt.config_hash = config_hash;
+  ckpt.detect_tasks = expected_detect_tasks;
+  ckpt.eval_tasks = expected_eval_tasks;
+  std::mutex ckpt_mutex;
+  std::uint64_t events_since_save = 0;  // guarded by ckpt_mutex
+
+  auto save_ckpt_locked = [&] {  // call with ckpt_mutex held
+    const Expected<void> saved = save_checkpoint(ckpt_file, ckpt);
+    if (!saved) {
+      if (progress != nullptr) {
+        *progress << "[suite] checkpoint write failed: "
+                  << saved.error().to_string() << "\n";
+      }
+      return;
+    }
+    events_since_save = 0;
+    if (obs::MetricsRegistry* metrics =
+            obs::metrics_at(obs, obs::ObsLevel::kPhases)) {
+      metrics->counter("checkpoint.writes").add(1);
+    }
+  };
+  // Commit one completed task's simulated-access count and save when the
+  // write budget is spent (0 = every task) or a shutdown is pending.
+  auto commit_progress_locked = [&](std::uint64_t task_events) {
+    events_since_save += task_events;
+    if (config.checkpoint_every_events == 0 ||
+        events_since_save >= config.checkpoint_every_events ||
+        shutdown_requested()) {
+      save_ckpt_locked();
+    }
+  };
+
+  if (checkpointing) {
+    std::error_code ec;
+    std::filesystem::create_directories(config.checkpoint_dir, ec);
+    if (config.resume) {
+      auto reject = [&](const Error& err) {
+        if (progress != nullptr) {
+          *progress << "[suite] checkpoint rejected: " << err.to_string()
+                    << "; starting fresh\n";
+        }
+        if (obs::MetricsRegistry* metrics =
+                obs::metrics_at(obs, obs::ObsLevel::kPhases)) {
+          metrics->counter("checkpoint.rejected").add(1);
+        }
+      };
+      if (!std::filesystem::exists(ckpt_file)) {
+        if (progress != nullptr) {
+          *progress << "[suite] no checkpoint at " << ckpt_file
+                    << "; starting fresh\n";
+        }
+      } else {
+        Expected<SuiteCheckpoint> loaded =
+            load_checkpoint(ckpt_file, config_hash);
+        if (!loaded) {
+          reject(loaded.error());
+        } else {
+          // Shape re-validation behind the hash (defence in depth): a
+          // snapshot whose task structure disagrees with this config can
+          // only be a colliding corruption — treat it as a mismatch.
+          bool shape_ok = loaded->detect_tasks == expected_detect_tasks &&
+                          loaded->eval_tasks == expected_eval_tasks;
+          for (const auto& [idx, unused] : loaded->detect_done) {
+            shape_ok = shape_ok && idx < expected_detect_tasks;
+          }
+          for (const auto& [idx, unused] : loaded->eval_done) {
+            shape_ok = shape_ok && idx < expected_eval_tasks;
+          }
+          if (loaded->map_done) {
+            shape_ok = shape_ok &&
+                       loaded->sm_mappings.size() == config.apps.size() &&
+                       loaded->hm_mappings.size() == config.apps.size();
+          }
+          if (!shape_ok) {
+            reject(Error{ErrorCode::kCheckpointMismatch,
+                         "checkpoint task shape does not match this config"});
+          } else {
+            ckpt = std::move(*loaded);
+            if (progress != nullptr) {
+              *progress << "[suite] resuming from " << ckpt_file << ": "
+                        << ckpt.detect_done.size() << "/"
+                        << expected_detect_tasks << " detect, "
+                        << ckpt.eval_done.size() << "/" << expected_eval_tasks
+                        << " eval tasks done\n";
+            }
+          }
+        }
+      }
+    }
+  }
+
   // The suite runs as three global phases — detect, map, evaluate — instead
   // of app-by-app: every simulation run in a phase is independent (its own
   // Machine, its own preassigned result slot), so one shared worker pool
@@ -302,6 +426,12 @@ SuiteResult run_suite(const SuiteConfig& config, std::ostream* progress,
       for (int attempt = 0;; ++attempt) {
         try {
           body(idx);
+          errors[idx].clear();
+          return;
+        } catch (const InterruptedError&) {
+          // A shutdown request is not a failure: the task simply did not
+          // run. No retry, no kWorkerFailure, no degraded mode — on resume
+          // the checkpoint replays it.
           errors[idx].clear();
           return;
         } catch (const std::exception& e) {
@@ -325,11 +455,17 @@ SuiteResult run_suite(const SuiteConfig& config, std::ostream* progress,
     const int workers =
         std::max(1, std::min<int>(worker_budget, static_cast<int>(count)));
     if (workers == 1) {
-      for (std::size_t idx = 0; idx < count; ++idx) guarded(idx);
+      for (std::size_t idx = 0; idx < count; ++idx) {
+        if (shutdown_requested()) break;
+        guarded(idx);
+      }
     } else {
       std::atomic<std::size_t> next_task{0};
       auto worker_fn = [&] {
         for (;;) {
+          // Stop claiming new tasks once a shutdown is pending; tasks
+          // already in flight stop themselves at the Machine's next poll.
+          if (shutdown_requested()) return;
           const std::size_t idx = next_task.fetch_add(1);
           if (idx >= count) return;
           guarded(idx);
@@ -349,6 +485,27 @@ SuiteResult run_suite(const SuiteConfig& config, std::ostream* progress,
       if (progress != nullptr) {
         *progress << "[suite] DEGRADED: " << msg.str() << "\n";
       }
+    }
+  };
+
+  // Interrupted epilogue: persist what completed, flag the result, and
+  // leave the checkpoint file in place for --resume. Never caches.
+  auto finalize_interrupted = [&] {
+    result.interrupted = true;
+    if (obs::MetricsRegistry* metrics =
+            obs::metrics_at(obs, obs::ObsLevel::kPhases)) {
+      metrics->counter("suite.interrupted").add(1);
+    }
+    if (checkpointing) {
+      std::lock_guard<std::mutex> lock(ckpt_mutex);
+      save_ckpt_locked();
+      if (progress != nullptr) {
+        *progress << "[suite] interrupted; progress saved to " << ckpt_file
+                  << " (rerun with --resume to continue)\n";
+      }
+    } else if (progress != nullptr) {
+      *progress << "[suite] interrupted; no checkpoint dir configured, "
+                   "partial progress was discarded\n";
     }
   };
 
@@ -392,6 +549,18 @@ SuiteResult run_suite(const SuiteConfig& config, std::ostream* progress,
     }
     run_tasks("detect", tasks.size(), [&](std::size_t idx) {
       const DetectTask& task = tasks[idx];
+      if (checkpointing) {
+        std::lock_guard<std::mutex> lock(ckpt_mutex);
+        const auto done = ckpt.detect_done.find(idx);
+        if (done != ckpt.detect_done.end()) {
+          *task.slot = done->second;
+          if (obs::MetricsRegistry* metrics =
+                  obs::metrics_at(obs, obs::ObsLevel::kPhases)) {
+            metrics->counter("checkpoint.resumed_tasks").add(1);
+          }
+          return;
+        }
+      }
       Pipeline detect_pipe(config.machine);
       detect_pipe.sm_config() = config.sm;
       detect_pipe.hm_config() = config.hm;
@@ -399,7 +568,16 @@ SuiteResult run_suite(const SuiteConfig& config, std::ostream* progress,
       detect_pipe.set_observability(obs);
       *task.slot = detect_pipe.detect(*detect_workloads[task.app],
                                       task.mechanism, config.base_seed);
+      if (checkpointing) {
+        std::lock_guard<std::mutex> lock(ckpt_mutex);
+        ckpt.detect_done.emplace(idx, *task.slot);
+        commit_progress_locked(task.slot->stats.accesses);
+      }
     });
+  }
+  if (shutdown_requested()) {
+    finalize_interrupted();
+    return result;
   }
 
   // Phase 2: mapping is a cheap serial step between the two fan-outs. A
@@ -427,10 +605,33 @@ SuiteResult run_suite(const SuiteConfig& config, std::ostream* progress,
                                    detection.matrix.size());
       }
     };
-    for (AppExperiment& app : result.apps) {
-      app.sm_mapping = map_or_fallback(app, app.sm_detection);
-      app.hm_mapping = map_or_fallback(app, app.hm_detection);
+    if (checkpointing && ckpt.map_done) {
+      // Mapping is deterministic given the detections, so replaying it
+      // would land on the same placements; restoring keeps the checkpoint
+      // the single source of truth (and skips any fallback re-reporting).
+      for (std::size_t i = 0; i < num_apps; ++i) {
+        result.apps[i].sm_mapping = ckpt.sm_mappings[i];
+        result.apps[i].hm_mapping = ckpt.hm_mappings[i];
+      }
+    } else {
+      for (AppExperiment& app : result.apps) {
+        app.sm_mapping = map_or_fallback(app, app.sm_detection);
+        app.hm_mapping = map_or_fallback(app, app.hm_detection);
+      }
+      if (checkpointing) {
+        std::lock_guard<std::mutex> lock(ckpt_mutex);
+        ckpt.map_done = true;
+        for (const AppExperiment& app : result.apps) {
+          ckpt.sm_mappings.push_back(app.sm_mapping);
+          ckpt.hm_mappings.push_back(app.hm_mapping);
+        }
+        save_ckpt_locked();
+      }
     }
+  }
+  if (shutdown_requested()) {
+    finalize_interrupted();
+    return result;
   }
 
   // Phase 3: all evaluation runs (3 mappings x repetitions per app) in one
@@ -477,13 +678,34 @@ SuiteResult run_suite(const SuiteConfig& config, std::ostream* progress,
     }
     run_tasks("evaluate", tasks.size(), [&](std::size_t idx) {
       const EvalTask& task = tasks[idx];
+      if (checkpointing) {
+        std::lock_guard<std::mutex> lock(ckpt_mutex);
+        const auto done = ckpt.eval_done.find(idx);
+        if (done != ckpt.eval_done.end()) {
+          *task.slot = done->second;
+          if (obs::MetricsRegistry* metrics =
+                  obs::metrics_at(obs, obs::ObsLevel::kPhases)) {
+            metrics->counter("checkpoint.resumed_tasks").add(1);
+          }
+          return;
+        }
+      }
       Pipeline worker_pipe(config.machine);
       // The tracer and registry are thread-safe; evaluation spans from
       // parallel workers interleave in the ring like any other events.
       worker_pipe.set_observability(obs);
       *task.slot = worker_pipe.evaluate(*eval_workloads[task.app],
                                         task.mapping, task.run_seed);
+      if (checkpointing) {
+        std::lock_guard<std::mutex> lock(ckpt_mutex);
+        ckpt.eval_done.emplace(idx, *task.slot);
+        commit_progress_locked(task.slot->accesses);
+      }
     });
+  }
+  if (shutdown_requested()) {
+    finalize_interrupted();
+    return result;
   }
 
   if (obs::MetricsRegistry* metrics =
@@ -496,6 +718,8 @@ SuiteResult run_suite(const SuiteConfig& config, std::ostream* progress,
   if (result.degraded()) {
     // Degraded results (zeroed slots, fallback mappings) must never poison
     // the cache: the next run should recompute, not inherit the damage.
+    // The checkpoint stays: it holds only the tasks that *did* complete,
+    // so a --resume rerun replays just the failed ones.
     if (progress != nullptr) {
       *progress << "[suite] " << result.failures.size()
                 << " task(s) failed; result is degraded and will not be"
@@ -503,14 +727,27 @@ SuiteResult run_suite(const SuiteConfig& config, std::ostream* progress,
     }
     return result;
   }
+  // Clean completion: the checkpoint has served its purpose — retire it so
+  // a later run in the same directory starts from scratch.
+  if (checkpointing) {
+    std::error_code ec;
+    std::filesystem::remove(ckpt_file, ec);
+  }
   if (caching) {
     std::error_code ec;
     std::filesystem::create_directories(cache_dir(), ec);
     if (!ec) {
-      std::ofstream out(cache_file);
-      out << serialize_suite(result);
-      if (progress != nullptr) {
-        *progress << "[suite] cached results at " << cache_file << "\n";
+      // atomic_write_file: a crash (or a concurrent reader) mid-cache-write
+      // must never leave a torn cache entry for the next suite to trip on.
+      const Expected<void> written =
+          atomic_write_file(cache_file, serialize_suite(result));
+      if (written) {
+        if (progress != nullptr) {
+          *progress << "[suite] cached results at " << cache_file << "\n";
+        }
+      } else if (progress != nullptr) {
+        *progress << "[suite] cache write failed: "
+                  << written.error().to_string() << "\n";
       }
     }
   }

@@ -61,6 +61,25 @@ struct SuiteConfig {
   /// then recorded as a structured kWorkerFailure and its result slot left
   /// zeroed. Suites with failed tasks are reported degraded and not cached.
   int task_retries = 1;
+  /// Crash safety (DESIGN.md Sec. 12). When non-empty, suite progress is
+  /// checkpointed to `<checkpoint_dir>/suite.ckpt` as tasks complete: on
+  /// SIGINT/SIGTERM (with shutdown handlers installed) or a crash, a later
+  /// run with `resume = true` skips every completed task and — because all
+  /// seeds and result slots are preassigned — produces a SuiteResult
+  /// bit-identical to an uninterrupted run. The file is removed once the
+  /// suite completes. None of these three fields enters the cache key or
+  /// the config hash: they change durability, not results.
+  std::string checkpoint_dir;
+  /// Accumulated simulated accesses of completed tasks between checkpoint
+  /// writes. 0 = write after every completed task; larger values trade
+  /// write traffic against re-simulated work after a crash. A shutdown
+  /// request always forces a final write regardless of this budget.
+  std::uint64_t checkpoint_every_events = 0;
+  /// Load `<checkpoint_dir>/suite.ckpt` and continue from it. A missing,
+  /// corrupt or config-mismatched checkpoint is reported (structured error
+  /// in the progress stream, `checkpoint.rejected` metric) and the suite
+  /// falls back to a fresh run — resume never aborts and never crashes.
+  bool resume = false;
 };
 
 /// Repeated performance runs under one mapping policy.
@@ -105,6 +124,10 @@ struct SuiteResult {
   /// on a clean run). Each failed task's result slot holds default values;
   /// degraded results are never written to the cache.
   std::vector<Error> failures;
+  /// True when the run stopped early on a shutdown request: incomplete
+  /// result slots hold default values, the checkpoint (if enabled) holds
+  /// every completed task, and nothing was cached.
+  bool interrupted = false;
 
   bool degraded() const { return !failures.empty(); }
 };
@@ -120,6 +143,12 @@ SuiteResult run_suite(const SuiteConfig& config,
 
 /// Cache plumbing (exposed for tests).
 std::string suite_cache_key(const SuiteConfig& config);
+/// Result-affecting fingerprint of a config (the cache key's hash): two
+/// configs share it iff they would produce identical results, so it is what
+/// a checkpoint's envelope carries and validates against on resume. The
+/// crash-safety knobs (checkpoint_dir / checkpoint_every_events / resume)
+/// are deliberately excluded.
+std::uint64_t suite_config_hash(const SuiteConfig& config);
 std::string serialize_suite(const SuiteResult& result);
 std::optional<SuiteResult> deserialize_suite(const std::string& text,
                                              const SuiteConfig& config);

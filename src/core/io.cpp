@@ -1,0 +1,122 @@
+#include "core/io.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace tlbmap {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+Error io_error(const std::string& what, const std::filesystem::path& path,
+               int err) {
+  std::ostringstream msg;
+  msg << what << " " << path.string() << ": " << std::strerror(err);
+  return Error{ErrorCode::kIoError, msg.str()};
+}
+
+/// write(2) the whole buffer, resuming across EINTR and short writes.
+bool write_all(int fd, const char* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Best-effort fsync of a directory so a just-renamed entry is durable.
+/// Failures are ignored: some filesystems refuse directory fsync, and the
+/// rename itself already succeeded.
+void sync_directory(const std::filesystem::path& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char ch : data) {
+    crc = table[(crc ^ static_cast<std::uint8_t>(ch)) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Expected<void> atomic_write_file(const std::filesystem::path& path,
+                                 std::string_view data) {
+  // Unique per process *and* per call: concurrent writers to the same
+  // target never share a temp file, so the loser of the rename race still
+  // installed a complete artifact.
+  static std::atomic<std::uint64_t> counter{0};
+  std::ostringstream suffix;
+  suffix << ".tmp." << ::getpid() << "."
+         << counter.fetch_add(1, std::memory_order_relaxed);
+  std::filesystem::path tmp = path;
+  tmp += suffix.str();
+
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) return io_error("atomic_write_file: cannot open", tmp, errno);
+  auto fail = [&](const char* what) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return io_error(what, tmp, err);
+  };
+  if (!write_all(fd, data.data(), data.size())) {
+    return fail("atomic_write_file: write failed for");
+  }
+  // The data must be on disk *before* the rename publishes it; otherwise a
+  // crash could leave the final name pointing at unflushed garbage.
+  if (::fsync(fd) != 0) return fail("atomic_write_file: fsync failed for");
+  if (::close(fd) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    return io_error("atomic_write_file: close failed for", tmp, err);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    return io_error("atomic_write_file: rename failed for", path, err);
+  }
+  sync_directory(path.has_parent_path() ? path.parent_path()
+                                        : std::filesystem::path("."));
+  return {};
+}
+
+Expected<std::string> read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return io_error("read_file: cannot open", path, errno);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return io_error("read_file: read failed for", path, errno);
+  return buf.str();
+}
+
+}  // namespace tlbmap

@@ -1,0 +1,40 @@
+// Crash-safe file primitives shared by every artifact writer (DESIGN.md
+// Sec. 12): suite caches, checkpoints, metrics/trace exports and trace
+// recordings all funnel through atomic_write_file(), so no reader can ever
+// observe a half-written artifact — a crash mid-export leaves either the
+// previous complete file or nothing, never a truncated one.
+//
+// Deliberately dependency-free (only expected.hpp, which is header-only) and
+// compiled into its own tiny target (tlbmap_io) so the sim layer can link it
+// without a cycle through tlbmap_core.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+#include "core/expected.hpp"
+
+namespace tlbmap {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of `data`, seeded with the
+/// conventional all-ones initial value. crc32("123456789") == 0xCBF43926.
+std::uint32_t crc32(std::string_view data);
+
+/// Writes `data` to `path` atomically: the bytes land in a unique sibling
+/// temp file first (`<path>.tmp.<pid>.<n>`), are fsync'd, and only then
+/// renamed over `path` (rename within one directory is atomic on POSIX).
+/// The parent directory is fsync'd afterwards so the rename itself is
+/// durable. Any failure — open, short write, fsync, rename — removes the
+/// temp file and returns a structured kIoError naming the errno; the
+/// previous contents of `path`, if any, are left untouched.
+Expected<void> atomic_write_file(const std::filesystem::path& path,
+                                 std::string_view data);
+
+/// Reads a whole file into a string, or a structured kIoError. A regular
+/// read (no locking): pair it with atomic_write_file on the producer side
+/// and the content is always a complete artifact.
+Expected<std::string> read_file(const std::filesystem::path& path);
+
+}  // namespace tlbmap

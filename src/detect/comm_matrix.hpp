@@ -108,6 +108,11 @@ class CommMatrix {
 
   CommMatrix& operator+=(const CommMatrix& other);
 
+  /// Cell-exact equality (same size, same counts). The checkpoint layer's
+  /// round-trip tests lean on this the way the fast-path differentials lean
+  /// on MachineStats::operator==.
+  bool operator==(const CommMatrix&) const = default;
+
   /// Folds per-worker shards into this matrix, in shard order. Every shard
   /// must have the same size as the matrix. The result is independent of how
   /// the adds were distributed over shards (unsigned sums commute), so a

@@ -1,6 +1,7 @@
 #include "sim/machine.hpp"
 
 #include <algorithm>
+#include <string>
 #include <functional>
 #include <optional>
 #include <queue>
@@ -8,6 +9,8 @@
 #include <stdexcept>
 #include <utility>
 #include <vector>
+
+#include "core/shutdown.hpp"
 
 namespace tlbmap {
 
@@ -37,6 +40,12 @@ MachineStats Machine::run(std::vector<std::unique_ptr<ThreadStream>> streams,
     if (err.code == ErrorCode::kInvalidArgument ||
         err.code == ErrorCode::kInvalidMapping) {
       throw std::invalid_argument(err.message);
+    }
+    // Distinct type so suite workers can tell "user asked us to stop" from
+    // a genuine failure: an interrupted task is neither retried nor
+    // recorded as degraded.
+    if (err.code == ErrorCode::kInterrupted) {
+      throw InterruptedError(err.message);
     }
     throw std::runtime_error(err.to_string());
   }
@@ -212,6 +221,16 @@ Expected<MachineStats> Machine::try_run(
   push_all_ready();
   while (live > 0) {
     if (fatal) return *std::move(fatal);
+    // Cooperative shutdown (DESIGN.md Sec. 12): poll the process-wide flag
+    // every 4096 events — often enough that SIGINT lands within
+    // microseconds of simulated work, cheap enough to vanish from the hot
+    // path. The run stops between events, so the caller's checkpoint sees
+    // only completed work.
+    if ((events_issued & 4095u) == 0 && shutdown_requested()) {
+      return Error{ErrorCode::kInterrupted,
+                   "Machine::run: stopped by shutdown request after " +
+                       std::to_string(events_issued) + " events"};
+    }
     if (watchdog_budget != 0 && events_issued >= watchdog_budget) {
       std::ostringstream msg;
       msg << "Machine::run: watchdog tripped after " << events_issued

@@ -5,6 +5,9 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <string_view>
+
+#include "core/io.hpp"
 
 namespace tlbmap {
 
@@ -314,13 +317,16 @@ void save_recording(const std::vector<std::vector<std::uint8_t>>& buffers,
   for (std::size_t t = 0; t < buffers.size(); ++t) {
     std::ostringstream name;
     name << "thread_" << t << ".tlbt";
-    std::ofstream out(dir / name.str(), std::ios::binary);
-    if (!out) {
-      throw std::runtime_error("save_recording: cannot open " +
-                               (dir / name.str()).string());
+    // atomic_write_file (DESIGN.md Sec. 12): a crash mid-save leaves either
+    // a complete per-thread trace or none — never a truncated .tlbt for
+    // try_load_recording to reject later.
+    const Expected<void> written = atomic_write_file(
+        dir / name.str(),
+        std::string_view(reinterpret_cast<const char*>(buffers[t].data()),
+                         buffers[t].size()));
+    if (!written) {
+      throw std::runtime_error("save_recording: " + written.error().message);
     }
-    out.write(reinterpret_cast<const char*>(buffers[t].data()),
-              static_cast<std::streamsize>(buffers[t].size()));
   }
 }
 

@@ -158,6 +158,35 @@ TEST(Cli, FaultFlagsValidated) {
                    .ok());
 }
 
+TEST(Cli, CheckpointFlagsParsed) {
+  const CliOptions opt =
+      parse({"suite", "--checkpoint-dir", "/tmp/ckpt",
+             "--checkpoint-every-events", "250000", "--resume"});
+  ASSERT_TRUE(opt.ok()) << opt.error;
+  EXPECT_EQ(opt.checkpoint_dir, "/tmp/ckpt");
+  EXPECT_EQ(opt.checkpoint_every_events, 250000u);
+  EXPECT_TRUE(opt.resume);
+
+  const CliOptions defaults = parse({"suite"});
+  ASSERT_TRUE(defaults.ok());
+  EXPECT_TRUE(defaults.checkpoint_dir.empty());
+  EXPECT_EQ(defaults.checkpoint_every_events, 0u);
+  EXPECT_FALSE(defaults.resume);
+}
+
+TEST(Cli, CheckpointFlagsValidated) {
+  // The crash-safety flags only make sense for the suite command...
+  EXPECT_FALSE(parse({"detect", "--checkpoint-dir", "/tmp/ckpt"}).ok());
+  EXPECT_FALSE(parse({"evaluate", "--resume"}).ok());
+  // ...and resume/cadence without a checkpoint directory is a usage error.
+  EXPECT_FALSE(parse({"suite", "--resume"}).ok());
+  EXPECT_FALSE(parse({"suite", "--checkpoint-every-events", "1000"}).ok());
+  // The cadence value is numeric-validated like every other count.
+  EXPECT_FALSE(parse({"suite", "--checkpoint-dir", "/tmp/ckpt",
+                      "--checkpoint-every-events", "soon"})
+                   .ok());
+}
+
 TEST(CliFuzz, GarbageNeverAbortsAlwaysStructured) {
   // Property-style sweep: every parse either succeeds or fails with a
   // non-empty error message — never throws, never aborts, never UB.
