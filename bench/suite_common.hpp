@@ -82,17 +82,24 @@ inline SuiteConfig parse_suite_args(int argc, char** argv) {
       g_trace_out = argv[++i];
     } else if (arg == "--metrics-out" && i + 1 < argc) {
       g_metrics_out = argv[++i];
+    } else if (arg == "--metrics-interval-events" && i + 1 < argc) {
+      config.metrics_interval_events =
+          std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--manifest-out" && i + 1 < argc) {
+      config.manifest_out = argv[++i];
     } else if (arg == "--help") {
       std::printf(
           "usage: %s [--fresh] [--csv] [--reps N] [--apps A,B,...]\n"
           "          [--obs-level off|phases|full] [--trace-out FILE]\n"
-          "          [--metrics-out FILE]\n",
+          "          [--metrics-out FILE] [--manifest-out FILE]\n"
+          "          [--metrics-interval-events N]\n",
           argv[0]);
       std::exit(0);
     }
   }
   // Requesting an artifact implies recording; register the exit hook once.
-  if ((!g_trace_out.empty() || !g_metrics_out.empty()) &&
+  if ((!g_trace_out.empty() || !g_metrics_out.empty() ||
+       !config.manifest_out.empty() || config.metrics_interval_events > 0) &&
       bench_obs().level == obs::ObsLevel::kOff) {
     bench_obs().level = obs::ObsLevel::kPhases;
   }

@@ -1,0 +1,13 @@
+// Perf-regression gate: diff two google-benchmark JSON files with
+// noise-aware thresholds. CI runs this against bench/baseline/ after every
+// bench-smoke job; see core/benchdiff.hpp for the comparison rules.
+//
+//   tlbmap_benchdiff bench/baseline/BENCH_simulator.json current.json
+//   echo $?   # 0 clean, 1 regression, 2 usage/parse error
+#include <iostream>
+
+#include "core/benchdiff.hpp"
+
+int main(int argc, char** argv) {
+  return tlbmap::run_benchdiff(argc, argv, std::cout, std::cerr);
+}

@@ -1,0 +1,109 @@
+// Perf-regression tracking: compare two google-benchmark JSON outputs and
+// decide, with noise-aware thresholds, whether the current run regressed
+// against a baseline.
+//
+// The input schema is the one `--benchmark_out_format=json` writes:
+//
+//   {"context": {...},
+//    "benchmarks": [{"name": "BM_Foo/8", "run_type": "iteration",
+//                    "iterations": 100, "real_time": 123.4,
+//                    "cpu_time": 120.1, "time_unit": "ns"}, ...]}
+//
+// Repetitions emit several "iteration" entries per name; aggregates
+// ("_mean"/"_median"/...) carry run_type "aggregate". The comparison takes
+// the MIN over a name's iteration entries — the min is the least noisy
+// location statistic for benchmark latencies (one-sided noise: a run can
+// only be slowed down by interference, never sped up) — and flags a
+// regression only when the current min exceeds the baseline min by BOTH a
+// relative threshold and an absolute floor, so sub-noise jitter on
+// nanosecond-scale benchmarks never fails a build.
+//
+// The JSON parser below is deliberately minimal (objects, arrays, strings,
+// numbers, bools, null — no \uXXXX surrogate pairs) and dependency-free;
+// it exists so the benchdiff CLI needs nothing the simulator does not.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/expected.hpp"
+
+namespace tlbmap {
+
+/// One entry of a google-benchmark JSON "benchmarks" array.
+struct BenchRecord {
+  std::string name;
+  std::string run_type;  ///< "iteration" or "aggregate"
+  double real_time = 0.0;
+  double cpu_time = 0.0;
+  std::string time_unit = "ns";  ///< ns | us | ms | s
+  std::uint64_t iterations = 0;
+
+  /// The chosen time field converted to nanoseconds.
+  double time_ns(bool use_cpu_time) const;
+};
+
+/// Parses a google-benchmark JSON file's "benchmarks" array. Structured
+/// error (kMalformedTrace-style taxonomy reused: kInvalidArgument) on any
+/// syntax or schema violation — a truncated bench file must fail loudly,
+/// not diff as "no benchmarks, no regressions".
+Expected<std::vector<BenchRecord>> parse_benchmark_json(
+    const std::string& text);
+
+struct BenchDiffConfig {
+  /// Relative slowdown that counts as a regression: current min must exceed
+  /// baseline min by more than this fraction...
+  double rel_threshold = 0.10;
+  /// ...AND by more than this many nanoseconds (guards ns-scale benchmarks
+  /// whose relative jitter is huge while the absolute cost is irrelevant).
+  double abs_floor_ns = 50.0;
+  /// Compare cpu_time (default — steadier under CI load) or real_time.
+  bool use_cpu_time = true;
+  /// A baseline benchmark missing from the current run is a failure by
+  /// default (a silently deleted benchmark is how regressions hide);
+  /// set to tolerate intentional removals.
+  bool allow_missing = false;
+};
+
+/// One compared benchmark name.
+struct BenchComparison {
+  std::string name;
+  double base_min_ns = 0.0;
+  double cur_min_ns = 0.0;
+  int base_samples = 0;  ///< iteration entries folded into base_min_ns
+  int cur_samples = 0;
+  /// cur/base - 1 (positive = slower).
+  double delta() const {
+    return base_min_ns > 0.0 ? cur_min_ns / base_min_ns - 1.0 : 0.0;
+  }
+  bool regressed = false;
+  bool improved = false;  ///< symmetric threshold, for reporting only
+};
+
+struct BenchDiffReport {
+  std::vector<BenchComparison> rows;
+  /// Baseline names absent from the current run.
+  std::vector<std::string> missing;
+  /// Current names absent from the baseline (informational only).
+  std::vector<std::string> added;
+  bool has_regression = false;
+
+  /// Human-readable table + verdict line.
+  std::string render() const;
+};
+
+/// Groups each side's records by name (min over "iteration" entries;
+/// aggregate-only files fall back to the min over aggregates) and compares.
+BenchDiffReport compare_benchmarks(const std::vector<BenchRecord>& baseline,
+                                   const std::vector<BenchRecord>& current,
+                                   const BenchDiffConfig& config);
+
+/// Full CLI: `tlbmap_benchdiff BASE.json CURRENT.json [flags]`. Returns the
+/// process exit code — 0 clean, 1 regression (or missing benchmark unless
+/// --allow-missing), 2 usage/parse error. Writing the report to `out`
+/// instead of stdout keeps it unit-testable.
+int run_benchdiff(int argc, const char* const* argv, std::ostream& out,
+                  std::ostream& err);
+
+}  // namespace tlbmap

@@ -5,9 +5,11 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <map>
 #include <sstream>
 
 #include "core/experiment.hpp"
+#include "obs/selfprof.hpp"
 #include "core/io.hpp"
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
@@ -114,7 +116,15 @@ std::string cli_usage() {
       "  --obs-level L        off | phases | full (default off; implied\n"
       "                       phases when an output file is requested)\n"
       "  --trace-out FILE     write a Chrome-trace JSON (open in Perfetto)\n"
-      "  --metrics-out FILE   write the metrics registry as JSONL\n";
+      "  --metrics-out FILE   write the metrics registry as JSONL\n"
+      "  --metrics-interval-events N\n"
+      "                       sample every registered metric into a\n"
+      "                       {\"type\":\"series\"} JSONL stream every N\n"
+      "                       simulated events and at phase boundaries\n"
+      "                       (0 = off; series lands in --metrics-out)\n"
+      "  --manifest-out FILE  write a run manifest: config/seed/git\n"
+      "                       provenance, wall + CPU time, peak RSS, and\n"
+      "                       per-phase flamegraph collapsed stacks\n";
 }
 
 CliOptions parse_cli(int argc, const char* const* argv) {
@@ -235,6 +245,12 @@ CliOptions parse_cli(int argc, const char* const* argv) {
         if (const char* v = next_value()) opt.trace_out = v;
       } else if (arg == "--metrics-out") {
         if (const char* v = next_value()) opt.metrics_out = v;
+      } else if (arg == "--metrics-interval-events") {
+        if (const char* v = next_value()) {
+          opt.metrics_interval_events = to_u64(v);
+        }
+      } else if (arg == "--manifest-out") {
+        if (const char* v = next_value()) opt.manifest_out = v;
       } else {
         opt.error = "unknown option: " + arg;
       }
@@ -253,7 +269,8 @@ CliOptions parse_cli(int argc, const char* const* argv) {
   if (!obs::parse_obs_level(opt.obs_level)) {
     opt.error = "unknown obs level: " + opt.obs_level;
   } else if (opt.obs_level == "off" &&
-             (!opt.trace_out.empty() || !opt.metrics_out.empty())) {
+             (!opt.trace_out.empty() || !opt.metrics_out.empty() ||
+              !opt.manifest_out.empty() || opt.metrics_interval_events > 0)) {
     opt.obs_level = "phases";
   }
   if ((opt.command == "record" || opt.command == "replay") &&
@@ -319,6 +336,7 @@ Pipeline make_pipeline(const CliOptions& opt, obs::ObsContext* obs) {
   pipe.hm_config() = defaults.hm;
   pipe.hm_config().naive_sweep = opt.hm_naive_sweep;
   pipe.set_observability(obs);
+  pipe.set_metrics_interval_events(opt.metrics_interval_events);
   return pipe;
 }
 
@@ -409,6 +427,8 @@ int cmd_suite(const CliOptions& opt, obs::ObsContext* obs) {
   config.checkpoint_dir = opt.checkpoint_dir;
   config.checkpoint_every_events = opt.checkpoint_every_events;
   config.resume = opt.resume;
+  config.metrics_interval_events = opt.metrics_interval_events;
+  config.manifest_out = opt.manifest_out;
   if (!opt.checkpoint_dir.empty()) {
     // Clean shutdown (DESIGN.md Sec. 12): the first SIGINT/SIGTERM sets the
     // cooperative flag — workers stop at the next task/event boundary and
@@ -478,7 +498,8 @@ namespace {
 /// memory first — with the stream's badbit checked — and land on disk via
 /// atomic_write_file, so a crash or full disk mid-export can never leave a
 /// truncated JSON/JSONL file behind.
-void finish_observability(const CliOptions& options, obs::ObsContext* obs) {
+void finish_observability(const CliOptions& options, obs::ObsContext* obs,
+                          const obs::SelfProfiler& profiler, int code) {
   if (obs == nullptr) return;
   auto export_artifact = [](const std::string& path, const char* what,
                             const std::function<void(std::ostream&)>& render)
@@ -521,6 +542,38 @@ void finish_observability(const CliOptions& options, obs::ObsContext* obs) {
                    options.metrics_out.c_str());
     }
   }
+  // Generic run manifest for every command but the suite, which writes a
+  // richer one (config hash, per-task sim-cycle stacks) from run_suite.
+  if (!options.manifest_out.empty() && options.command != "suite") {
+    obs::RunManifest manifest;
+    manifest.command = options.command;
+    manifest.git_describe = obs::build_git_describe();
+    manifest.created_utc = obs::utc_timestamp();
+    manifest.seed = options.seed;
+    manifest.wall_seconds = profiler.wall_seconds();
+    manifest.usage = profiler.snapshot();
+    manifest.degraded = code != 0;
+    manifest.interrupted = code == 130;
+    // Per-phase wall attribution: total duration of each completed span
+    // name (the tracer keeps phase spans at every level >= kPhases).
+    std::map<std::string, std::uint64_t> phase_us;
+    for (const obs::TraceEvent& ev : obs->tracer.snapshot()) {
+      if (ev.kind == obs::TraceEvent::Kind::kSpan) {
+        phase_us[ev.name] += ev.dur_us;
+      }
+    }
+    manifest.phases.assign(phase_us.begin(), phase_us.end());
+    manifest.collapsed_wall = obs::collapsed_stacks(obs->tracer);
+    manifest.extra.emplace_back("app", options.app);
+    manifest.extra.emplace_back("mechanism", options.mechanism);
+    const bool ok = export_artifact(
+        options.manifest_out, "manifest",
+        [&](std::ostream& out) { out << manifest.to_json(); });
+    if (ok) {
+      std::fprintf(stderr, "[obs] manifest written to %s\n",
+                   options.manifest_out.c_str());
+    }
+  }
   std::fprintf(stderr, "\n%s", phase_profile(obs->tracer).c_str());
 }
 
@@ -536,6 +589,7 @@ int run_cli(const CliOptions& options) {
                 cli_usage().c_str());
     return 2;
   }
+  const obs::SelfProfiler profiler;
   obs::ObsContext ctx;
   ctx.level =
       obs::parse_obs_level(options.obs_level).value_or(obs::ObsLevel::kOff);
@@ -553,7 +607,7 @@ int run_cli(const CliOptions& options) {
     std::printf("error: %s\n", e.what());
     code = 1;
   }
-  finish_observability(options, obs);
+  finish_observability(options, obs, profiler, code);
   return code;
 }
 

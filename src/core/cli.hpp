@@ -60,11 +60,20 @@ struct CliOptions {
   std::uint64_t checkpoint_every_events = 0;  ///< 0 = every completed task
   bool resume = false;
   // Observability (see src/obs/): "off" records nothing. Passing
-  // --trace-out/--metrics-out with the default level upgrades it to
+  // --trace-out/--metrics-out/--manifest-out or a nonzero
+  // --metrics-interval-events with the default level upgrades it to
   // "phases" so the artifacts are never silently empty.
   std::string obs_level = "off";  ///< off | phases | full
   std::string trace_out;          ///< Chrome-trace JSON path; empty = none
   std::string metrics_out;        ///< metrics JSONL path; empty = none
+  /// --metrics-interval-events: simulated events between "interval"
+  /// time-series samples (DESIGN.md Sec. 13); phase boundaries sample too.
+  /// 0 (default) = series stream off.
+  std::uint64_t metrics_interval_events = 0;
+  /// --manifest-out: run-manifest JSON path (provenance + self-profile);
+  /// empty = none. The suite writes it from run_suite, other commands from
+  /// the generic epilogue.
+  std::string manifest_out;
   bool help = false;
   std::string error;  ///< non-empty means parsing failed; message inside
 

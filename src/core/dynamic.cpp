@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/json.hpp"
+
 namespace tlbmap {
 
 OnlineMapper::OnlineMapper(Machine& machine, int num_threads,
@@ -86,8 +88,8 @@ std::vector<CoreId> OnlineMapper::on_barrier(int barrier_index,
     }
     if (obs::Tracer* tracer = obs::tracer_at(obs_, obs::ObsLevel::kFull)) {
       std::ostringstream args;
-      args << "\"barrier\":" << barrier_index << ",\"matrix\":\""
-           << health.describe() << "\"";
+      args << "\"barrier\":" << barrier_index
+           << ",\"matrix\":" << obs::json_str(health.describe());
       tracer->record_instant("online.degraded_fallback", "mapper",
                              args.str());
     }

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <ostream>
@@ -15,6 +17,7 @@
 #include "core/checkpoint.hpp"
 #include "core/io.hpp"
 #include "core/shutdown.hpp"
+#include "obs/selfprof.hpp"
 
 namespace tlbmap {
 
@@ -274,6 +277,80 @@ std::optional<SuiteResult> deserialize_suite(const std::string& text,
 
 SuiteResult run_suite(const SuiteConfig& config, std::ostream* progress,
                       obs::ObsContext* obs) {
+  // Self-profiling (DESIGN.md Sec. 13): stamp wall + rusage now so every
+  // exit path — cached, interrupted, degraded, clean — can account for
+  // itself in the run manifest.
+  const obs::SelfProfiler profiler;
+  std::vector<std::pair<std::string, std::uint64_t>> phase_wall;
+  auto write_manifest = [&](const SuiteResult& res, bool cache_hit) {
+    if (config.manifest_out.empty()) return;
+    obs::RunManifest m;
+    m.command = "suite";
+    m.git_describe = obs::build_git_describe();
+    m.created_utc = obs::utc_timestamp();
+    m.seed = config.base_seed;
+    m.config_hash = suite_config_hash(config);
+    m.config_summary = suite_key_string(config);
+    m.wall_seconds = profiler.wall_seconds();
+    m.usage = profiler.snapshot();
+    m.degraded = res.degraded();
+    m.interrupted = res.interrupted;
+    m.phases = phase_wall;
+    if (obs::Tracer* tracer = obs::tracer_at(obs, obs::ObsLevel::kPhases)) {
+      m.collapsed_wall = obs::collapsed_stacks(*tracer);
+    }
+    // Deterministic twin of the wall-clock stacks: simulated cycles per
+    // suite task, straight from the result slots.
+    std::map<std::string, std::uint64_t> sim_cycles;
+    for (const AppExperiment& app : res.apps) {
+      sim_cycles["suite;detect;" + app.app + ";SM"] +=
+          app.sm_detection.stats.execution_cycles;
+      sim_cycles["suite;detect;" + app.app + ";HM"] +=
+          app.hm_detection.stats.execution_cycles;
+      sim_cycles["suite;detect;" + app.app + ";oracle"] +=
+          app.oracle_detection.stats.execution_cycles;
+      for (const MappingRuns* runs :
+           {&app.os_runs, &app.sm_runs, &app.hm_runs}) {
+        std::uint64_t total = 0;
+        for (const MachineStats& s : runs->runs) total += s.execution_cycles;
+        sim_cycles["suite;evaluate;" + app.app + ";" + runs->label] += total;
+      }
+    }
+    std::ostringstream collapsed;
+    for (const auto& [path, weight] : sim_cycles) {
+      collapsed << path << ' ' << weight << '\n';
+    }
+    m.collapsed_sim_cycles = collapsed.str();
+    m.extra.emplace_back("cache_hit", cache_hit ? "true" : "false");
+    m.extra.emplace_back("repetitions", std::to_string(config.repetitions));
+    std::ostringstream apps;
+    for (std::size_t i = 0; i < config.apps.size(); ++i) {
+      if (i != 0) apps << ',';
+      apps << config.apps[i];
+    }
+    m.extra.emplace_back("apps", apps.str());
+    const Expected<void> written =
+        atomic_write_file(config.manifest_out, m.to_json());
+    if (progress != nullptr) {
+      if (written) {
+        *progress << "[suite] manifest written to " << config.manifest_out
+                  << "\n";
+      } else {
+        *progress << "[suite] manifest write failed: "
+                  << written.error().to_string() << "\n";
+      }
+    }
+  };
+  // Suite-level phase-boundary series samples (the pipelines inside the
+  // workers take their own; these mark the three global fan-outs).
+  auto sample_suite_phase = [&](const char* name, std::uint64_t sim_events) {
+    if (config.metrics_interval_events == 0) return;
+    if (obs::MetricsRegistry* metrics =
+            obs::metrics_at(obs, obs::ObsLevel::kPhases)) {
+      metrics->sample_series(sim_events, std::string("phase:") + name);
+    }
+  };
+
   const bool caching = config.use_cache && !cache_disabled();
   const std::filesystem::path cache_file =
       cache_dir() / suite_cache_key(config);
@@ -288,6 +365,8 @@ SuiteResult run_suite(const SuiteConfig& config, std::ostream* progress,
         *progress << "[suite] loaded cached results from " << cache_file
                   << "\n";
       }
+      phase_wall.emplace_back("suite.cache_load", span.elapsed_us());
+      write_manifest(*cached, true);
       return *cached;
     }
   }
@@ -452,12 +531,32 @@ SuiteResult run_suite(const SuiteConfig& config, std::ostream* progress,
         }
       }
     };
+    // Per-task wall time (retries included): wall-clock tagged so the
+    // series stream stays deterministic. Histogram::observe is thread-safe.
+    obs::Histogram* task_wall = nullptr;
+    if (obs::MetricsRegistry* metrics =
+            obs::metrics_at(obs, obs::ObsLevel::kPhases)) {
+      task_wall =
+          &metrics->wallclock_histogram("suite.task_wall_us", {{"phase", phase}});
+    }
+    auto timed = [&](std::size_t idx) {
+      if (task_wall == nullptr) {
+        guarded(idx);
+        return;
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      guarded(idx);
+      task_wall->observe(static_cast<double>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()));
+    };
     const int workers =
         std::max(1, std::min<int>(worker_budget, static_cast<int>(count)));
     if (workers == 1) {
       for (std::size_t idx = 0; idx < count; ++idx) {
         if (shutdown_requested()) break;
-        guarded(idx);
+        timed(idx);
       }
     } else {
       std::atomic<std::size_t> next_task{0};
@@ -468,7 +567,7 @@ SuiteResult run_suite(const SuiteConfig& config, std::ostream* progress,
           if (shutdown_requested()) return;
           const std::size_t idx = next_task.fetch_add(1);
           if (idx >= count) return;
-          guarded(idx);
+          timed(idx);
         }
       };
       std::vector<std::thread> pool;
@@ -507,6 +606,7 @@ SuiteResult run_suite(const SuiteConfig& config, std::ostream* progress,
       *progress << "[suite] interrupted; no checkpoint dir configured, "
                    "partial progress was discarded\n";
     }
+    write_manifest(result, false);
   };
 
   const std::size_t num_apps = config.apps.size();
@@ -566,6 +666,7 @@ SuiteResult run_suite(const SuiteConfig& config, std::ostream* progress,
       detect_pipe.hm_config() = config.hm;
       detect_pipe.oracle_config() = config.oracle;
       detect_pipe.set_observability(obs);
+      detect_pipe.set_metrics_interval_events(config.metrics_interval_events);
       *task.slot = detect_pipe.detect(*detect_workloads[task.app],
                                       task.mechanism, config.base_seed);
       if (checkpointing) {
@@ -574,7 +675,15 @@ SuiteResult run_suite(const SuiteConfig& config, std::ostream* progress,
         commit_progress_locked(task.slot->stats.accesses);
       }
     });
+    phase_wall.emplace_back("suite.detect", span.elapsed_us());
   }
+  std::uint64_t suite_sim_events = 0;
+  for (const AppExperiment& app : result.apps) {
+    suite_sim_events += app.sm_detection.stats.accesses +
+                        app.hm_detection.stats.accesses +
+                        app.oracle_detection.stats.accesses;
+  }
+  sample_suite_phase("suite.detect", suite_sim_events);
   if (shutdown_requested()) {
     finalize_interrupted();
     return result;
@@ -588,6 +697,7 @@ SuiteResult run_suite(const SuiteConfig& config, std::ostream* progress,
                         "suite.map", "suite");
     Pipeline map_pipe(config.machine);
     map_pipe.set_observability(obs);
+    map_pipe.set_metrics_interval_events(config.metrics_interval_events);
     auto map_or_fallback = [&](const AppExperiment& app,
                                const DetectionResult& detection) -> Mapping {
       try {
@@ -628,7 +738,9 @@ SuiteResult run_suite(const SuiteConfig& config, std::ostream* progress,
         save_ckpt_locked();
       }
     }
+    phase_wall.emplace_back("suite.map", span.elapsed_us());
   }
+  sample_suite_phase("suite.map", suite_sim_events);
   if (shutdown_requested()) {
     finalize_interrupted();
     return result;
@@ -694,6 +806,7 @@ SuiteResult run_suite(const SuiteConfig& config, std::ostream* progress,
       // The tracer and registry are thread-safe; evaluation spans from
       // parallel workers interleave in the ring like any other events.
       worker_pipe.set_observability(obs);
+      worker_pipe.set_metrics_interval_events(config.metrics_interval_events);
       *task.slot = worker_pipe.evaluate(*eval_workloads[task.app],
                                         task.mapping, task.run_seed);
       if (checkpointing) {
@@ -702,7 +815,15 @@ SuiteResult run_suite(const SuiteConfig& config, std::ostream* progress,
         commit_progress_locked(task.slot->accesses);
       }
     });
+    phase_wall.emplace_back("suite.evaluate", span.elapsed_us());
   }
+  for (const AppExperiment& app : result.apps) {
+    for (const MappingRuns* runs :
+         {&app.os_runs, &app.sm_runs, &app.hm_runs}) {
+      for (const MachineStats& s : runs->runs) suite_sim_events += s.accesses;
+    }
+  }
+  sample_suite_phase("suite.evaluate", suite_sim_events);
   if (shutdown_requested()) {
     finalize_interrupted();
     return result;
@@ -725,6 +846,7 @@ SuiteResult run_suite(const SuiteConfig& config, std::ostream* progress,
                 << " task(s) failed; result is degraded and will not be"
                    " cached\n";
     }
+    write_manifest(result, false);
     return result;
   }
   // Clean completion: the checkpoint has served its purpose — retire it so
@@ -751,6 +873,7 @@ SuiteResult run_suite(const SuiteConfig& config, std::ostream* progress,
       }
     }
   }
+  write_manifest(result, false);
   return result;
 }
 

@@ -80,6 +80,24 @@ struct SuiteConfig {
   /// in the progress stream, `checkpoint.rejected` metric) and the suite
   /// falls back to a fresh run — resume never aborts and never crashes.
   bool resume = false;
+  /// Observability (DESIGN.md Sec. 13). Like the crash-safety knobs, the
+  /// two fields below never enter the cache key or config hash: they change
+  /// what a run records about itself, not its results.
+  ///
+  /// Series sampling interval, forwarded to every worker Pipeline
+  /// (Pipeline::set_metrics_interval_events); the suite additionally
+  /// captures one "phase:suite.<name>" sample after each of its three
+  /// global phases. 0 (default) = series stream off. With
+  /// parallel_workers > 1 the *ordering* of interval samples from
+  /// concurrent runs interleaves nondeterministically; the byte-identical
+  /// series guarantee holds for single-worker suites and plain Pipeline
+  /// runs.
+  std::uint64_t metrics_interval_events = 0;
+  /// When non-empty, the suite writes a run manifest — provenance, wall/CPU
+  /// cost, peak RSS, per-phase attribution, collapsed flamegraph stacks
+  /// (obs/selfprof.hpp) — to this path via atomic_write_file, on every exit
+  /// path: clean, cached, degraded and interrupted.
+  std::string manifest_out;
 };
 
 /// Repeated performance runs under one mapping policy.

@@ -49,17 +49,24 @@ void publish_fault_counters(obs::MetricsRegistry* metrics,
 }  // namespace
 
 void Pipeline::record_phase(const char* phase, std::uint64_t wall_us,
-                            std::uint64_t sim_events) {
+                            std::uint64_t sim_events) const {
   obs::MetricsRegistry* metrics =
       obs::metrics_at(obs_, obs::ObsLevel::kPhases);
   if (metrics == nullptr) return;
   const obs::Labels labels = {{"phase", phase}};
-  metrics->histogram("pipeline.phase_wall_us", labels)
+  // Self-measurement values are wall-clock tagged so the series stream
+  // below stays deterministic for a fixed seed.
+  metrics->wallclock_histogram("pipeline.phase_wall_us", labels)
       .observe(static_cast<double>(wall_us));
   if (wall_us > 0 && sim_events > 0) {
-    metrics->gauge("pipeline.sim_events_per_sec", labels)
+    metrics->wallclock_gauge("pipeline.sim_events_per_sec", labels)
         .set(static_cast<double>(sim_events) * 1e6 /
              static_cast<double>(wall_us));
+  }
+  // Phase-boundary sample: taken after publish_stats, so the last sample of
+  // a run reflects its final totals (asserted by tests/test_obs.cpp).
+  if (metrics_interval_events_ != 0) {
+    metrics->sample_series(sim_events, std::string("phase:") + phase);
   }
 }
 
@@ -90,6 +97,7 @@ DetectionResult Pipeline::detect(const Workload& workload,
   run.thread_to_core = identity_mapping(workload.num_threads());
   run.observer = detector.get();
   run.obs = obs_;
+  run.metrics_interval_events = metrics_interval_events_;
 
   DetectionResult result;
   {
@@ -140,9 +148,8 @@ Mapping Pipeline::map(const CommMatrix& matrix) const {
   Mapping mapping = mapper.map(matrix);
   if (obs_ != nullptr && obs_->phases()) {
     obs_->metrics.counter("pipeline.map_calls").add();
-    obs_->metrics.histogram("pipeline.phase_wall_us", {{"phase", "map"}})
-        .observe(static_cast<double>(span.elapsed_us()));
   }
+  record_phase("map", span.elapsed_us(), 0);
   return mapping;
 }
 
@@ -155,6 +162,7 @@ MachineStats Pipeline::evaluate(const Workload& workload,
   Machine::RunConfig run;
   run.thread_to_core = mapping;
   run.obs = obs_;
+  run.metrics_interval_events = metrics_interval_events_;
   obs::TraceSpan span(obs::tracer_at(obs_, obs::ObsLevel::kPhases),
                       "pipeline.evaluate", "phase");
   const MachineStats stats = machine.run(make_streams(workload, seed), run);
@@ -184,6 +192,7 @@ Pipeline::DynamicRunResult Pipeline::evaluate_dynamic(
   run.observer = &online;
   run.migration = &online;
   run.obs = obs_;
+  run.metrics_interval_events = metrics_interval_events_;
   DynamicRunResult result;
   obs::TraceSpan span(obs::tracer_at(obs_, obs::ObsLevel::kPhases),
                       "pipeline.dynamic", "phase");

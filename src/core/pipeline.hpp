@@ -93,11 +93,25 @@ class Pipeline {
   void set_observability(obs::ObsContext* obs) { obs_ = obs; }
   obs::ObsContext* observability() const { return obs_; }
 
+  /// Epoch-bucketed telemetry (DESIGN.md Sec. 13): forwarded to
+  /// Machine::RunConfig as the interval between "interval" series samples,
+  /// and when nonzero every phase boundary also captures a "phase:<name>"
+  /// sample *after* the phase's counters publish — so the final sample of a
+  /// run always equals its end-of-run totals. 0 (default) disables the
+  /// series stream entirely; exports are unchanged.
+  void set_metrics_interval_events(std::uint64_t n) {
+    metrics_interval_events_ = n;
+  }
+  std::uint64_t metrics_interval_events() const {
+    return metrics_interval_events_;
+  }
+
  private:
   /// Phase bookkeeping shared by detect/map/evaluate/evaluate_dynamic:
-  /// duration histogram + events/sec gauge keyed by phase name.
+  /// duration histogram + events/sec gauge keyed by phase name (wall-clock
+  /// tagged), plus the phase-boundary series sample when enabled.
   void record_phase(const char* phase, std::uint64_t wall_us,
-                    std::uint64_t sim_events);
+                    std::uint64_t sim_events) const;
 
   MachineConfig config_;
   Topology topology_;
@@ -105,6 +119,7 @@ class Pipeline {
   HmDetectorConfig hm_config_{};
   OracleDetectorConfig oracle_config_{};
   obs::ObsContext* obs_ = nullptr;
+  std::uint64_t metrics_interval_events_ = 0;
 };
 
 }  // namespace tlbmap

@@ -1,0 +1,28 @@
+// The one JSON-emission helper set every exporter in the tree routes
+// through: the tracer (Chrome trace / JSONL), the metrics registry, the
+// time-series sink, run manifests and hand-built span args. Centralising
+// the escaping means a metric label, workload name or error message
+// containing quotes, backslashes or control characters can never produce
+// an invalid artifact, whichever emitter it travels through.
+//
+// Emission only — parsing (needed by tlbmap_benchdiff) lives in
+// core/benchdiff.cpp, which has different dependencies and error handling.
+#pragma once
+
+#include <string>
+
+namespace tlbmap::obs {
+
+/// Escapes a string for embedding inside a JSON string literal (no
+/// surrounding quotes): ", \, and control characters below 0x20.
+std::string json_escape(const std::string& s);
+
+/// A complete JSON string literal: quotes around json_escape(s).
+std::string json_str(const std::string& s);
+
+/// A JSON-safe number: finite doubles print with 12 significant digits,
+/// NaN/Inf (not representable in JSON) degrade to 0. Integral values print
+/// without an exponent where possible.
+std::string json_num(double v);
+
+}  // namespace tlbmap::obs

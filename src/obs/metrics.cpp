@@ -5,7 +5,7 @@
 #include <ostream>
 #include <sstream>
 
-#include "obs/trace.hpp"  // json_escape
+#include "obs/json.hpp"
 
 namespace tlbmap::obs {
 
@@ -59,6 +59,31 @@ std::array<std::uint64_t, Histogram::kBuckets> Histogram::buckets() const {
   return buckets_;
 }
 
+double Histogram::quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) return 0.0;
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  // Rank of the q-th sample in [0, count]; walk the cumulative counts to
+  // the bucket holding it, then interpolate linearly inside that bucket.
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    const double before = static_cast<double>(seen);
+    seen += buckets_[b];
+    if (static_cast<double>(seen) >= target) {
+      const double lo = b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b) - 1);
+      const double hi = std::ldexp(1.0, static_cast<int>(b));
+      const double frac =
+          (target - before) / static_cast<double>(buckets_[b]);
+      // The observed extrema are tighter bounds than the bucket edges.
+      return std::clamp(lo + (hi - lo) * frac, min_, max_);
+    }
+  }
+  return max_;
+}
+
 std::string MetricsRegistry::key_of(const std::string& name,
                                     const Labels& labels) {
   Labels sorted = labels;
@@ -108,6 +133,22 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   return *it->second;
 }
 
+Gauge& MetricsRegistry::wallclock_gauge(const std::string& name,
+                                        const Labels& labels) {
+  Gauge& g = gauge(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  wallclock_keys_.insert(key_of(name, labels));
+  return g;
+}
+
+Histogram& MetricsRegistry::wallclock_histogram(const std::string& name,
+                                                const Labels& labels) {
+  Histogram& h = histogram(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  wallclock_keys_.insert(key_of(name, labels));
+  return h;
+}
+
 void MetricsRegistry::snapshot_matrix(
     std::string name, std::uint64_t epoch,
     std::vector<std::vector<std::uint64_t>> rows) {
@@ -128,15 +169,55 @@ std::uint64_t MetricsRegistry::counter_value(const std::string& name,
   return it == counters_.end() ? 0 : it->second->value();
 }
 
-namespace {
-
-std::string fmt_json_double(double v) {
-  if (!std::isfinite(v)) return "0";
-  std::ostringstream out;
-  out.precision(12);
-  out << v;
-  return out.str();
+std::string MetricsRegistry::series_key(
+    const std::pair<std::string, Labels>& nl) {
+  if (nl.second.empty()) return nl.first;
+  Labels sorted = nl.second;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key = nl.first + "{";
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i != 0) key += ',';
+    key += sorted[i].first;
+    key += '=';
+    key += sorted[i].second;
+  }
+  key += '}';
+  return key;
 }
+
+void MetricsRegistry::sample_series(std::uint64_t sim_events,
+                                    const std::string& reason) {
+  SeriesSample sample;
+  sample.sim_events = sim_events;
+  sample.reason = reason;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [key, c] : counters_) {
+      if (wallclock_keys_.count(key) != 0) continue;
+      sample.counters.emplace_back(series_key(names_.at(key)), c->value());
+    }
+    for (const auto& [key, g] : gauges_) {
+      if (wallclock_keys_.count(key) != 0) continue;
+      sample.gauges.emplace_back(series_key(names_.at(key)), g->value());
+    }
+    for (const auto& [key, h] : histograms_) {
+      if (wallclock_keys_.count(key) != 0) continue;
+      SeriesHistogram sh;
+      sh.count = h->count();
+      sh.sum = h->sum();
+      sh.min = h->min();
+      sh.max = h->max();
+      sh.mean = h->mean();
+      sh.p50 = h->quantile(0.50);
+      sh.p95 = h->quantile(0.95);
+      sh.p99 = h->quantile(0.99);
+      sample.histograms.emplace_back(series_key(names_.at(key)), sh);
+    }
+  }
+  series_.append(std::move(sample));
+}
+
+namespace {
 
 void write_header(std::ostream& out, const char* type,
                   const std::pair<std::string, Labels>& name_labels) {
@@ -160,15 +241,17 @@ void MetricsRegistry::export_jsonl(std::ostream& out) const {
   }
   for (const auto& [key, g] : gauges_) {
     write_header(out, "gauge", names_.at(key));
-    out << ",\"value\":" << fmt_json_double(g->value()) << "}\n";
+    out << ",\"value\":" << json_num(g->value()) << "}\n";
   }
   for (const auto& [key, h] : histograms_) {
     write_header(out, "histogram", names_.at(key));
-    out << ",\"count\":" << h->count()
-        << ",\"sum\":" << fmt_json_double(h->sum())
-        << ",\"min\":" << fmt_json_double(h->min())
-        << ",\"max\":" << fmt_json_double(h->max())
-        << ",\"mean\":" << fmt_json_double(h->mean()) << "}\n";
+    out << ",\"count\":" << h->count() << ",\"sum\":" << json_num(h->sum())
+        << ",\"min\":" << json_num(h->min())
+        << ",\"max\":" << json_num(h->max())
+        << ",\"mean\":" << json_num(h->mean())
+        << ",\"p50\":" << json_num(h->quantile(0.50))
+        << ",\"p95\":" << json_num(h->quantile(0.95))
+        << ",\"p99\":" << json_num(h->quantile(0.99)) << "}\n";
   }
   for (const MatrixSnapshot& m : matrices_) {
     out << "{\"type\":\"matrix\",\"name\":\"" << json_escape(m.name)
@@ -184,6 +267,7 @@ void MetricsRegistry::export_jsonl(std::ostream& out) const {
     }
     out << "]}\n";
   }
+  series_.export_jsonl(out);
 }
 
 }  // namespace tlbmap::obs

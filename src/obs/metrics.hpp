@@ -21,9 +21,12 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "obs/timeseries.hpp"
 
 namespace tlbmap::obs {
 
@@ -67,6 +70,12 @@ class Histogram {
   double mean() const;
   std::array<std::uint64_t, kBuckets> buckets() const;
 
+  /// Approximate quantile (q in [0,1]) from the log2 buckets: the bucket
+  /// holding the q-th sample is found by cumulative count, and the value is
+  /// linearly interpolated within that bucket's [lo, hi) range, clamped to
+  /// the observed [min, max]. Exact for 0 and 1; 0 when empty.
+  double quantile(double q) const;
+
  private:
   mutable std::mutex mu_;
   std::uint64_t count_ = 0;
@@ -91,6 +100,16 @@ class MetricsRegistry {
   Gauge& gauge(const std::string& name, const Labels& labels = {});
   Histogram& histogram(const std::string& name, const Labels& labels = {});
 
+  /// Wall-clock variants: identical to gauge()/histogram() but the metric
+  /// is tagged volatile and excluded from time-series samples, which must
+  /// stay deterministic for a fixed seed (self-measurement values — wall
+  /// time, events/sec, RSS — differ across runs; they belong in the run
+  /// manifest, not the series stream). The full JSONL export still
+  /// includes them.
+  Gauge& wallclock_gauge(const std::string& name, const Labels& labels = {});
+  Histogram& wallclock_histogram(const std::string& name,
+                                 const Labels& labels = {});
+
   void snapshot_matrix(std::string name, std::uint64_t epoch,
                        std::vector<std::vector<std::uint64_t>> rows);
   std::vector<MatrixSnapshot> matrix_snapshots() const;
@@ -100,16 +119,32 @@ class MetricsRegistry {
   std::uint64_t counter_value(const std::string& name,
                               const Labels& labels = {}) const;
 
+  /// Captures every registered counter/gauge/histogram (minus wall-clock-
+  /// tagged ones) into the time-series sink as one sample tagged with the
+  /// triggering simulated-event count and a reason string. Thread-safe;
+  /// Machine::try_run calls this every RunConfig::metrics_interval_events
+  /// events, the pipeline and suite at phase boundaries.
+  void sample_series(std::uint64_t sim_events, const std::string& reason);
+
+  /// The epoch-bucketed sample stream (empty until sample_series runs).
+  const TimeSeries& series() const { return series_; }
+
   /// One JSON object per line:
   ///   {"type":"counter","name":...,"labels":{...},"value":N}
   ///   {"type":"gauge",...,"value":X}
-  ///   {"type":"histogram",...,"count":N,"sum":X,"min":X,"max":X,"mean":X}
+  ///   {"type":"histogram",...,"count":N,"sum":X,"min":X,"max":X,"mean":X,
+  ///    "p50":X,"p95":X,"p99":X}
   ///   {"type":"matrix","name":...,"epoch":N,"rows":[[...],...]}
+  ///   {"type":"series","sample":N,"sim_events":N,"reason":...,
+  ///    "counters":{...},"gauges":{...},"histograms":{...}}
   void export_jsonl(std::ostream& out) const;
 
  private:
   /// name + serialized labels; labels are sorted so order never matters.
   static std::string key_of(const std::string& name, const Labels& labels);
+
+  /// Stable series key: "name" or "name{k=v,k=v}" with labels sorted.
+  static std::string series_key(const std::pair<std::string, Labels>& nl);
 
   mutable std::mutex mu_;
   // node-based maps: references handed out stay stable under later inserts.
@@ -117,7 +152,9 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
   std::map<std::string, std::pair<std::string, Labels>> names_;
+  std::set<std::string> wallclock_keys_;  ///< excluded from series samples
   std::vector<MatrixSnapshot> matrices_;
+  TimeSeries series_;
 };
 
 }  // namespace tlbmap::obs

@@ -1,0 +1,182 @@
+#include "obs/selfprof.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <ctime>
+#include <map>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#define TLBMAP_HAVE_RUSAGE 1
+#endif
+
+namespace tlbmap::obs {
+
+namespace {
+
+std::uint64_t wall_now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct RawUsage {
+  double user_sec = 0.0;
+  double sys_sec = 0.0;
+  std::int64_t max_rss_kb = 0;
+};
+
+RawUsage raw_rusage() {
+  RawUsage u;
+#ifdef TLBMAP_HAVE_RUSAGE
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    u.user_sec = static_cast<double>(ru.ru_utime.tv_sec) +
+                 static_cast<double>(ru.ru_utime.tv_usec) * 1e-6;
+    u.sys_sec = static_cast<double>(ru.ru_stime.tv_sec) +
+                static_cast<double>(ru.ru_stime.tv_usec) * 1e-6;
+#ifdef __APPLE__
+    u.max_rss_kb = static_cast<std::int64_t>(ru.ru_maxrss) / 1024;  // bytes
+#else
+    u.max_rss_kb = static_cast<std::int64_t>(ru.ru_maxrss);  // kilobytes
+#endif
+  }
+#endif
+  return u;
+}
+
+}  // namespace
+
+SelfProfiler::SelfProfiler() : start_wall_us_(wall_now_us()) {
+  const RawUsage u = raw_rusage();
+  start_user_sec_ = u.user_sec;
+  start_sys_sec_ = u.sys_sec;
+}
+
+double SelfProfiler::wall_seconds() const {
+  return static_cast<double>(wall_now_us() - start_wall_us_) * 1e-6;
+}
+
+ResourceUsage SelfProfiler::snapshot() const {
+  const RawUsage u = raw_rusage();
+  ResourceUsage out;
+  out.user_cpu_sec = u.user_sec - start_user_sec_;
+  out.sys_cpu_sec = u.sys_sec - start_sys_sec_;
+  out.max_rss_kb = u.max_rss_kb;
+  return out;
+}
+
+const char* build_git_describe() {
+#ifdef TLBMAP_GIT_DESCRIBE
+  return TLBMAP_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+std::string utc_timestamp() {
+  const std::time_t now = std::chrono::system_clock::to_time_t(
+      std::chrono::system_clock::now());
+  std::tm tm{};
+#if defined(_WIN32)
+  gmtime_s(&tm, &now);
+#else
+  gmtime_r(&now, &tm);
+#endif
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+std::string collapsed_stacks(const Tracer& tracer) {
+  // Group completed spans per recording thread, then rebuild nesting from
+  // interval containment: spans sorted by (start, -duration) visit parents
+  // before their children, and a span starting past the stack top's end
+  // pops the finished ancestors.
+  struct Frame {
+    std::uint64_t end_us;
+    std::string path;
+    std::uint64_t child_us = 0;  ///< wall time claimed by direct children
+  };
+  std::map<std::uint32_t, std::vector<TraceEvent>> by_tid;
+  for (const TraceEvent& ev : tracer.snapshot()) {
+    if (ev.kind == TraceEvent::Kind::kSpan) by_tid[ev.tid].push_back(ev);
+  }
+  std::map<std::string, std::uint64_t> weights;  // path -> self us
+  for (auto& [tid, spans] : by_tid) {
+    std::sort(spans.begin(), spans.end(),
+              [](const TraceEvent& a, const TraceEvent& b) {
+                if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+                return a.dur_us > b.dur_us;
+              });
+    std::vector<Frame> stack;
+    std::vector<std::uint64_t> start_us_stack;
+    auto close_top = [&] {
+      const Frame top = stack.back();
+      const std::uint64_t start = start_us_stack.back();
+      stack.pop_back();
+      start_us_stack.pop_back();
+      const std::uint64_t total = top.end_us - start;
+      const std::uint64_t self =
+          total > top.child_us ? total - top.child_us : 0;
+      weights[top.path] += self;
+      if (!stack.empty()) stack.back().child_us += total;
+    };
+    for (const TraceEvent& ev : spans) {
+      while (!stack.empty() && ev.ts_us >= stack.back().end_us) close_top();
+      Frame f;
+      f.end_us = ev.ts_us + ev.dur_us;
+      f.path = stack.empty() ? ev.name : stack.back().path + ";" + ev.name;
+      stack.push_back(std::move(f));
+      start_us_stack.push_back(ev.ts_us);
+    }
+    while (!stack.empty()) close_top();
+  }
+  std::ostringstream out;
+  for (const auto& [path, self_us] : weights) {
+    out << path << ' ' << self_us << '\n';
+  }
+  return out.str();
+}
+
+std::string RunManifest::to_json() const {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema_version\": " << schema_version << ",\n";
+  out << "  \"tool\": " << json_str(tool) << ",\n";
+  out << "  \"command\": " << json_str(command) << ",\n";
+  out << "  \"git_describe\": " << json_str(git_describe) << ",\n";
+  out << "  \"created_utc\": " << json_str(created_utc) << ",\n";
+  out << "  \"seed\": " << seed << ",\n";
+  out << "  \"config_hash\": " << config_hash << ",\n";
+  out << "  \"config_summary\": " << json_str(config_summary) << ",\n";
+  out << "  \"wall_seconds\": " << json_num(wall_seconds) << ",\n";
+  out << "  \"rusage\": {\"user_cpu_sec\": " << json_num(usage.user_cpu_sec)
+      << ", \"sys_cpu_sec\": " << json_num(usage.sys_cpu_sec)
+      << ", \"max_rss_kb\": " << usage.max_rss_kb << "},\n";
+  out << "  \"degraded\": " << (degraded ? "true" : "false") << ",\n";
+  out << "  \"interrupted\": " << (interrupted ? "true" : "false") << ",\n";
+  out << "  \"phases\": {";
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    if (i != 0) out << ", ";
+    out << json_str(phases[i].first) << ": " << phases[i].second;
+  }
+  out << "},\n";
+  out << "  \"collapsed_wall\": " << json_str(collapsed_wall) << ",\n";
+  out << "  \"collapsed_sim_cycles\": " << json_str(collapsed_sim_cycles)
+      << ",\n";
+  out << "  \"extra\": {";
+  for (std::size_t i = 0; i < extra.size(); ++i) {
+    if (i != 0) out << ", ";
+    out << json_str(extra[i].first) << ": " << json_str(extra[i].second);
+  }
+  out << "}\n";
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace tlbmap::obs

@@ -1,0 +1,88 @@
+// Self-profiling for runs: wall-clock + OS resource usage capture, span
+// aggregation into flamegraph collapsed-stack text, and the run-manifest
+// record every suite/CLI invocation can write next to its artifacts.
+//
+// The manifest answers "what produced this result, and what did it cost?"
+// without re-running anything: config/seed/git provenance, wall and CPU
+// time, peak RSS, and a per-phase attribution (wall microseconds from the
+// tracer's spans, simulated cycles from the suite results) in the
+// `stack;frames weight` format flamegraph.pl and speedscope ingest
+// directly.
+//
+// Rendering only — the JSON string is written to disk by the caller via
+// core/io's atomic_write_file, keeping tlbmap_obs free of IO dependencies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace tlbmap::obs {
+
+/// Deltas of getrusage(RUSAGE_SELF) over a profiled region. max_rss_kb is
+/// the absolute peak (the kernel reports a high-water mark, not a delta).
+struct ResourceUsage {
+  double user_cpu_sec = 0.0;
+  double sys_cpu_sec = 0.0;
+  std::int64_t max_rss_kb = 0;
+};
+
+/// Stamps wall clock + rusage at construction; snapshot() reports the
+/// deltas since then. Cheap enough to wrap every suite run.
+class SelfProfiler {
+ public:
+  SelfProfiler();
+  double wall_seconds() const;
+  ResourceUsage snapshot() const;
+
+ private:
+  std::uint64_t start_wall_us_ = 0;
+  double start_user_sec_ = 0.0;
+  double start_sys_sec_ = 0.0;
+};
+
+/// The git describe string baked in at configure time ("unknown" when the
+/// build did not run inside a git checkout).
+const char* build_git_describe();
+
+/// Collapsed-stack text from a tracer's completed spans: per recording
+/// thread, nesting is reconstructed from timestamp/duration containment,
+/// and each unique path emits one `a;b;c <self_us>` line (self time =
+/// duration minus direct children), sorted by path. Feed to flamegraph.pl.
+std::string collapsed_stacks(const Tracer& tracer);
+
+/// Everything a run records about itself. Written as `manifest.json` by
+/// run_suite (SuiteConfig::manifest_out) and tlbmap_cli (--manifest-out).
+struct RunManifest {
+  int schema_version = 1;
+  std::string tool = "tlbmap";
+  std::string command;              ///< e.g. "suite", "evaluate"
+  std::string git_describe;         ///< build provenance
+  std::string created_utc;          ///< ISO-8601, wall clock
+  std::uint64_t seed = 0;
+  std::uint64_t config_hash = 0;    ///< suite_config_hash (0 outside suite)
+  std::string config_summary;       ///< canonical config string (may be "")
+  double wall_seconds = 0.0;
+  ResourceUsage usage;
+  bool degraded = false;
+  bool interrupted = false;
+  /// Per-phase wall attribution: name -> total microseconds.
+  std::vector<std::pair<std::string, std::uint64_t>> phases;
+  /// flamegraph.pl input, weight = wall microseconds (tracer spans).
+  std::string collapsed_wall;
+  /// flamegraph.pl input, weight = simulated cycles (deterministic).
+  std::string collapsed_sim_cycles;
+  /// Free-form provenance pairs (app list, repetitions, ...).
+  std::vector<std::pair<std::string, std::string>> extra;
+
+  /// Pretty-printed JSON object (trailing newline included).
+  std::string to_json() const;
+};
+
+/// Current time as ISO-8601 UTC ("2026-08-08T12:34:56Z").
+std::string utc_timestamp();
+
+}  // namespace tlbmap::obs

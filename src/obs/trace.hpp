@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/json.hpp"  // every trace emitter escapes through json_escape
+
 namespace tlbmap::obs {
 
 /// One recorded event. `args_json` is a preformatted JSON object body
@@ -36,9 +38,6 @@ struct TraceEvent {
   std::uint32_t tid = 0;     ///< recording thread (dense, first-use order)
   std::string args_json;
 };
-
-/// Escapes a string for embedding inside a JSON string literal.
-std::string json_escape(const std::string& s);
 
 class Tracer {
  public:

@@ -218,6 +218,26 @@ Expected<MachineStats> Machine::try_run(
   const std::uint64_t watchdog_budget = hierarchy_.config().watchdog_max_events;
   std::uint64_t events_issued = 0;
 
+  // Interval telemetry (RunConfig::metrics_interval_events): resolve the
+  // progress gauges once; only deterministic values feed the series stream.
+  obs::MetricsRegistry* interval_metrics =
+      config.metrics_interval_events != 0
+          ? obs::metrics_at(config.obs, obs::ObsLevel::kPhases)
+          : nullptr;
+  obs::Gauge* events_gauge = nullptr;
+  obs::Gauge* accesses_gauge = nullptr;
+  obs::Gauge* sim_cycles_gauge = nullptr;
+  if (interval_metrics != nullptr) {
+    events_gauge = &interval_metrics->gauge("machine.events_issued");
+    accesses_gauge = &interval_metrics->gauge("machine.accesses");
+    sim_cycles_gauge = &interval_metrics->gauge("machine.sim_cycles");
+  }
+  auto publish_progress = [&](Cycles sim_now) {
+    events_gauge->set(static_cast<double>(events_issued));
+    accesses_gauge->set(static_cast<double>(stats.accesses));
+    sim_cycles_gauge->set(static_cast<double>(sim_now));
+  };
+
   push_all_ready();
   while (live > 0) {
     if (fatal) return *std::move(fatal);
@@ -327,6 +347,11 @@ Expected<MachineStats> Machine::try_run(
         break;
     }
     if (use_heap) push_ready(next);
+    if (interval_metrics != nullptr &&
+        events_issued % config.metrics_interval_events == 0) {
+      publish_progress(ts.clock);
+      interval_metrics->sample_series(events_issued, "interval");
+    }
   }
   if (fatal) return *std::move(fatal);
 
@@ -339,12 +364,18 @@ Expected<MachineStats> Machine::try_run(
     stats.detection_overhead_cycles =
         std::max(stats.detection_overhead_cycles, o);
   }
+  if (interval_metrics != nullptr) {
+    // Leave the progress gauges at the end-of-run totals so the pipeline's
+    // phase-boundary sample equals the final state of the run.
+    publish_progress(finish);
+  }
   if (obs::MetricsRegistry* metrics =
           obs::metrics_at(config.obs, obs::ObsLevel::kPhases)) {
     // Simulator self-throughput: simulated accesses per wall-clock second.
+    // Wall-clock tagged: excluded from the deterministic series stream.
     const std::uint64_t wall_us = run_span.elapsed_us();
     if (wall_us > 0) {
-      metrics->gauge("machine.sim_events_per_sec")
+      metrics->wallclock_gauge("machine.sim_events_per_sec")
           .set(static_cast<double>(stats.accesses) * 1e6 /
                static_cast<double>(wall_us));
     }

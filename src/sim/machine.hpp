@@ -82,6 +82,12 @@ class Machine {
     /// Optional observability sink: the run records a "machine.run" span
     /// (kPhases) and per-barrier/migration instants (kFull). Null = off.
     obs::ObsContext* obs = nullptr;
+    /// Epoch-bucketed telemetry: every N issued events (0 = off) the run
+    /// refreshes its progress gauges (machine.events_issued,
+    /// machine.accesses, machine.sim_cycles) and captures one deterministic
+    /// time-series sample tagged "interval" in the registry. Requires `obs`
+    /// at kPhases or above.
+    std::uint64_t metrics_interval_events = 0;
     /// How to treat an invalid mapping returned by the MigrationPolicy
     /// mid-run. Strict (default) aborts the run with kInvalidMapping —
     /// the historical throwing behaviour, right for tests and for policies

@@ -1,8 +1,15 @@
 // Tests for the experiment harness: metric extraction, summaries,
 // serialization round-trips and cache keys.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "core/experiment.hpp"
+#include "obs/obs.hpp"
 
 namespace tlbmap {
 namespace {
@@ -143,6 +150,71 @@ TEST(Experiment, RunSuiteSingleAppSmoke) {
   EXPECT_TRUE(is_valid_mapping(app.sm_mapping, 8));
   EXPECT_TRUE(is_valid_mapping(app.hm_mapping, 8));
   EXPECT_GT(app.sm_detection.stats.accesses, 0u);
+}
+
+TEST(Experiment, RunSuiteWritesManifestAndSeries) {
+  const std::string manifest_path =
+      testing::TempDir() + "tlbmap_suite_manifest.json";
+  std::remove(manifest_path.c_str());
+
+  SuiteConfig config;
+  config.apps = {"EP"};
+  config.repetitions = 1;
+  config.use_cache = false;
+  config.workload.iter_scale = 0.2;
+  config.detect_iter_scale = 1.0;
+  config.parallel_workers = 1;  // deterministic interval-sample ordering
+  config.metrics_interval_events = 50'000;
+  config.manifest_out = manifest_path;
+
+  obs::ObsContext ctx;
+  ctx.level = obs::ObsLevel::kPhases;
+  const SuiteResult result = run_suite(config, nullptr, &ctx);
+  ASSERT_EQ(result.apps.size(), 1u);
+
+  // The manifest landed (atomically: no .tmp sibling left behind) and holds
+  // the schema fields CI and humans key on.
+  ASSERT_TRUE(std::filesystem::exists(manifest_path));
+  std::ifstream in(manifest_path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string manifest = buf.str();
+  EXPECT_NE(manifest.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(manifest.find("\"command\": \"suite\""), std::string::npos);
+  EXPECT_NE(manifest.find("\"config_hash\""), std::string::npos);
+  EXPECT_NE(manifest.find("\"wall_seconds\""), std::string::npos);
+  EXPECT_NE(manifest.find("\"max_rss_kb\""), std::string::npos);
+  EXPECT_NE(manifest.find("\"phases\""), std::string::npos);
+  EXPECT_NE(manifest.find("\"collapsed_sim_cycles\""), std::string::npos);
+  EXPECT_NE(manifest.find("suite;detect;EP;SM"), std::string::npos);
+  EXPECT_NE(manifest.find("\"cache_hit\": \"false\""), std::string::npos);
+  bool tmp_left = false;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(testing::TempDir())) {
+    const std::string name = entry.path().filename().string();
+    if (name.find("tlbmap_suite_manifest") != std::string::npos &&
+        name != "tlbmap_suite_manifest.json") {
+      tmp_left = true;
+    }
+  }
+  EXPECT_FALSE(tmp_left);
+
+  // Interval telemetry flowed through the suite: interval samples from the
+  // machines plus the three suite phase-boundary samples, in order.
+  const auto samples = ctx.metrics.series().samples();
+  ASSERT_FALSE(samples.empty());
+  std::vector<std::string> suite_phases;
+  for (const auto& s : samples) {
+    if (s.reason.rfind("phase:suite.", 0) == 0) {
+      suite_phases.push_back(s.reason);
+    }
+  }
+  ASSERT_EQ(suite_phases.size(), 3u);
+  EXPECT_EQ(suite_phases[0], "phase:suite.detect");
+  EXPECT_EQ(suite_phases[1], "phase:suite.map");
+  EXPECT_EQ(suite_phases[2], "phase:suite.evaluate");
+
+  std::remove(manifest_path.c_str());
 }
 
 }  // namespace

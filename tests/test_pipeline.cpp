@@ -1,5 +1,7 @@
 // End-to-end tests of the detect -> map -> evaluate pipeline.
 #include <algorithm>
+#include <cstddef>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -224,6 +226,87 @@ TEST(PipelineObs, ObservabilityDoesNotPerturbSimulation) {
               1e-12);
   // kFull additionally emitted per-search instants.
   EXPECT_GT(ctx.tracer.recorded(), 0u);
+}
+
+TEST(PipelineObs, IntervalSeriesMonotonicWithFinalSampleEqualTotals) {
+  Pipeline pipe(MachineConfig::harpertown());
+  pipe.sm_config().sample_threshold = 1;
+  obs::ObsContext ctx;
+  ctx.level = obs::ObsLevel::kPhases;
+  pipe.set_observability(&ctx);
+  pipe.set_metrics_interval_events(2000);
+  const auto workload = make_synthetic(pairs_spec());
+  const DetectionResult det =
+      pipe.detect(*workload, Pipeline::Mechanism::kSoftwareManaged);
+
+  const auto samples = ctx.metrics.series().samples();
+  ASSERT_GE(samples.size(), 2u);
+  auto gauge_at = [](const obs::SeriesSample& s, const std::string& key) {
+    for (const auto& [k, v] : s.gauges) {
+      if (k == key) return v;
+    }
+    ADD_FAILURE() << "gauge " << key << " missing from sample " << s.index;
+    return 0.0;
+  };
+  bool saw_interval = false;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(samples[i].index, i);  // dense, monotonic sample index
+    if (samples[i].reason == "interval") saw_interval = true;
+    if (i == 0) continue;
+    // The stream is monotonic: simulated-event stamps and every progress
+    // gauge only move forward.
+    EXPECT_GE(samples[i].sim_events, samples[i - 1].sim_events);
+    EXPECT_GE(gauge_at(samples[i], "machine.events_issued"),
+              gauge_at(samples[i - 1], "machine.events_issued"));
+    EXPECT_GE(gauge_at(samples[i], "machine.accesses"),
+              gauge_at(samples[i - 1], "machine.accesses"));
+    EXPECT_GE(gauge_at(samples[i], "machine.sim_cycles"),
+              gauge_at(samples[i - 1], "machine.sim_cycles"));
+  }
+  EXPECT_TRUE(saw_interval);
+
+  // The pipeline's phase-boundary sample closes the stream, and its values
+  // equal the end-of-run totals the caller sees in DetectionResult.
+  const obs::SeriesSample& last = samples.back();
+  EXPECT_EQ(last.reason, "phase:detect");
+  EXPECT_DOUBLE_EQ(gauge_at(last, "machine.accesses"),
+                   static_cast<double>(det.stats.accesses));
+  EXPECT_DOUBLE_EQ(gauge_at(last, "machine.sim_cycles"),
+                   static_cast<double>(det.stats.execution_cycles));
+  bool found_counter = false;
+  for (const auto& [key, value] : last.counters) {
+    if (key == "sim.accesses{mechanism=SM,phase=detect}") {
+      EXPECT_EQ(value, det.stats.accesses);
+      found_counter = true;
+    }
+  }
+  EXPECT_TRUE(found_counter);
+}
+
+TEST(PipelineObs, SeriesExportByteIdenticalAcrossRuns) {
+  // Same seed + same interval => byte-identical series export. Wall-clock
+  // self-measurement metrics exist in both registries but are excluded from
+  // the sampled stream, so run-to-run timing noise cannot leak in.
+  const auto workload = make_synthetic(pairs_spec());
+  auto run_once = [&workload] {
+    Pipeline pipe(MachineConfig::harpertown());
+    pipe.sm_config().sample_threshold = 1;
+    obs::ObsContext ctx;
+    ctx.level = obs::ObsLevel::kPhases;
+    pipe.set_observability(&ctx);
+    pipe.set_metrics_interval_events(1000);
+    const DetectionResult det =
+        pipe.detect(*workload, Pipeline::Mechanism::kSoftwareManaged, 7);
+    const Mapping mapping = pipe.map(det.matrix);
+    pipe.evaluate(*workload, mapping, 1);
+    std::ostringstream out;
+    ctx.metrics.series().export_jsonl(out);
+    return out.str();
+  };
+  const std::string first = run_once();
+  const std::string second = run_once();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
 }
 
 }  // namespace
