@@ -75,6 +75,15 @@ std::string cli_usage() {
       "  --reps N             repetitions for evaluate/suite (default 4)\n"
       "  --seed N             base RNG seed (default 1)\n"
       "  --numa               use the NUMA machine model\n"
+      "  --sockets N          override the machine's socket count\n"
+      "  --cores-per-socket N override cores per socket\n"
+      "  --cores-per-l2 N     override cores sharing one L2\n"
+      "  --mesh-cols N        arrange the sockets as an N-column 2D mesh\n"
+      "                       (cross-socket cost grows with Manhattan\n"
+      "                       hops; default 0 = fully connected)\n"
+      "  --mapping-strategy S auto | edmonds | greedy | multisection\n"
+      "                       (default auto: Edmonds below 128 threads,\n"
+      "                       multisection at manycore scale)\n"
       "  --hm-naive-sweep     use the reference pairwise HM sweep instead\n"
       "                       of the inverted page index (same results;\n"
       "                       for A/B benchmarking)\n"
@@ -203,6 +212,16 @@ CliOptions parse_cli(int argc, const char* const* argv) {
         if (const char* v = next_value()) opt.reps = to_int(v);
       } else if (arg == "--seed") {
         if (const char* v = next_value()) opt.seed = to_u64(v);
+      } else if (arg == "--sockets") {
+        if (const char* v = next_value()) opt.sockets = to_int(v);
+      } else if (arg == "--cores-per-socket") {
+        if (const char* v = next_value()) opt.cores_per_socket = to_int(v);
+      } else if (arg == "--cores-per-l2") {
+        if (const char* v = next_value()) opt.cores_per_l2 = to_int(v);
+      } else if (arg == "--mesh-cols") {
+        if (const char* v = next_value()) opt.mesh_cols = to_int(v);
+      } else if (arg == "--mapping-strategy") {
+        if (const char* v = next_value()) opt.mapping_strategy = v;
       } else if (arg == "--fault-seed") {
         if (const char* v = next_value()) opt.fault.seed = to_u64(v);
       } else if (arg == "--fault-drop-rate") {
@@ -266,6 +285,13 @@ CliOptions parse_cli(int argc, const char* const* argv) {
   }
   if (opt.threads < 1) opt.error = "threads must be positive";
   if (opt.reps < 1) opt.error = "reps must be positive";
+  if (opt.sockets < 0 || opt.cores_per_socket < 0 || opt.cores_per_l2 < 0 ||
+      opt.mesh_cols < 0) {
+    opt.error = "topology overrides must be non-negative";
+  }
+  if (!parse_mapping_strategy(opt.mapping_strategy)) {
+    opt.error = "unknown mapping strategy: " + opt.mapping_strategy;
+  }
   if (!obs::parse_obs_level(opt.obs_level)) {
     opt.error = "unknown obs level: " + opt.obs_level;
   } else if (opt.obs_level == "off" &&
@@ -309,10 +335,25 @@ namespace {
 MachineConfig machine_for(const CliOptions& opt) {
   MachineConfig machine = opt.numa ? MachineConfig::numa_harpertown()
                                    : MachineConfig::harpertown();
+  if (opt.sockets > 0) machine.num_sockets = opt.sockets;
+  if (opt.cores_per_socket > 0) machine.cores_per_socket = opt.cores_per_socket;
+  if (opt.cores_per_l2 > 0) machine.cores_per_l2 = opt.cores_per_l2;
+  machine.socket_mesh_cols = opt.mesh_cols;
   machine.coherence_broadcast = opt.coherence_broadcast;
   machine.fault = opt.fault;
   machine.watchdog_max_events = opt.watchdog_events;
+  // Surface inconsistent overrides (indivisible geometry, mesh shape) as a
+  // structured CLI error instead of a deep throw from the Topology ctor.
+  machine.validate();
   return machine;
+}
+
+MappingConfig mapping_for(const CliOptions& opt) {
+  MappingConfig mapping;
+  mapping.strategy =
+      parse_mapping_strategy(opt.mapping_strategy).value_or(
+          MappingStrategy::kAuto);
+  return mapping;
 }
 
 WorkloadParams params_for(const CliOptions& opt) {
@@ -335,6 +376,7 @@ Pipeline make_pipeline(const CliOptions& opt, obs::ObsContext* obs) {
   pipe.sm_config() = defaults.sm;
   pipe.hm_config() = defaults.hm;
   pipe.hm_config().naive_sweep = opt.hm_naive_sweep;
+  pipe.mapping_config() = mapping_for(opt);
   pipe.set_observability(obs);
   pipe.set_metrics_interval_events(opt.metrics_interval_events);
   return pipe;
@@ -419,6 +461,7 @@ int cmd_suite(const CliOptions& opt, obs::ObsContext* obs) {
   SuiteConfig config;
   config.machine = machine_for(opt);
   config.workload = params_for(opt);
+  config.mapping = mapping_for(opt);
   config.repetitions = opt.reps;
   config.base_seed = opt.seed;
   // Bit-identical to the indexed sweep, so the cache key ignores it.

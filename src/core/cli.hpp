@@ -32,6 +32,17 @@ struct CliOptions {
   int reps = 4;
   std::uint64_t seed = 1;
   bool numa = false;
+  // Topology overrides (0 = keep the selected preset's value). Together
+  // with --mesh-cols these describe manycore machines well past the
+  // paper's 2x4 Harpertown — e.g. --sockets 32 --cores-per-socket 8
+  // --cores-per-l2 1 --mesh-cols 8 is a 256-core mesh machine.
+  int sockets = 0;           ///< --sockets
+  int cores_per_socket = 0;  ///< --cores-per-socket
+  int cores_per_l2 = 0;      ///< --cores-per-l2
+  /// --mesh-cols: socket-mesh columns (0 = fully connected sockets).
+  int mesh_cols = 0;
+  /// --mapping-strategy: auto | edmonds | greedy | multisection.
+  std::string mapping_strategy = "auto";
   /// Run the HM detector's sweep with the reference O(P^2) pairwise walk
   /// instead of the inverted page index. Both produce bit-identical
   /// matrices; the naive path exists for A/B benchmarking and as a

@@ -157,8 +157,13 @@ std::string suite_key_string(const SuiteConfig& c) {
       << c.machine.interconnect.invalidate_inter_socket << ','
       << c.machine.interconnect.memory_latency << ','
       << c.machine.interconnect.memory_remote_extra << ','
+      << c.machine.interconnect.snoop_hop_extra << ','
+      << c.machine.interconnect.invalidate_hop_extra << ','
+      << c.machine.socket_mesh_cols << ','
       << (c.machine.numa ? 1 : 0) << ','
       << static_cast<int>(c.machine.numa_policy) << '|'
+      << static_cast<int>(c.mapping.strategy) << ','
+      << c.mapping.auto_threshold << '|'
       // Fault plan + watchdog: a faulty suite must never collide with a
       // faultless one (or with a differently seeded/shaped fault plan).
       << c.machine.fault.seed << ',' << c.machine.fault.drop_sample_rate
@@ -696,6 +701,7 @@ SuiteResult run_suite(const SuiteConfig& config, std::ostream* progress,
     obs::TraceSpan span(obs::tracer_at(obs, obs::ObsLevel::kPhases),
                         "suite.map", "suite");
     Pipeline map_pipe(config.machine);
+    map_pipe.mapping_config() = config.mapping;
     map_pipe.set_observability(obs);
     map_pipe.set_metrics_interval_events(config.metrics_interval_events);
     auto map_or_fallback = [&](const AppExperiment& app,

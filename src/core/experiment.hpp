@@ -41,6 +41,9 @@ struct SuiteConfig {
   SmDetectorConfig sm{/*sample_threshold=*/10, /*search_cost=*/231};
   HmDetectorConfig hm{/*interval=*/400'000, /*search_cost=*/3'372};
   OracleDetectorConfig oracle{};
+  /// Mapping algorithm for phase 2 (default kAuto: Edmonds matching below
+  /// the threshold, recursive multisection at manycore thread counts).
+  MappingConfig mapping{};
   /// Detection runs use iter_scale multiplied by this factor: the paper
   /// detects over the application's full execution, and longer detection
   /// traces stand in for that.

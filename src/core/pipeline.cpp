@@ -144,10 +144,13 @@ DetectionResult Pipeline::detect(const Workload& workload,
 Mapping Pipeline::map(const CommMatrix& matrix) const {
   obs::TraceSpan span(obs::tracer_at(obs_, obs::ObsLevel::kPhases),
                       "pipeline.map", "phase");
-  HierarchicalMapper mapper(topology_);
-  Mapping mapping = mapper.map(matrix);
+  const MappingStrategy resolved =
+      resolve_strategy(mapping_config_, matrix, topology_);
+  Mapping mapping = map_threads(matrix, topology_, mapping_config_);
   if (obs_ != nullptr && obs_->phases()) {
-    obs_->metrics.counter("pipeline.map_calls").add();
+    obs_->metrics
+        .counter("pipeline.map_calls", {{"strategy", to_string(resolved)}})
+        .add();
   }
   record_phase("map", span.elapsed_us(), 0);
   return mapping;

@@ -22,6 +22,7 @@
 #include "detect/sm_detector.hpp"
 #include "mapping/hierarchical.hpp"
 #include "mapping/mapping.hpp"
+#include "mapping/strategy.hpp"
 #include "npb/workload.hpp"
 #include "obs/obs.hpp"
 #include "sim/machine.hpp"
@@ -57,7 +58,14 @@ class Pipeline {
   HmDetectorConfig& hm_config() { return hm_config_; }
   OracleDetectorConfig& oracle_config() { return oracle_config_; }
 
-  /// Hierarchical Edmonds-matching mapping from a communication matrix.
+  /// Mapping algorithm selection (default kAuto: Edmonds at small thread
+  /// counts, recursive multisection at manycore scale or on topologies the
+  /// matching mapper cannot tile).
+  MappingConfig& mapping_config() { return mapping_config_; }
+  const MappingConfig& mapping_config() const { return mapping_config_; }
+
+  /// Thread-to-core mapping from a communication matrix, via the strategy
+  /// mapping_config() selects.
   Mapping map(const CommMatrix& matrix) const;
 
   /// Runs `workload` under `mapping` with no detector and returns counters.
@@ -118,6 +126,7 @@ class Pipeline {
   SmDetectorConfig sm_config_{};
   HmDetectorConfig hm_config_{};
   OracleDetectorConfig oracle_config_{};
+  MappingConfig mapping_config_{};
   obs::ObsContext* obs_ = nullptr;
   std::uint64_t metrics_interval_events_ = 0;
 };

@@ -50,8 +50,11 @@ std::uint64_t CommMatrixShard::at(ThreadId a, ThreadId b) const {
 }
 
 std::uint64_t CommMatrixShard::total() const {
+  // Saturating like every cell mutator: at N >= 256 threads a busy suite
+  // holds n*(n-1)/2 > 32k cells, and a plain sum of hot cells can wrap —
+  // inverting "enormous total" into "tiny total" for health checks.
   std::uint64_t sum = 0;
-  for (const std::uint64_t c : cells_) sum += c;
+  for (const std::uint64_t c : cells_) sum = sat_add(sum, c);
   return sum;
 }
 
@@ -86,9 +89,12 @@ std::uint64_t CommMatrix::at(ThreadId a, ThreadId b) const {
 }
 
 std::uint64_t CommMatrix::total() const {
+  // Saturating sum — see CommMatrixShard::total for the large-N rationale.
   std::uint64_t sum = 0;
   for (ThreadId a = 0; a < n_; ++a) {
-    for (ThreadId b = a + 1; b < n_; ++b) sum += cells_[index(a, b)];
+    for (ThreadId b = a + 1; b < n_; ++b) {
+      sum = sat_add(sum, cells_[index(a, b)]);
+    }
   }
   return sum;
 }

@@ -1,0 +1,293 @@
+#include "mapping/multisection.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace tlbmap {
+
+namespace {
+
+/// One k-way partition subproblem over a subset of threads. Weights are
+/// copied into a dense local matrix once (indices 0..n-1), so the greedy
+/// seed and the local search never touch CommMatrix again.
+class Partitioner {
+ public:
+  Partitioner(const CommMatrix& comm, const std::vector<ThreadId>& items,
+              const std::vector<int>& capacity)
+      : n_(static_cast<int>(items.size())),
+        k_(static_cast<int>(capacity.size())),
+        items_(items),
+        rem_(capacity),
+        w_(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_), 0),
+        aff_(static_cast<std::size_t>(n_) * static_cast<std::size_t>(k_), 0),
+        part_of_(static_cast<std::size_t>(n_), -1) {
+    for (int i = 0; i < n_; ++i) {
+      for (int j = i + 1; j < n_; ++j) {
+        const auto c =
+            static_cast<std::int64_t>(comm.at(items_[static_cast<std::size_t>(
+                                                  i)],
+                                              items_[static_cast<std::size_t>(
+                                                  j)]));
+        w(i, j) = c;
+        w(j, i) = c;
+      }
+    }
+  }
+
+  std::vector<std::vector<ThreadId>> run(int refine_rounds) {
+    seed();
+    refine(refine_rounds);
+    std::vector<std::vector<ThreadId>> groups(static_cast<std::size_t>(k_));
+    for (int i = 0; i < n_; ++i) {  // ascending i keeps groups deterministic
+      groups[static_cast<std::size_t>(part_of_[static_cast<std::size_t>(i)])]
+          .push_back(items_[static_cast<std::size_t>(i)]);
+    }
+    return groups;
+  }
+
+ private:
+  std::int64_t& w(int i, int j) {
+    return w_[static_cast<std::size_t>(i) * static_cast<std::size_t>(n_) +
+              static_cast<std::size_t>(j)];
+  }
+  std::int64_t& aff(int i, int p) {
+    return aff_[static_cast<std::size_t>(i) * static_cast<std::size_t>(k_) +
+                static_cast<std::size_t>(p)];
+  }
+
+  /// Greedy seed: heaviest communicators placed first, each into the part
+  /// it already talks to most among those with spare capacity (lowest part
+  /// index on ties — all deterministic).
+  void seed() {
+    std::vector<int> order(static_cast<std::size_t>(n_));
+    std::iota(order.begin(), order.end(), 0);
+    std::vector<std::int64_t> row_sum(static_cast<std::size_t>(n_), 0);
+    for (int i = 0; i < n_; ++i) {
+      for (int j = 0; j < n_; ++j) {
+        row_sum[static_cast<std::size_t>(i)] += w(i, j);
+      }
+    }
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return row_sum[static_cast<std::size_t>(a)] >
+             row_sum[static_cast<std::size_t>(b)];
+    });
+    for (const int i : order) {
+      int best = -1;
+      for (int p = 0; p < k_; ++p) {
+        if (rem_[static_cast<std::size_t>(p)] <= 0) continue;
+        if (best == -1 || aff(i, p) > aff(i, best)) best = p;
+      }
+      place(i, best);
+    }
+  }
+
+  void place(int i, int p) {
+    part_of_[static_cast<std::size_t>(i)] = p;
+    --rem_[static_cast<std::size_t>(p)];
+    for (int j = 0; j < n_; ++j) aff(j, p) += w(i, j);
+  }
+
+  /// First-improvement local search: each sweep tries every single move to
+  /// a part with spare capacity and every cross-part pair swap, applying
+  /// profitable ones immediately (the affinity table makes the gain O(1)
+  /// to evaluate and O(n) to commit). Stops at the first quiet sweep.
+  void refine(int rounds) {
+    for (int round = 0; round < rounds; ++round) {
+      bool improved = false;
+      for (int i = 0; i < n_; ++i) {
+        const int pi = part_of_[static_cast<std::size_t>(i)];
+        for (int p = 0; p < k_; ++p) {
+          if (p == pi || rem_[static_cast<std::size_t>(p)] <= 0) continue;
+          if (aff(i, p) - aff(i, pi) > 0) {
+            move(i, p);
+            improved = true;
+            break;
+          }
+        }
+      }
+      for (int i = 0; i < n_; ++i) {
+        for (int j = i + 1; j < n_; ++j) {
+          const int pi = part_of_[static_cast<std::size_t>(i)];
+          const int pj = part_of_[static_cast<std::size_t>(j)];
+          if (pi == pj) continue;
+          const std::int64_t gain = (aff(i, pj) - aff(i, pi)) +
+                                    (aff(j, pi) - aff(j, pj)) - 2 * w(i, j);
+          if (gain > 0) {
+            swap_items(i, j);
+            improved = true;
+          }
+        }
+      }
+      if (!improved) break;
+    }
+  }
+
+  void move(int i, int to) {
+    const int from = part_of_[static_cast<std::size_t>(i)];
+    part_of_[static_cast<std::size_t>(i)] = to;
+    ++rem_[static_cast<std::size_t>(from)];
+    --rem_[static_cast<std::size_t>(to)];
+    for (int j = 0; j < n_; ++j) {
+      aff(j, from) -= w(i, j);
+      aff(j, to) += w(i, j);
+    }
+  }
+
+  void swap_items(int i, int j) {
+    const int pi = part_of_[static_cast<std::size_t>(i)];
+    const int pj = part_of_[static_cast<std::size_t>(j)];
+    part_of_[static_cast<std::size_t>(i)] = pj;
+    part_of_[static_cast<std::size_t>(j)] = pi;
+    for (int z = 0; z < n_; ++z) {
+      const std::int64_t delta = w(z, j) - w(z, i);
+      aff(z, pi) += delta;
+      aff(z, pj) -= delta;
+    }
+  }
+
+  int n_;
+  int k_;
+  const std::vector<ThreadId>& items_;
+  std::vector<int> rem_;  ///< spare capacity per part
+  std::vector<std::int64_t> w_;
+  std::vector<std::int64_t> aff_;  ///< aff[i][p] = sum of w(i, j in p)
+  std::vector<int> part_of_;
+};
+
+std::vector<std::vector<ThreadId>> partition(const CommMatrix& comm,
+                                             const std::vector<ThreadId>& items,
+                                             int parts, int capacity,
+                                             int refine_rounds) {
+  Partitioner p(comm, items,
+                std::vector<int>(static_cast<std::size_t>(parts), capacity));
+  return p.run(refine_rounds);
+}
+
+/// Total communication between two groups of threads.
+std::int64_t group_edge(const CommMatrix& comm,
+                        const std::vector<ThreadId>& a,
+                        const std::vector<ThreadId>& b) {
+  std::int64_t sum = 0;
+  for (const ThreadId x : a) {
+    for (const ThreadId y : b) {
+      sum += static_cast<std::int64_t>(comm.at(x, y));
+    }
+  }
+  return sum;
+}
+
+/// Greedy placement of socket groups onto mesh sockets: groups in
+/// descending order of external traffic, each onto the free socket with
+/// the cheapest hop-weighted cost to the groups already placed (lowest
+/// socket id on ties). On fully-connected machines every placement costs
+/// the same, so the identity placement is returned unchanged.
+std::vector<int> place_groups(const CommMatrix& comm, const Topology& topology,
+                              const std::vector<std::vector<ThreadId>>& groups) {
+  const int k = static_cast<int>(groups.size());
+  std::vector<int> socket_of_group(static_cast<std::size_t>(k));
+  std::iota(socket_of_group.begin(), socket_of_group.end(), 0);
+  if (topology.socket_mesh_cols() == 0 || k <= 1) return socket_of_group;
+
+  std::vector<std::vector<std::int64_t>> edge(
+      static_cast<std::size_t>(k),
+      std::vector<std::int64_t>(static_cast<std::size_t>(k), 0));
+  std::vector<std::int64_t> external(static_cast<std::size_t>(k), 0);
+  for (int a = 0; a < k; ++a) {
+    for (int b = a + 1; b < k; ++b) {
+      const std::int64_t e =
+          group_edge(comm, groups[static_cast<std::size_t>(a)],
+                     groups[static_cast<std::size_t>(b)]);
+      edge[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] = e;
+      edge[static_cast<std::size_t>(b)][static_cast<std::size_t>(a)] = e;
+      external[static_cast<std::size_t>(a)] += e;
+      external[static_cast<std::size_t>(b)] += e;
+    }
+  }
+
+  std::vector<int> order(static_cast<std::size_t>(k));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return external[static_cast<std::size_t>(a)] >
+           external[static_cast<std::size_t>(b)];
+  });
+
+  std::vector<bool> socket_used(static_cast<std::size_t>(k), false);
+  std::vector<int> placed;  // group ids already on the mesh
+  for (const int g : order) {
+    int best_socket = -1;
+    std::int64_t best_cost = 0;
+    for (int s = 0; s < k; ++s) {
+      if (socket_used[static_cast<std::size_t>(s)]) continue;
+      std::int64_t cost = 0;
+      for (const int pg : placed) {
+        cost += edge[static_cast<std::size_t>(g)][static_cast<std::size_t>(
+                    pg)] *
+                topology.socket_hops(
+                    s, socket_of_group[static_cast<std::size_t>(pg)]);
+      }
+      if (best_socket == -1 || cost < best_cost) {
+        best_socket = s;
+        best_cost = cost;
+      }
+    }
+    socket_of_group[static_cast<std::size_t>(g)] = best_socket;
+    socket_used[static_cast<std::size_t>(best_socket)] = true;
+    placed.push_back(g);
+  }
+  return socket_of_group;
+}
+
+}  // namespace
+
+MultisectionMapper::MultisectionMapper(const Topology& topology,
+                                       MultisectionConfig config)
+    : topology_(&topology), config_(config) {
+  if (config_.refine_rounds < 0) {
+    throw std::invalid_argument("MultisectionMapper: negative refine_rounds");
+  }
+}
+
+Mapping MultisectionMapper::map(const CommMatrix& comm) const {
+  const int num_threads = comm.size();
+  if (num_threads > topology_->num_cores()) {
+    throw std::invalid_argument("MultisectionMapper: more threads than cores");
+  }
+  Mapping mapping(static_cast<std::size_t>(num_threads), kNoCore);
+  if (num_threads == 0) return mapping;
+
+  std::vector<ThreadId> all(static_cast<std::size_t>(num_threads));
+  std::iota(all.begin(), all.end(), 0);
+
+  // Top level: threads -> socket groups, then groups -> mesh positions.
+  const auto socket_groups =
+      partition(comm, all, topology_->num_sockets(),
+                topology_->cores_per_socket(), config_.refine_rounds);
+  const auto socket_of_group = place_groups(comm, *topology_, socket_groups);
+
+  for (std::size_t g = 0; g < socket_groups.size(); ++g) {
+    const auto& members = socket_groups[g];
+    if (members.empty()) continue;
+    const int socket = socket_of_group[g];
+    // Middle level: this socket's threads -> L2 groups.
+    const auto l2_groups = partition(comm, members, topology_->l2s_per_socket(),
+                                     topology_->cores_per_l2(),
+                                     config_.refine_rounds);
+    for (std::size_t l = 0; l < l2_groups.size(); ++l) {
+      // Leaf level: members of one L2 group onto its cores, in order (all
+      // cores under one L2 are equidistant, so order is free).
+      const CoreId base =
+          static_cast<CoreId>(socket) * topology_->cores_per_socket() +
+          static_cast<CoreId>(l) * topology_->cores_per_l2();
+      for (std::size_t i = 0; i < l2_groups[l].size(); ++i) {
+        mapping[static_cast<std::size_t>(l2_groups[l][i])] =
+            base + static_cast<CoreId>(i);
+      }
+    }
+  }
+  return mapping;
+}
+
+}  // namespace tlbmap

@@ -1,0 +1,52 @@
+// Hierarchical thread mapping by recursive multisection (after
+// "Shared-Memory Hierarchical Process Mapping", arXiv:2504.01726).
+//
+// Instead of the paper's bottom-up Edmonds matching passes — exact but
+// O(N^3) per level — the communication graph is split top-down along the
+// topology tree: threads are k-way partitioned into socket groups, each
+// socket group into L2 groups, and each L2 group is read off onto its
+// cores. Every partition is a deterministic greedy seed (heaviest
+// communicators first, each landing in the part it talks to most) followed
+// by a swap/move local search over an incrementally maintained
+// item-to-part affinity table, so one call costs O(N^2 * rounds) — at
+// N >= 128 this beats Edmonds wall-clock by orders of magnitude while
+// staying within a few percent of its mapping_cost (the differential tests
+// in test_hierarchical pin both claims).
+//
+// On socket-mesh machines (Topology::socket_mesh_cols > 0) the socket
+// groups are additionally placed onto the mesh greedily, heaviest-talking
+// groups nearest each other; on fully-connected machines every placement
+// is equivalent and the identity placement keeps results deterministic.
+//
+// Unlike HierarchicalMapper, arities need not be powers of two: the
+// partitioner only needs per-part capacities.
+#pragma once
+
+#include "detect/comm_matrix.hpp"
+#include "mapping/mapping.hpp"
+#include "sim/topology.hpp"
+
+namespace tlbmap {
+
+struct MultisectionConfig {
+  /// Max full local-search sweeps per partition call. Each sweep visits
+  /// every item pair once and applies profitable swaps/moves immediately;
+  /// the search stops early at the first sweep with no improvement.
+  int refine_rounds = 8;
+};
+
+class MultisectionMapper {
+ public:
+  explicit MultisectionMapper(const Topology& topology,
+                              MultisectionConfig config = {});
+
+  /// Maps comm.size() threads onto distinct cores. Requires
+  /// comm.size() <= topology.num_cores(). Deterministic.
+  Mapping map(const CommMatrix& comm) const;
+
+ private:
+  const Topology* topology_;
+  MultisectionConfig config_;
+};
+
+}  // namespace tlbmap

@@ -1,7 +1,7 @@
 #include "sim/coherence.hpp"
 
 #include <algorithm>
-#include <bit>
+#include <cstdio>
 
 namespace tlbmap {
 
@@ -10,24 +10,34 @@ CoherenceDomain::CoherenceDomain(const MachineConfig& config,
                                  Interconnect& interconnect)
     : l2_latency_(config.l2.latency),
       interconnect_(&interconnect),
-      directory_enabled_(!config.coherence_broadcast &&
-                         topology.num_l2() <= 64) {
+      directory_enabled_(!config.coherence_broadcast) {
   l2s_.reserve(static_cast<std::size_t>(topology.num_l2()));
   for (int i = 0; i < topology.num_l2(); ++i) {
     l2s_.emplace_back(config.l2);
   }
   if (directory_enabled_) {
-    same_socket_mask_.assign(l2s_.size(), 0);
+    same_socket_mask_.assign(l2s_.size(), HolderSet(topology.num_l2()));
     for (int a = 0; a < topology.num_l2(); ++a) {
       for (int b = 0; b < topology.num_l2(); ++b) {
         if (topology.socket_of_l2(a) == topology.socket_of_l2(b)) {
-          same_socket_mask_[static_cast<std::size_t>(a)] |= bit(b);
+          same_socket_mask_[static_cast<std::size_t>(a)].set(b);
         }
       }
     }
     // Worst case one entry per distinct resident line across all L2s.
     directory_.reserve(l2s_.size() * l2s_.front().num_sets() *
                        l2s_.front().ways());
+    holder_scratch_.reserve(l2s_.size());
+  } else if (topology.num_l2() > 64) {
+    // Explicit broadcast mode at a scale where the reference walk is a real
+    // engine hazard (Theta(num_l2) cache-set walks per miss). The simulated
+    // outcome is still exact; only wall-clock suffers. Machine::run also
+    // publishes this as the coherence.directory_disabled gauge.
+    std::fprintf(stderr,
+                 "tlbmap: warning: coherence directory disabled "
+                 "(coherence_broadcast) on %d L2 domains; probe resolution "
+                 "is Theta(num_l2) per miss\n",
+                 topology.num_l2());
   }
 }
 
@@ -35,17 +45,24 @@ void CoherenceDomain::drop(L2Id holder, LineAddr line) {
   if (on_line_drop_) on_line_drop_(holder, line);
 }
 
-std::uint64_t CoherenceDomain::remote_holders(L2Id me, LineAddr line) const {
+const std::vector<L2Id>& CoherenceDomain::snapshot_remote_holders(
+    L2Id me, LineAddr line) {
+  holder_scratch_.clear();
   const auto it = directory_.find(line);
-  if (it == directory_.end()) return 0;
-  return it->second & ~bit(me);
+  if (it != directory_.end()) {
+    it->second.for_each_excluding(me, [&](int b) {
+      holder_scratch_.push_back(checked_l2id(static_cast<std::size_t>(b),
+                                             l2s_.size()));
+    });
+  }
+  return holder_scratch_;
 }
 
 void CoherenceDomain::directory_clear(L2Id holder, LineAddr line) {
   const auto it = directory_.find(line);
   if (it == directory_.end()) return;
-  it->second &= ~bit(holder);
-  if (it->second == 0) directory_.erase(it);
+  it->second.reset(holder);
+  if (it->second.none()) directory_.erase(it);
 }
 
 L2Id CoherenceDomain::probe_broadcast(L2Id me, LineAddr line,
@@ -66,25 +83,28 @@ L2Id CoherenceDomain::probe_broadcast(L2Id me, LineAddr line,
 L2Id CoherenceDomain::probe(L2Id me, LineAddr line, MachineStats& stats) {
   if (!directory_enabled_) return probe_broadcast(me, line, stats);
   // The address probe still goes out to every peer on the bus — only the
-  // simulator-side resolution is a mask lookup instead of a set walk.
+  // simulator-side resolution is a holder-set lookup instead of a set walk.
   interconnect_->record_probe_broadcast(me, stats);
   ++dir_stats_.probes;
-  const std::uint64_t holders = remote_holders(me, line);
-  if (holders == 0) return -1;
-  ++dir_stats_.holder_hits;
+  const auto it = directory_.find(line);
+  if (it == directory_.end()) return -1;
   // Nearest holder, matching the broadcast scan's tie-break: the
   // lowest-indexed holder on my socket when one exists, else the
   // lowest-indexed holder overall.
-  const std::uint64_t local =
-      holders & same_socket_mask_[static_cast<std::size_t>(me)];
-  return std::countr_zero(local != 0 ? local : holders);
+  const HolderSet& holders = it->second;
+  int pick = holders.first_and_excluding(
+      same_socket_mask_[static_cast<std::size_t>(me)], me);
+  if (pick == -1) pick = holders.first_excluding(me);
+  if (pick == -1) return -1;
+  ++dir_stats_.holder_hits;
+  return checked_l2id(static_cast<std::size_t>(pick), l2s_.size());
 }
 
 void CoherenceDomain::insert_line(L2Id me, LineAddr line, MesiState state,
                                   MachineStats& stats) {
   auto evicted = l2s_[static_cast<std::size_t>(me)].insert(line, state);
   if (directory_enabled_) {
-    directory_[line] |= bit(me);
+    directory_[line].set(me);
     if (evicted.has_value()) directory_clear(me, evicted->addr);
   }
   if (evicted.has_value()) {
@@ -138,9 +158,7 @@ Cycles CoherenceDomain::write(L2Id me, LineAddr line, Cycles memory_latency,
         // in parallel, so the stall is the slowest acknowledgement.
         Cycles worst = 0;
         if (directory_enabled_) {
-          for (std::uint64_t m = remote_holders(me, line); m != 0;
-               m &= m - 1) {
-            const L2Id other = std::countr_zero(m);
+          for (const L2Id other : snapshot_remote_holders(me, line)) {
             ++dir_stats_.holder_visits;
             l2s_[static_cast<std::size_t>(other)].invalidate(line);
             ++stats.invalidations;
@@ -178,8 +196,7 @@ Cycles CoherenceDomain::write(L2Id me, LineAddr line, Cycles memory_latency,
     // Invalidate every holder; data comes from the nearest one.
     Cycles worst = 0;
     if (directory_enabled_) {
-      for (std::uint64_t m = remote_holders(me, line); m != 0; m &= m - 1) {
-        const L2Id other = std::countr_zero(m);
+      for (const L2Id other : snapshot_remote_holders(me, line)) {
         ++dir_stats_.holder_visits;
         const auto old =
             l2s_[static_cast<std::size_t>(other)].invalidate(line);
@@ -234,20 +251,21 @@ bool CoherenceDomain::directory_consistent() const {
     bool ok = true;
     l2s_[id].for_each_line([&](const CacheLine& cl) {
       const auto it = directory_.find(cl.addr);
-      if (it == directory_.end() ||
-          (it->second & bit(static_cast<L2Id>(id))) == 0) {
+      if (it == directory_.end() || !it->second.test(static_cast<int>(id))) {
         ok = false;
       }
     });
     if (!ok) return false;
   }
   // ...and every directory bit must map back to a resident line.
-  for (const auto& [line, mask] : directory_) {
-    if (mask == 0) return false;  // empty masks are erased eagerly
-    for (std::uint64_t m = mask; m != 0; m &= m - 1) {
-      const auto id = static_cast<std::size_t>(std::countr_zero(m));
-      if (id >= l2s_.size() || l2s_[id].peek(line) == nullptr) return false;
-    }
+  for (const auto& [line, holders] : directory_) {
+    if (holders.none()) return false;  // empty sets are erased eagerly
+    bool ok = true;
+    holders.for_each([&](int b) {
+      const auto id = static_cast<std::size_t>(b);
+      if (id >= l2s_.size() || l2s_[id].peek(line) == nullptr) ok = false;
+    });
+    if (!ok) return false;
   }
   return true;
 }

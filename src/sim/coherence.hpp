@@ -10,15 +10,19 @@
 // good thread mapping exploits.
 //
 // The simulator resolves the broadcast with a line-occupancy directory: a
-// LineAddr -> 64-bit holder bitmask maintained incrementally by every
-// insert/invalidate/eviction, so a probe is one hash lookup plus a ctz over
-// the socket-partitioned mask and the invalidation loops visit only actual
-// holders — O(holders) instead of Theta(num_l2) cache-set walks per miss.
-// This changes no simulated outcome: probe messages, snoop transactions,
-// invalidations, latencies and replacement state are identical bit for bit
-// (the differential test suite proves it). The literal walked broadcast is
-// kept behind MachineConfig::coherence_broadcast for A/B benchmarking, and
-// machines with more than 64 L2s fall back to it automatically.
+// LineAddr -> HolderSet (a small-size-optimised multi-word bitset over L2
+// ids) maintained incrementally by every insert/invalidate/eviction, so a
+// probe is one hash lookup plus a lowest-set-bit scan over the
+// socket-partitioned holder set and the invalidation loops visit only
+// actual holders — O(holders) instead of Theta(num_l2) cache-set walks per
+// miss. Machines with at most 64 L2s keep the whole set in one inline word
+// (the historical representation); larger machines grow per-line heap
+// words, so the directory now covers any topology instead of silently
+// degrading to the broadcast walk beyond 64 L2s. This changes no simulated
+// outcome: probe messages, snoop transactions, invalidations, latencies and
+// replacement state are identical bit for bit (the differential test suite
+// proves it, up to 256 L2 domains). The literal walked broadcast is kept
+// behind MachineConfig::coherence_broadcast for A/B benchmarking only.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +32,7 @@
 
 #include "sim/cache.hpp"
 #include "sim/config.hpp"
+#include "sim/holder_set.hpp"
 #include "sim/interconnect.hpp"
 #include "sim/stats.hpp"
 #include "sim/topology.hpp"
@@ -104,11 +109,13 @@ class CoherenceDomain {
 
   void drop(L2Id holder, LineAddr line);
 
-  static std::uint64_t bit(L2Id id) {
-    return std::uint64_t{1} << static_cast<unsigned>(id);
-  }
-  /// Holder mask excluding `me`; 0 when the line is untracked.
-  std::uint64_t remote_holders(L2Id me, LineAddr line) const;
+  /// Snapshots the holders of `line` other than `me`, ascending, into the
+  /// reused scratch vector. A snapshot because the upgrade/RFO loops clear
+  /// directory bits (possibly erasing the entry) while they walk; ascending
+  /// because that is the reference broadcast's visit order, which the
+  /// tie-breaks and stats depend on.
+  const std::vector<L2Id>& snapshot_remote_holders(L2Id me, LineAddr line);
+
   void directory_clear(L2Id holder, LineAddr line);
 
   Cycles l2_latency_;
@@ -117,10 +124,11 @@ class CoherenceDomain {
   LineDropFn on_line_drop_;
 
   bool directory_enabled_;
-  /// L2 bitmask of each socket, indexed by L2 id (same_socket_mask_[me] =
-  /// mask of the L2s on me's socket) — the nearest-holder partition.
-  std::vector<std::uint64_t> same_socket_mask_;
-  std::unordered_map<LineAddr, std::uint64_t> directory_;
+  /// Holder set of each socket, indexed by L2 id (same_socket_mask_[me] =
+  /// the L2s on me's socket) — the nearest-holder partition.
+  std::vector<HolderSet> same_socket_mask_;
+  std::unordered_map<LineAddr, HolderSet> directory_;
+  std::vector<L2Id> holder_scratch_;  ///< reused by snapshot_remote_holders
   DirectoryStats dir_stats_;
 };
 

@@ -75,6 +75,14 @@ struct InterconnectConfig {
   /// Extra cycles when the line's home memory node is a different socket
   /// (only charged on NUMA machines; the paper's Harpertown is UMA).
   Cycles memory_remote_extra = 150;
+  /// Per-hop surcharge on cross-socket messages beyond the first hop, for
+  /// machines whose sockets form a mesh (MachineConfig::socket_mesh_cols):
+  /// a message crossing h socket hops costs inter + (h-1)*hop_extra. Both
+  /// default to 0, so fully-connected machines — and mesh machines with
+  /// flat link costs — price exactly as before ("Mapping Matters",
+  /// arXiv:2005.10413, motivates the non-binary cross-socket model).
+  Cycles snoop_hop_extra = 0;
+  Cycles invalidate_hop_extra = 0;
 };
 
 /// Page placement policy of a NUMA machine's OS.
@@ -88,6 +96,14 @@ struct MachineConfig {
   int num_sockets = 2;
   int cores_per_socket = 4;
   int cores_per_l2 = 2;
+
+  /// Socket-level interconnect shape. 0 (default) = fully connected: every
+  /// pair of sockets is one hop, reproducing the historical binary
+  /// intra/inter distance. > 0 = the sockets form a 2D mesh with this many
+  /// columns (row-major socket ids); cross-socket distance becomes the
+  /// Manhattan hop count, giving the >=3-level cost model its non-binary
+  /// far dimension at manycore scale.
+  int socket_mesh_cols = 0;
 
   std::size_t page_size = 4096;
 
@@ -142,6 +158,13 @@ struct MachineConfig {
     if (cores_per_socket % cores_per_l2 != 0) {
       throw std::invalid_argument("MachineConfig: cores_per_socket % cores_per_l2 != 0");
     }
+    if (socket_mesh_cols < 0) {
+      throw std::invalid_argument("MachineConfig: negative socket_mesh_cols");
+    }
+    if (socket_mesh_cols > 0 && num_sockets % socket_mesh_cols != 0) {
+      throw std::invalid_argument(
+          "MachineConfig: num_sockets % socket_mesh_cols != 0");
+    }
     if (page_size == 0 || (page_size & (page_size - 1)) != 0) {
       throw std::invalid_argument("MachineConfig: page size must be a power of two");
     }
@@ -165,6 +188,27 @@ struct MachineConfig {
     c.numa = true;
     c.interconnect.snoop_inter_socket = 140;
     c.interconnect.invalidate_inter_socket = 70;
+    return c;
+  }
+
+  /// A 256-core manycore machine: 32 sockets on an 8-column mesh, 8 cores
+  /// per socket, one core (and one L2) per pair-free tile, with non-flat
+  /// per-hop link costs and caches kept small so the >64-L2 directory,
+  /// eviction paths and hierarchical-mapping scale tests stay fast.
+  static MachineConfig manycore() {
+    MachineConfig c;
+    c.num_sockets = 32;
+    c.cores_per_socket = 8;
+    c.cores_per_l2 = 1;
+    c.socket_mesh_cols = 8;
+    c.numa = true;
+    c.interconnect.snoop_inter_socket = 140;
+    c.interconnect.invalidate_inter_socket = 70;
+    c.interconnect.snoop_hop_extra = 20;
+    c.interconnect.invalidate_hop_extra = 10;
+    c.l1 = CacheConfig{2048, 64, 2, 2};
+    c.l2 = CacheConfig{8192, 64, 4, 8};
+    c.tlb = TlbConfig{16, 2, TlbManagement::kHardware, 30};
     return c;
   }
 

@@ -1,7 +1,9 @@
-// Two-level interconnect model: intra-socket links and the inter-socket
-// front-side bus. The coherence protocol asks it to price and record every
-// snoop probe, data transfer and invalidation between two L2 caches; the
-// locality split is what makes thread placement matter (paper Sec. III-A2).
+// Interconnect cost model: intra-socket links plus the socket-level fabric
+// (front-side bus on the paper's machine, optionally a 2D socket mesh on
+// manycore configs, where cross-socket cost grows with Manhattan hops).
+// The coherence protocol asks it to price and record every snoop probe,
+// data transfer and invalidation between two L2 caches; the locality
+// split is what makes thread placement matter (paper Sec. III-A2).
 #pragma once
 
 #include <cstdint>
@@ -23,17 +25,24 @@ class Interconnect {
   }
 
   /// Cost of a cache-to-cache transfer from `from` to `to`; records traffic.
+  /// Cross-socket messages pay the base inter-socket latency for the first
+  /// hop plus snoop_hop_extra per additional mesh hop (zero on the
+  /// fully-connected / flat-cost machines, where this reduces to the
+  /// historical binary split).
   Cycles transfer(L2Id from, L2Id to, MachineStats& stats) {
     record(from, to, stats);
-    return same_socket(from, to) ? config_.snoop_intra_socket
-                                 : config_.snoop_inter_socket;
+    if (same_socket(from, to)) return config_.snoop_intra_socket;
+    return config_.snoop_inter_socket +
+           static_cast<Cycles>(hops(from, to) - 1) * config_.snoop_hop_extra;
   }
 
   /// Cost of an invalidation message from `from` to `to`; records traffic.
   Cycles invalidate(L2Id from, L2Id to, MachineStats& stats) {
     record(from, to, stats);
-    return same_socket(from, to) ? config_.invalidate_intra_socket
-                                 : config_.invalidate_inter_socket;
+    if (same_socket(from, to)) return config_.invalidate_intra_socket;
+    return config_.invalidate_inter_socket +
+           static_cast<Cycles>(hops(from, to) - 1) *
+               config_.invalidate_hop_extra;
   }
 
   /// Address-only snoop probe broadcast; records one message per remote L2.
@@ -58,6 +67,11 @@ class Interconnect {
   const InterconnectConfig& config() const { return config_; }
 
  private:
+  int hops(L2Id from, L2Id to) const {
+    return topology_->socket_hops(topology_->socket_of_l2(from),
+                                  topology_->socket_of_l2(to));
+  }
+
   void record(L2Id from, L2Id to, MachineStats& stats) {
     if (same_socket(from, to)) {
       ++stats.intra_socket_messages;

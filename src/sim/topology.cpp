@@ -1,5 +1,7 @@
 #include "sim/topology.hpp"
 
+#include <cstdlib>
+
 namespace tlbmap {
 
 Topology::Topology(const MachineConfig& config)
@@ -7,8 +9,19 @@ Topology::Topology(const MachineConfig& config)
       num_l2_(config.num_l2()),
       num_sockets_(config.num_sockets),
       cores_per_l2_(config.cores_per_l2),
-      cores_per_socket_(config.cores_per_socket) {
+      cores_per_socket_(config.cores_per_socket),
+      socket_mesh_cols_(config.socket_mesh_cols) {
   config.validate();
+}
+
+int Topology::socket_hops(SocketId a, SocketId b) const {
+  if (a == b) return 0;
+  if (socket_mesh_cols_ == 0) return 1;
+  const int ar = a / socket_mesh_cols_;
+  const int ac = a % socket_mesh_cols_;
+  const int br = b / socket_mesh_cols_;
+  const int bc = b % socket_mesh_cols_;
+  return std::abs(ar - br) + std::abs(ac - bc);
 }
 
 std::vector<CoreId> Topology::cores_of_l2(L2Id l2) const {
@@ -24,7 +37,7 @@ int Topology::distance(CoreId a, CoreId b) const {
   if (a == b) return 0;
   if (share_l2(a, b)) return 1;
   if (share_socket(a, b)) return 2;
-  return 3;
+  return 2 + socket_hops(socket_of(a), socket_of(b));
 }
 
 std::vector<int> Topology::level_arities() const {

@@ -43,9 +43,20 @@ class Topology {
   /// Cores attached to one L2, in id order.
   std::vector<CoreId> cores_of_l2(L2Id l2) const;
 
+  /// Socket-interconnect hops between two sockets: 0 for the same socket,
+  /// 1 for any distinct pair on a fully-connected machine
+  /// (socket_mesh_cols == 0), else the Manhattan distance on the row-major
+  /// socket mesh. This is the non-binary far dimension of the cost model.
+  int socket_hops(SocketId a, SocketId b) const;
+
   /// Hop distance between cores: 0 same core, 1 same L2, 2 same socket,
-  /// 3 different sockets. Used as the mapping cost metric in tests.
+  /// 2 + socket_hops across sockets — which is the historical 3 on
+  /// fully-connected machines and grows with mesh distance otherwise.
+  /// The mapping cost metric (mapping_cost) and the mappers consume it.
   int distance(CoreId a, CoreId b) const;
+
+  /// Columns of the socket mesh (0 = fully connected).
+  int socket_mesh_cols() const { return socket_mesh_cols_; }
 
   /// Group arities from the leaves up, for the hierarchical mapper.
   /// Harpertown: {2 cores per L2, 2 L2s per socket, 2 sockets}.
@@ -57,6 +68,7 @@ class Topology {
   int num_sockets_;
   int cores_per_l2_;
   int cores_per_socket_;
+  int socket_mesh_cols_;
 };
 
 }  // namespace tlbmap

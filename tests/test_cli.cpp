@@ -187,6 +187,46 @@ TEST(Cli, CheckpointFlagsValidated) {
                    .ok());
 }
 
+TEST(Cli, TopologyAndStrategyFlagsParsed) {
+  const CliOptions opt =
+      parse({"detect", "--sockets", "32", "--cores-per-socket", "8",
+             "--cores-per-l2", "1", "--mesh-cols", "8",
+             "--mapping-strategy", "multisection", "--threads", "64"});
+  ASSERT_TRUE(opt.ok()) << opt.error;
+  EXPECT_EQ(opt.sockets, 32);
+  EXPECT_EQ(opt.cores_per_socket, 8);
+  EXPECT_EQ(opt.cores_per_l2, 1);
+  EXPECT_EQ(opt.mesh_cols, 8);
+  EXPECT_EQ(opt.mapping_strategy, "multisection");
+
+  const CliOptions defaults = parse({"detect"});
+  ASSERT_TRUE(defaults.ok());
+  EXPECT_EQ(defaults.sockets, 0);  // 0 = keep the preset's topology
+  EXPECT_EQ(defaults.mesh_cols, 0);
+  EXPECT_EQ(defaults.mapping_strategy, "auto");
+}
+
+TEST(Cli, TopologyAndStrategyFlagsValidated) {
+  EXPECT_FALSE(parse({"detect", "--sockets", "-2"}).ok());
+  EXPECT_FALSE(parse({"detect", "--mesh-cols", "-1"}).ok());
+  EXPECT_FALSE(parse({"detect", "--cores-per-socket", "abc"}).ok());
+  const CliOptions bad = parse({"detect", "--mapping-strategy", "blossom"});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_NE(bad.error.find("blossom"), std::string::npos);
+  for (const char* name : {"auto", "edmonds", "greedy", "multisection"}) {
+    EXPECT_TRUE(parse({"detect", "--mapping-strategy", name}).ok()) << name;
+  }
+}
+
+TEST(CliRun, InconsistentTopologyOverrideFailsStructurally) {
+  // Geometry that MachineConfig::validate rejects (3 cores per socket with
+  // 2 per L2) must come back as exit code 1, not an uncaught throw.
+  CliOptions opt = parse({"detect", "--app", "IS", "--cores-per-socket", "3",
+                          "--cores-per-l2", "2", "--threads", "2"});
+  ASSERT_TRUE(opt.ok()) << opt.error;
+  EXPECT_EQ(run_cli(opt), 1);
+}
+
 TEST(CliFuzz, GarbageNeverAbortsAlwaysStructured) {
   // Property-style sweep: every parse either succeeds or fails with a
   // non-empty error message — never throws, never aborts, never UB.

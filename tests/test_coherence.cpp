@@ -1,6 +1,8 @@
 // Unit tests for the MESI coherence domain: state transitions, snoop and
 // invalidation counting, writebacks, inclusive line drops, and the
 // intra/inter-socket traffic split.
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -356,6 +358,227 @@ TEST_F(CoherenceTest, DirectoryBillsFullProbeBroadcast) {
   EXPECT_EQ(stats_.inter_socket_messages, 2u);
   EXPECT_EQ(domain_.directory_stats().probes, 1u);
   EXPECT_EQ(domain_.directory_stats().holder_hits, 0u);
+}
+
+// ---------------------------------------------------------------- HolderSet
+
+TEST(HolderSetTest, StaysInlineUpTo64Bits) {
+  HolderSet s;
+  for (const int b : {0, 5, 63}) s.set(b);
+  EXPECT_TRUE(s.is_inline());
+  EXPECT_EQ(s.num_words(), 1u);
+  EXPECT_EQ(s.count(), 3);
+  EXPECT_TRUE(s.test(63));
+  EXPECT_FALSE(s.test(7));
+  EXPECT_EQ(s.first(), 0);
+}
+
+TEST(HolderSetTest, GrowsOnHighBitsAndKeepsLowOnes) {
+  HolderSet s;
+  s.set(3);
+  s.set(200);  // word 3
+  EXPECT_FALSE(s.is_inline());
+  EXPECT_EQ(s.num_words(), 4u);
+  EXPECT_TRUE(s.test(3));
+  EXPECT_TRUE(s.test(200));
+  EXPECT_FALSE(s.test(64));
+  EXPECT_EQ(s.count(), 2);
+  s.reset(3);
+  EXPECT_EQ(s.first(), 200);
+  s.reset(200);
+  EXPECT_TRUE(s.none());
+}
+
+TEST(HolderSetTest, ForEachVisitsAscendingAcrossWords) {
+  HolderSet s;
+  for (const int b : {191, 3, 64, 67}) s.set(b);
+  std::vector<int> seen;
+  s.for_each([&](int b) { seen.push_back(b); });
+  EXPECT_EQ(seen, (std::vector<int>{3, 64, 67, 191}));
+  seen.clear();
+  s.for_each_excluding(67, [&](int b) { seen.push_back(b); });
+  EXPECT_EQ(seen, (std::vector<int>{3, 64, 191}));
+}
+
+TEST(HolderSetTest, FirstExcludingScansPastExcludedWord) {
+  HolderSet s;
+  s.set(70);
+  s.set(130);
+  EXPECT_EQ(s.first_excluding(70), 130);
+  EXPECT_EQ(s.first_excluding(0), 70);
+  HolderSet lone;
+  lone.set(5);
+  EXPECT_EQ(lone.first_excluding(5), -1);
+}
+
+TEST(HolderSetTest, FirstAndExcludingIsTheSocketTieBreak) {
+  HolderSet holders;
+  holders.set(10);
+  holders.set(100);
+  holders.set(130);
+  HolderSet socket(192);  // mask for bits 96..191, say
+  for (int b = 96; b < 192; ++b) socket.set(b);
+  // Lowest holder on "my socket" wins over the lower global bit 10.
+  EXPECT_EQ(holders.first_and_excluding(socket, 130), 100);
+  EXPECT_EQ(holders.first_and_excluding(socket, 100), 130);
+  // Empty intersection: mask confined to a word the set never grew.
+  HolderSet small;
+  small.set(2);
+  EXPECT_EQ(small.first_and_excluding(socket, -1), -1);
+}
+
+TEST(HolderSetTest, EqualityIgnoresCapacity) {
+  HolderSet a;  // inline
+  a.set(9);
+  HolderSet b(256);  // heap, zero-extended
+  b.set(9);
+  EXPECT_TRUE(a == b);
+  b.set(200);
+  EXPECT_FALSE(a == b);
+  b.reset(200);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(HolderSetTest, CopyAndMovePreserveBits) {
+  HolderSet s;
+  s.set(1);
+  s.set(150);
+  HolderSet copy = s;
+  EXPECT_TRUE(copy == s);
+  copy.set(2);
+  EXPECT_FALSE(copy == s);  // deep copy, not aliased
+  HolderSet moved = std::move(s);
+  EXPECT_TRUE(moved.test(150));
+  EXPECT_TRUE(moved.test(1));
+}
+
+TEST(HolderSetTest, CheckedL2IdRejectsOutOfRangeBits) {
+  EXPECT_EQ(checked_l2id(63, 64), 63);
+  EXPECT_THROW(checked_l2id(64, 64), std::logic_error);
+  EXPECT_THROW(checked_l2id(1000, 256), std::logic_error);
+}
+
+// --------------------------------------- beyond 64 L2s (multi-word holders)
+
+// 128 single-core L2s across 16 sockets: holder ids reach word 1, which the
+// old single-word directory could not represent (it silently fell back to
+// the broadcast walk above 64 L2s).
+MachineConfig l2_128_config() {
+  MachineConfig c;
+  c.num_sockets = 16;
+  c.cores_per_socket = 8;
+  c.cores_per_l2 = 1;
+  c.l1 = CacheConfig{512, 64, 2, 2};
+  c.l2 = CacheConfig{4096, 64, 4, 8};
+  return c;
+}
+
+TEST(ManycoreCoherenceTest, DirectoryStaysEnabledPast64L2s) {
+  const MachineConfig cfg = l2_128_config();
+  Topology topology(cfg);
+  ASSERT_EQ(topology.num_l2(), 128);
+  Interconnect interconnect(topology, cfg.interconnect);
+  CoherenceDomain domain(cfg, topology, interconnect);
+  EXPECT_TRUE(domain.directory_enabled());
+}
+
+TEST(ManycoreCoherenceTest, HoldersAboveBit64TrackAndInvalidate) {
+  const MachineConfig cfg = l2_128_config();
+  Topology topology(cfg);
+  Interconnect interconnect(topology, cfg.interconnect);
+  CoherenceDomain domain(cfg, topology, interconnect);
+  MachineStats stats;
+
+  domain.read(70, 10, stats);   // all three holders live in word 1
+  domain.read(100, 10, stats);
+  domain.read(127, 10, stats);
+  EXPECT_TRUE(domain.directory_consistent());
+  stats = {};
+  domain.write(5, 10, stats);   // writer in word 0, victims in word 1
+  EXPECT_EQ(stats.invalidations, 3u);
+  EXPECT_EQ(stats.snoop_transactions, 1u);
+  EXPECT_EQ(stats.memory_fetches, 0u);
+  for (const L2Id other : {70, 100, 127}) {
+    EXPECT_EQ(domain.l2(other).peek(10), nullptr) << "L2 " << other;
+  }
+  EXPECT_TRUE(domain.directory_consistent());
+}
+
+TEST(ManycoreCoherenceTest, NearestHolderTieBreakMatchesBroadcastAt128) {
+  // Reader 65 (socket 8, L2s 64..71): holder 68 shares its socket and must
+  // beat the globally lower-indexed holder 3.
+  for (const bool use_broadcast : {false, true}) {
+    MachineConfig cfg = l2_128_config();
+    cfg.coherence_broadcast = use_broadcast;
+    Topology topology(cfg);
+    Interconnect interconnect(topology, cfg.interconnect);
+    CoherenceDomain domain(cfg, topology, interconnect);
+    MachineStats stats;
+    domain.read(3, 10, stats);
+    domain.read(68, 10, stats);
+    stats = {};
+    domain.read(65, 10, stats);
+    EXPECT_EQ(stats.snoop_transactions, 1u) << "broadcast=" << use_broadcast;
+    // Probes: 7 intra-socket peers + 120 cross-socket peers, plus one
+    // intra-socket transfer from the nearest holder (68).
+    EXPECT_EQ(stats.intra_socket_messages, 8u)
+        << "broadcast=" << use_broadcast;
+    EXPECT_EQ(stats.inter_socket_messages, 120u)
+        << "broadcast=" << use_broadcast;
+  }
+}
+
+// Differential: a deterministic sharing-heavy op mix over all 128 L2s must
+// produce bit-identical MachineStats and cache contents under the
+// multi-word directory and the reference broadcast walk.
+TEST(ManycoreCoherenceTest, DirectoryMatchesBroadcastBitForBitAt128L2s) {
+  MachineConfig dir_cfg = l2_128_config();
+  MachineConfig bc_cfg = l2_128_config();
+  bc_cfg.coherence_broadcast = true;
+
+  Topology dir_topo(dir_cfg), bc_topo(bc_cfg);
+  Interconnect dir_ic(dir_topo, dir_cfg.interconnect);
+  Interconnect bc_ic(bc_topo, bc_cfg.interconnect);
+  CoherenceDomain dir(dir_cfg, dir_topo, dir_ic);
+  CoherenceDomain bc(bc_cfg, bc_topo, bc_ic);
+  ASSERT_TRUE(dir.directory_enabled());
+  ASSERT_FALSE(bc.directory_enabled());
+
+  MachineStats dir_stats, bc_stats;
+  std::uint64_t x = 0x243f6a8885a308d3ull;  // deterministic LCG stream
+  for (int op = 0; op < 4000; ++op) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    const L2Id me = static_cast<L2Id>((x >> 33) % 128);
+    const LineAddr line = (x >> 17) % 97;  // small pool -> heavy sharing
+    const bool is_write = ((x >> 13) & 3) == 0;
+    Cycles dl, bl;
+    if (is_write) {
+      dl = dir.write(me, line, dir_stats);
+      bl = bc.write(me, line, bc_stats);
+    } else {
+      dl = dir.read(me, line, dir_stats);
+      bl = bc.read(me, line, bc_stats);
+    }
+    ASSERT_EQ(dl, bl) << "latency diverged at op " << op;
+    if (op % 500 == 0) {
+      ASSERT_EQ(dir_stats, bc_stats) << "stats diverged at op " << op;
+      ASSERT_TRUE(dir.directory_consistent()) << "at op " << op;
+    }
+  }
+  EXPECT_EQ(dir_stats, bc_stats);
+  EXPECT_TRUE(dir.directory_consistent());
+  // Cache contents identical, line by line, on every L2.
+  for (L2Id id = 0; id < 128; ++id) {
+    for (LineAddr line = 0; line < 97; ++line) {
+      const CacheLine* a = dir.l2(id).peek(line);
+      const CacheLine* b = bc.l2(id).peek(line);
+      ASSERT_EQ(a == nullptr, b == nullptr) << "L2 " << id << " line " << line;
+      if (a != nullptr) {
+        ASSERT_EQ(a->state, b->state) << "L2 " << id << " line " << line;
+      }
+    }
+  }
+  EXPECT_GT(dir.directory_stats().holder_hits, 0u);
 }
 
 }  // namespace

@@ -374,5 +374,46 @@ TEST(CommMatrix, SizeMismatchThrows) {
   EXPECT_THROW(CommMatrix::rank_correlation(a, b), std::invalid_argument);
 }
 
+// Manycore accumulator audit (N >= 256): per-cell counters saturate, but
+// total() sums ~N^2/2 of them — at 256 threads, 32640 near-max cells would
+// wrap a naive u64 sum ~16k times and could land anywhere, including on a
+// tiny value that misreports a white-hot matrix as idle. total() must
+// saturate instead, in both the merged matrix and the per-thread shards.
+TEST(CommMatrix, TotalSaturatesAtManycoreScale) {
+  const int n = 256;
+  CommMatrix m(n);
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      m.add(a, b, CommMatrix::kCounterMax - 3);
+    }
+  }
+  EXPECT_EQ(m.total(), CommMatrix::kCounterMax);
+  EXPECT_EQ(m.max(), CommMatrix::kCounterMax - 3);
+
+  CommMatrixShard shard(n);
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      shard.add(a, b, CommMatrix::kCounterMax - 3);
+    }
+  }
+  EXPECT_EQ(shard.total(), CommMatrix::kCounterMax);
+}
+
+// Below the saturation point the sum stays exact — saturation is a ceiling,
+// not a rescale.
+TEST(CommMatrix, TotalExactWhenFarFromMax) {
+  const int n = 256;
+  CommMatrix m(n);
+  std::uint64_t expected = 0;
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      const std::uint64_t w = static_cast<std::uint64_t>(a + b + 1);
+      m.add(a, b, w);
+      expected += w;
+    }
+  }
+  EXPECT_EQ(m.total(), expected);
+}
+
 }  // namespace
 }  // namespace tlbmap

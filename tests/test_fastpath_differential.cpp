@@ -211,6 +211,79 @@ TEST(SchedulerDifferential, HeapSurvivesBarriersAndMigrations) {
   EXPECT_TRUE(heap == linear);
 }
 
+// Manycore parity: the same contract far past the 64-L2 inline holder word.
+// 128 L2s (16x8, fully connected sockets) and 256 L2s (the mesh-priced
+// manycore() preset, 32x8 with per-hop extras) must produce bit-identical
+// stats with the multi-word directory and the walked broadcast. This is the
+// regression test for the old single-word directory's silent fallback.
+TEST(ManycoreDifferential, DirectoryMatchesBroadcastPast64L2s) {
+  MachineConfig l2_128;
+  l2_128.num_sockets = 16;
+  l2_128.cores_per_socket = 8;
+  l2_128.cores_per_l2 = 1;
+  l2_128.l1 = CacheConfig{1024, 64, 2, 2};
+  l2_128.l2 = CacheConfig{4096, 64, 4, 8};
+
+  struct Case {
+    const char* name;
+    MachineConfig machine;
+  };
+  const Case cases[] = {{"128_flat", l2_128},
+                        {"256_mesh", MachineConfig::manycore()}};
+  for (const Case& c : cases) {
+    WorkloadParams params = small_params(32);
+    params.size_scale = 0.25;
+    params.iter_scale = 0.1;
+    const auto workload = make_npb_workload("SP", params);
+    MachineConfig directory_config = c.machine;
+    directory_config.coherence_broadcast = false;
+    MachineConfig broadcast_config = c.machine;
+    broadcast_config.coherence_broadcast = true;
+    const Mapping mapping = random_mapping(
+        workload->num_threads(), c.machine.num_cores(), /*seed=*/71);
+
+    const MachineStats with_directory =
+        run_app(directory_config, *workload, mapping,
+                /*fast_hierarchy=*/true, /*heap_threshold=*/16, /*seed=*/23);
+    const MachineStats with_broadcast =
+        run_app(broadcast_config, *workload, mapping,
+                /*fast_hierarchy=*/true, /*heap_threshold=*/16, /*seed=*/23);
+    EXPECT_TRUE(with_directory == with_broadcast)
+        << c.name << ": directory and broadcast stats differ (cycles "
+        << with_directory.execution_cycles << " vs "
+        << with_broadcast.execution_cycles << ", invalidations "
+        << with_directory.invalidations << " vs "
+        << with_broadcast.invalidations << ", messages "
+        << with_directory.intra_socket_messages << "+"
+        << with_directory.inter_socket_messages << " vs "
+        << with_broadcast.intra_socket_messages << "+"
+        << with_broadcast.inter_socket_messages << ")";
+  }
+}
+
+// The directory stays on and consistent on a 256-L2 machine after a real
+// run — the exact scenario the 64-L2 cliff used to silently degrade.
+TEST(ManycoreDifferential, DirectoryEnabledAndConsistentAt256L2s) {
+  WorkloadParams params = small_params(64);
+  params.size_scale = 0.25;
+  params.iter_scale = 0.1;
+  const auto workload = make_npb_workload("CG", params);
+  const MachineConfig config = MachineConfig::manycore();
+  Machine machine(config);
+  ASSERT_EQ(machine.topology().num_l2(), 256);
+  ASSERT_TRUE(machine.hierarchy().coherence().directory_enabled());
+
+  Machine::RunConfig run;
+  run.thread_to_core = random_mapping(workload->num_threads(),
+                                      config.num_cores(), /*seed=*/83);
+  machine.run(streams_of(*workload, /*seed=*/29), run);
+
+  const CoherenceDomain& coherence = machine.hierarchy().coherence();
+  EXPECT_TRUE(coherence.directory_consistent());
+  EXPECT_GT(coherence.directory_lines(), 0u);
+  EXPECT_GT(coherence.directory_stats().holder_hits, 0u);
+}
+
 // Ground truth for the directory itself: after an arbitrary run, the holder
 // bitmasks must match the L2 contents exactly in both directions — no stale
 // bits, no untracked lines. (The sanitize CI job runs this under

@@ -1,10 +1,15 @@
 // Tests for the hierarchical (pair-of-pairs) mapper built on the matching
-// algorithms — the paper's Sec. V-A procedure.
+// algorithms — the paper's Sec. V-A procedure — and for the recursive
+// multisection mapper plus the strategy dispatcher that chooses between
+// them at manycore scale.
+#include <chrono>
 #include <random>
 
 #include <gtest/gtest.h>
 
 #include "mapping/hierarchical.hpp"
+#include "mapping/multisection.hpp"
+#include "mapping/strategy.hpp"
 
 namespace tlbmap {
 namespace {
@@ -201,6 +206,191 @@ TEST(Hierarchical, RejectsNonPowerOfTwoArity) {
   c.cores_per_l2 = 3;
   const Topology t(c);
   EXPECT_THROW(HierarchicalMapper{t}, std::invalid_argument);
+}
+
+// ------------------------------------------------------------ Multisection
+
+/// Block-diagonal communities sized to the machine's socket capacity, with
+/// sub-communities sized to an L2 — the clustered traffic both mappers are
+/// built to exploit.
+CommMatrix clustered_matrix(int n, int socket_span, int l2_span) {
+  CommMatrix m(n);
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      std::uint64_t w = 1;
+      if (a / socket_span == b / socket_span) w = 20;
+      if (a / l2_span == b / l2_span) w = 400;
+      m.add(a, b, w);
+    }
+  }
+  return m;
+}
+
+TEST(Multisection, ProducesValidMapping) {
+  MultisectionMapper mapper(harpertown());
+  const Mapping m = mapper.map(band_matrix(8));
+  EXPECT_TRUE(is_valid_mapping(m, 8));
+  EXPECT_EQ(m.size(), 8u);
+}
+
+TEST(Multisection, StrongPairsShareL2) {
+  MultisectionMapper mapper(harpertown());
+  CommMatrix comm(8);
+  for (int t = 0; t < 8; t += 2) comm.add(t, t + 1, 1000);
+  const Mapping m = mapper.map(comm);
+  for (int t = 0; t < 8; t += 2) {
+    EXPECT_TRUE(harpertown().share_l2(m[static_cast<std::size_t>(t)],
+                                      m[static_cast<std::size_t>(t + 1)]))
+        << "pair " << t;
+  }
+}
+
+TEST(Multisection, HandlesNonPowerOfTwoArity) {
+  // The topology Edmonds rejects outright: 6 cores, 3 per L2.
+  MachineConfig c;
+  c.num_sockets = 1;
+  c.cores_per_socket = 6;
+  c.cores_per_l2 = 3;
+  const Topology t(c);
+  MultisectionMapper mapper(t);
+  CommMatrix comm(6);
+  comm.add(0, 1, 500);
+  comm.add(0, 2, 500);
+  comm.add(1, 2, 500);
+  const Mapping m = mapper.map(comm);
+  EXPECT_TRUE(is_valid_mapping(m, 6));
+  EXPECT_TRUE(t.share_l2(m[0], m[1]));
+  EXPECT_TRUE(t.share_l2(m[0], m[2]));
+}
+
+TEST(Multisection, FewerThreadsThanCoresAndDegenerateInputs) {
+  MultisectionMapper mapper(harpertown());
+  CommMatrix comm(4);
+  comm.add(0, 1, 100);
+  comm.add(2, 3, 100);
+  const Mapping m = mapper.map(comm);
+  EXPECT_EQ(m.size(), 4u);
+  EXPECT_TRUE(is_valid_mapping(m, 8));
+  EXPECT_TRUE(harpertown().share_l2(m[0], m[1]));
+  EXPECT_TRUE(harpertown().share_l2(m[2], m[3]));
+  EXPECT_TRUE(is_valid_mapping(mapper.map(CommMatrix(8)), 8));
+  EXPECT_TRUE(is_valid_mapping(mapper.map(CommMatrix(5)), 8));
+  EXPECT_THROW(mapper.map(CommMatrix(9)), std::invalid_argument);
+}
+
+TEST(Multisection, PlacesGroupsOnMeshAwareSockets) {
+  // On the mesh-priced manycore preset, heavy cross-community traffic
+  // should land the two communities on nearby sockets; validity and a win
+  // over random placement are the hard assertions.
+  const Topology t{MachineConfig::manycore()};
+  const int n = 64;
+  MultisectionMapper mapper(t);
+  const CommMatrix comm = clustered_matrix(n, 32, 8);
+  const Mapping m = mapper.map(comm);
+  EXPECT_TRUE(is_valid_mapping(m, t.num_cores()));
+  const double tuned = mapping_cost(comm, m, t);
+  double best_random = 1e300;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    best_random = std::min(
+        best_random,
+        mapping_cost(comm, random_mapping(n, t.num_cores(), seed), t));
+  }
+  EXPECT_LT(tuned, best_random);
+}
+
+// The manycore contract from the issue: at N >= 128, multisection must be
+// no more than 5% worse than the Edmonds hierarchy on mapping cost while
+// finishing faster in wall-clock.
+TEST(Multisection, WithinFivePercentOfEdmondsAndFasterAt128) {
+  MachineConfig c;
+  c.num_sockets = 16;
+  c.cores_per_socket = 8;
+  c.cores_per_l2 = 2;
+  const Topology t(c);  // 128 cores, pow-2 arities so Edmonds can run
+  const int n = 128;
+  const CommMatrix comm = clustered_matrix(n, /*socket_span=*/8,
+                                           /*l2_span=*/2);
+
+  using Clock = std::chrono::steady_clock;
+  const auto e0 = Clock::now();
+  const Mapping edmonds = HierarchicalMapper(t).map(comm);
+  const auto e1 = Clock::now();
+  const Mapping multi = MultisectionMapper(t).map(comm);
+  const auto e2 = Clock::now();
+
+  ASSERT_TRUE(is_valid_mapping(edmonds, 128));
+  ASSERT_TRUE(is_valid_mapping(multi, 128));
+  const double edmonds_cost = mapping_cost(comm, edmonds, t);
+  const double multi_cost = mapping_cost(comm, multi, t);
+  EXPECT_LE(multi_cost, edmonds_cost * 1.05)
+      << "multisection " << multi_cost << " vs edmonds " << edmonds_cost;
+  const auto edmonds_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(e1 - e0).count();
+  const auto multi_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(e2 - e1).count();
+  EXPECT_LT(multi_us, edmonds_us)
+      << "multisection " << multi_us << "us vs edmonds " << edmonds_us
+      << "us";
+}
+
+// ----------------------------------------------------- Strategy dispatch
+
+TEST(MappingStrategyTest, ParseAndPrintRoundTrip) {
+  for (const char* name : {"auto", "edmonds", "greedy", "multisection"}) {
+    const auto s = parse_mapping_strategy(name);
+    ASSERT_TRUE(s.has_value()) << name;
+    EXPECT_STREQ(to_string(*s), name);
+  }
+  EXPECT_FALSE(parse_mapping_strategy("blossom").has_value());
+  EXPECT_FALSE(parse_mapping_strategy("").has_value());
+}
+
+TEST(MappingStrategyTest, AutoPrefersEdmondsSmallMultisectionLarge) {
+  MappingConfig config;  // kAuto, threshold 128
+  EXPECT_EQ(resolve_strategy(config, CommMatrix(8), harpertown()),
+            MappingStrategy::kEdmonds);
+  MachineConfig c;
+  c.num_sockets = 16;
+  c.cores_per_socket = 8;
+  c.cores_per_l2 = 2;
+  const Topology big(c);
+  EXPECT_EQ(resolve_strategy(config, CommMatrix(128), big),
+            MappingStrategy::kMultisection);
+  config.auto_threshold = 8;
+  EXPECT_EQ(resolve_strategy(config, CommMatrix(8), harpertown()),
+            MappingStrategy::kMultisection);
+}
+
+TEST(MappingStrategyTest, AutoFallsBackToMultisectionOffPowerOfTwo) {
+  MachineConfig c;
+  c.num_sockets = 1;
+  c.cores_per_socket = 6;
+  c.cores_per_l2 = 3;
+  const Topology t(c);
+  EXPECT_EQ(resolve_strategy(MappingConfig{}, CommMatrix(6), t),
+            MappingStrategy::kMultisection);
+  // And map_threads must therefore succeed where Edmonds would throw.
+  CommMatrix comm(6);
+  comm.add(0, 1, 10);
+  EXPECT_TRUE(is_valid_mapping(map_threads(comm, t), 6));
+}
+
+TEST(MappingStrategyTest, ExplicitStrategiesPassThrough) {
+  MappingConfig config;
+  config.strategy = MappingStrategy::kMultisection;
+  EXPECT_EQ(resolve_strategy(config, CommMatrix(8), harpertown()),
+            MappingStrategy::kMultisection);
+  config.strategy = MappingStrategy::kEdmonds;
+  EXPECT_EQ(resolve_strategy(config, CommMatrix(200), harpertown()),
+            MappingStrategy::kEdmonds);
+  for (const MappingStrategy s :
+       {MappingStrategy::kEdmonds, MappingStrategy::kGreedy,
+        MappingStrategy::kMultisection}) {
+    config.strategy = s;
+    EXPECT_TRUE(is_valid_mapping(
+        map_threads(band_matrix(8), harpertown(), config), 8))
+        << to_string(s);
+  }
 }
 
 }  // namespace

@@ -56,6 +56,67 @@ TEST_F(InterconnectTest, MemoryLatencyExposed) {
   EXPECT_EQ(net_.memory_latency(), config_.interconnect.memory_latency);
 }
 
+// ------------------------------------------------- mesh-priced transfers
+
+// 4 sockets in a 2x2 mesh, 1 core per socket, per-hop extras on. Socket
+// grid: (0,1) on row 0, (2,3) on row 1 — sockets 0 and 3 are 2 hops apart.
+MachineConfig mesh2x2_config() {
+  MachineConfig c;
+  c.num_sockets = 4;
+  c.cores_per_socket = 1;
+  c.cores_per_l2 = 1;
+  c.socket_mesh_cols = 2;
+  c.interconnect.snoop_hop_extra = 25;
+  c.interconnect.invalidate_hop_extra = 10;
+  return c;
+}
+
+TEST(InterconnectMesh, HopExtrasPriceManhattanDistance) {
+  const MachineConfig c = mesh2x2_config();
+  const Topology t(c);
+  Interconnect net(t, c.interconnect);
+  MachineStats stats;
+  // 1 hop (adjacent sockets): base inter-socket cost, no extra.
+  EXPECT_EQ(net.transfer(0, 1, stats), c.interconnect.snoop_inter_socket);
+  // 2 hops (diagonal): one extra hop billed.
+  EXPECT_EQ(net.transfer(0, 3, stats),
+            c.interconnect.snoop_inter_socket +
+                c.interconnect.snoop_hop_extra);
+  EXPECT_EQ(net.invalidate(0, 3, stats),
+            c.interconnect.invalidate_inter_socket +
+                c.interconnect.invalidate_hop_extra);
+  EXPECT_EQ(net.invalidate(2, 3, stats),
+            c.interconnect.invalidate_inter_socket);
+}
+
+TEST(InterconnectMesh, ZeroExtrasReproduceLegacyFlatCosts) {
+  // Mesh geometry alone (extras at their 0 default) must be bit-identical
+  // to the fully connected model — the backward-compatibility contract.
+  MachineConfig c = mesh2x2_config();
+  c.interconnect.snoop_hop_extra = 0;
+  c.interconnect.invalidate_hop_extra = 0;
+  const Topology t(c);
+  Interconnect net(t, c.interconnect);
+  MachineStats stats;
+  EXPECT_EQ(net.transfer(0, 3, stats), c.interconnect.snoop_inter_socket);
+  EXPECT_EQ(net.invalidate(0, 3, stats),
+            c.interconnect.invalidate_inter_socket);
+}
+
+TEST(InterconnectMesh, ManycorePresetPricesDeepRoutes) {
+  // 32 sockets on an 8-wide mesh: sockets 0 (0,0) and 31 (3,7) are 10 hops
+  // apart, so a transfer between their L2s carries 9 hop extras.
+  const MachineConfig c = MachineConfig::manycore();
+  const Topology t(c);
+  Interconnect net(t, c.interconnect);
+  MachineStats stats;
+  const L2Id far_l2 = t.num_l2() - 1;
+  EXPECT_EQ(net.transfer(0, far_l2, stats),
+            c.interconnect.snoop_inter_socket +
+                9 * c.interconnect.snoop_hop_extra);
+  EXPECT_EQ(stats.inter_socket_messages, 1u);
+}
+
 TEST(InterconnectNuma, PresetWidensInterSocketSpread) {
   const MachineConfig uma = MachineConfig::harpertown();
   const MachineConfig numa = MachineConfig::numa_harpertown();

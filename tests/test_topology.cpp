@@ -84,6 +84,72 @@ TEST(Topology, RejectsInvalidConfig) {
   EXPECT_THROW(Topology{c}, std::invalid_argument);
 }
 
+// ---------------------------------------------------------- socket mesh
+
+TEST(TopologyMesh, FullyConnectedSocketsAreOneHop) {
+  const Topology t = harpertown();
+  EXPECT_EQ(t.socket_mesh_cols(), 0);
+  EXPECT_EQ(t.socket_hops(0, 0), 0);
+  EXPECT_EQ(t.socket_hops(0, 1), 1);
+  EXPECT_EQ(t.socket_hops(1, 0), 1);
+}
+
+TEST(TopologyMesh, ManhattanHopsOnTheGrid) {
+  // 8 sockets in a 4-column mesh: socket s sits at (s / 4, s % 4).
+  MachineConfig c;
+  c.num_sockets = 8;
+  c.cores_per_socket = 2;
+  c.cores_per_l2 = 1;
+  c.socket_mesh_cols = 4;
+  const Topology t(c);
+  EXPECT_EQ(t.socket_mesh_cols(), 4);
+  EXPECT_EQ(t.socket_hops(0, 0), 0);
+  EXPECT_EQ(t.socket_hops(0, 1), 1);  // same row, adjacent columns
+  EXPECT_EQ(t.socket_hops(0, 4), 1);  // same column, adjacent rows
+  EXPECT_EQ(t.socket_hops(0, 5), 2);  // diagonal
+  EXPECT_EQ(t.socket_hops(0, 7), 4);  // corner to corner: 1 + 3
+  EXPECT_EQ(t.socket_hops(7, 0), 4);  // symmetric
+}
+
+TEST(TopologyMesh, DistanceDeepensWithHops) {
+  MachineConfig c;
+  c.num_sockets = 8;
+  c.cores_per_socket = 2;
+  c.cores_per_l2 = 1;
+  c.socket_mesh_cols = 4;
+  const Topology t(c);
+  // Cores 0 (socket 0) and 15 (socket 7): 4 mesh hops -> distance 6; the
+  // legacy fully connected machine reports 3 for every cross-socket pair.
+  EXPECT_EQ(t.distance(0, 15), 6);
+  EXPECT_EQ(t.distance(0, 2), 3);  // adjacent sockets keep the legacy value
+  EXPECT_EQ(harpertown().distance(0, 4), 3);
+}
+
+TEST(TopologyMesh, RejectsRaggedMeshGeometry) {
+  MachineConfig c;
+  c.num_sockets = 8;
+  c.cores_per_socket = 2;
+  c.cores_per_l2 = 1;
+  c.socket_mesh_cols = 3;  // 8 % 3 != 0
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.socket_mesh_cols = -1;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.socket_mesh_cols = 4;
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(TopologyMesh, ManycorePresetIsWellFormed) {
+  const MachineConfig c = MachineConfig::manycore();
+  EXPECT_NO_THROW(c.validate());
+  const Topology t(c);
+  EXPECT_EQ(t.num_cores(), 256);
+  EXPECT_EQ(t.num_l2(), 256);
+  EXPECT_EQ(t.num_sockets(), 32);
+  EXPECT_EQ(t.socket_mesh_cols(), 8);
+  // Sockets 0=(0,0) and 31=(3,7): 3 + 7 = 10 hops.
+  EXPECT_EQ(t.socket_hops(0, 31), 10);
+}
+
 TEST(Topology, TinyMachine) {
   const Topology t{MachineConfig::tiny()};
   EXPECT_EQ(t.num_cores(), 2);
