@@ -16,6 +16,7 @@
 #include "core/shutdown.hpp"
 #include "npb/workload.hpp"
 #include "obs/obs.hpp"
+#include "sim/scan.hpp"
 #include "sim/trace_file.hpp"
 
 namespace tlbmap {
@@ -90,6 +91,16 @@ std::string cli_usage() {
       "  --coherence-broadcast  resolve coherence probes by walking every\n"
       "                       L2 instead of the line-occupancy directory\n"
       "                       (same results; for A/B benchmarking)\n"
+      "  --machine-workers N  shard observer-free runs (evaluate/replay)\n"
+      "                       across N worker threads via the epoch engine\n"
+      "                       (same statistics for every N; default 0 =\n"
+      "                       serial per-event loop)\n"
+      "  --epoch-events N     events each shard issues per epoch between\n"
+      "                       cross-domain reductions (default 2048; needs\n"
+      "                       --machine-workers)\n"
+      "  --scalar-scan        use the reference scalar TLB/cache set walks\n"
+      "                       instead of the SIMD tag-scan kernels (same\n"
+      "                       results; for A/B benchmarking)\n"
       "  --apps A,B,...       suite: restrict the application set\n"
       "  --mapping 0,1,...    evaluate/replay: explicit thread->core list\n"
       "  --out DIR / --in DIR record/replay trace directory\n"
@@ -242,6 +253,12 @@ CliOptions parse_cli(int argc, const char* const* argv) {
         if (const char* v = next_value()) opt.fault.matrix_zero_rate = to_double(v);
       } else if (arg == "--watchdog-events") {
         if (const char* v = next_value()) opt.watchdog_events = to_u64(v);
+      } else if (arg == "--machine-workers") {
+        if (const char* v = next_value()) opt.machine_workers = to_int(v);
+      } else if (arg == "--epoch-events") {
+        if (const char* v = next_value()) opt.epoch_events = to_u64(v);
+      } else if (arg == "--scalar-scan") {
+        opt.scalar_scan = true;
       } else if (arg == "--checkpoint-dir") {
         if (const char* v = next_value()) opt.checkpoint_dir = v;
       } else if (arg == "--checkpoint-every-events") {
@@ -285,6 +302,10 @@ CliOptions parse_cli(int argc, const char* const* argv) {
   }
   if (opt.threads < 1) opt.error = "threads must be positive";
   if (opt.reps < 1) opt.error = "reps must be positive";
+  if (opt.machine_workers < 0) {
+    opt.error = "machine-workers must be non-negative";
+  }
+  if (opt.epoch_events == 0) opt.error = "epoch-events must be positive";
   if (opt.sockets < 0 || opt.cores_per_socket < 0 || opt.cores_per_l2 < 0 ||
       opt.mesh_cols < 0) {
     opt.error = "topology overrides must be non-negative";
@@ -379,6 +400,8 @@ Pipeline make_pipeline(const CliOptions& opt, obs::ObsContext* obs) {
   pipe.mapping_config() = mapping_for(opt);
   pipe.set_observability(obs);
   pipe.set_metrics_interval_events(opt.metrics_interval_events);
+  pipe.set_machine_workers(opt.machine_workers);
+  pipe.set_epoch_events(opt.epoch_events);
   return pipe;
 }
 
@@ -597,13 +620,12 @@ void finish_observability(const CliOptions& options, obs::ObsContext* obs,
     manifest.usage = profiler.snapshot();
     manifest.degraded = code != 0;
     manifest.interrupted = code == 130;
-    // Per-phase wall attribution: total duration of each completed span
-    // name (the tracer keeps phase spans at every level >= kPhases).
+    // Per-phase wall attribution: self time of each completed span name
+    // (nested spans count toward the innermost span only, so the phase
+    // totals sum to real wall time instead of double-counting parents).
     std::map<std::string, std::uint64_t> phase_us;
-    for (const obs::TraceEvent& ev : obs->tracer.snapshot()) {
-      if (ev.kind == obs::TraceEvent::Kind::kSpan) {
-        phase_us[ev.name] += ev.dur_us;
-      }
+    for (const obs::SpanSelf& span : obs::span_self_times(obs->tracer)) {
+      phase_us[span.name] += span.self_us;
     }
     manifest.phases.assign(phase_us.begin(), phase_us.end());
     manifest.collapsed_wall = obs::collapsed_stacks(obs->tracer);
@@ -632,6 +654,9 @@ int run_cli(const CliOptions& options) {
                 cli_usage().c_str());
     return 2;
   }
+  // Process-wide A/B switch: every Tlb/Cache lookup and HM sweep from here
+  // on uses the scalar reference walks when requested.
+  set_simd_scan_enabled(!options.scalar_scan);
   const obs::SelfProfiler profiler;
   obs::ObsContext ctx;
   ctx.level =

@@ -17,6 +17,7 @@
 #include "core/checkpoint.hpp"
 #include "core/io.hpp"
 #include "core/shutdown.hpp"
+#include "core/worker_pool.hpp"
 #include "obs/selfprof.hpp"
 
 namespace tlbmap {
@@ -383,6 +384,11 @@ SuiteResult run_suite(const SuiteConfig& config, std::ostream* progress,
       config.parallel_workers > 0
           ? config.parallel_workers
           : std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  // One persistent pool for the whole suite: both fan-out phases (detect,
+  // evaluate) and, when intra-run sharding is enabled, the epoch-parallel
+  // machine inside each evaluation run all draw from these same threads
+  // instead of spawning fresh ones per phase or per run.
+  WorkerPool pool(worker_budget);
 
   // Crash safety (DESIGN.md Sec. 12). Tasks are the checkpoint granularity:
   // each is independent with a preassigned seed and result slot, so a
@@ -564,21 +570,10 @@ SuiteResult run_suite(const SuiteConfig& config, std::ostream* progress,
         timed(idx);
       }
     } else {
-      std::atomic<std::size_t> next_task{0};
-      auto worker_fn = [&] {
-        for (;;) {
-          // Stop claiming new tasks once a shutdown is pending; tasks
-          // already in flight stop themselves at the Machine's next poll.
-          if (shutdown_requested()) return;
-          const std::size_t idx = next_task.fetch_add(1);
-          if (idx >= count) return;
-          timed(idx);
-        }
-      };
-      std::vector<std::thread> pool;
-      pool.reserve(static_cast<std::size_t>(workers));
-      for (int w = 0; w < workers; ++w) pool.emplace_back(worker_fn);
-      for (std::thread& t : pool) t.join();
+      // The shared pool claims indices from an atomic cursor and stops
+      // claiming new tasks once a shutdown is pending; tasks already in
+      // flight stop themselves at the Machine's next poll.
+      pool.run(count, timed, [] { return shutdown_requested(); });
     }
     for (std::size_t idx = 0; idx < count; ++idx) {
       if (errors[idx].empty()) continue;

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/selfprof.hpp"
 
 namespace tlbmap {
 
@@ -115,40 +116,43 @@ std::string fmt_count(double v) {
 }
 
 std::string phase_profile(const obs::Tracer& tracer) {
-  // Per-name duration distribution: an obs::Histogram gives the same
-  // log2-bucket p50/p95/p99 approximation the JSONL export reports, so the
-  // terminal profile and the exported metrics agree.
+  // Wall time is attributed by *self* time (span duration minus nested
+  // spans on the same thread), so a phase enclosing sub-phases does not
+  // count its children's time twice and the totals column sums to real
+  // elapsed wall time. The per-name distribution uses an obs::Histogram for
+  // the same log2-bucket p50/p95/p99 approximation the JSONL export
+  // reports, so the terminal profile and the exported metrics agree.
   struct Agg {
     std::uint64_t count = 0;
     std::uint64_t total_us = 0;
-    obs::Histogram dur_us;
+    obs::Histogram self_us;
   };
   std::vector<std::pair<std::string, std::unique_ptr<Agg>>> entries;
-  for (const obs::TraceEvent& ev : tracer.snapshot()) {
-    if (ev.kind != obs::TraceEvent::Kind::kSpan) continue;
-    auto it = std::find_if(entries.begin(), entries.end(),
-                           [&](const auto& e) { return e.first == ev.name; });
+  for (const obs::SpanSelf& span : obs::span_self_times(tracer)) {
+    auto it =
+        std::find_if(entries.begin(), entries.end(),
+                     [&](const auto& e) { return e.first == span.name; });
     if (it == entries.end()) {
-      entries.push_back({ev.name, std::make_unique<Agg>()});
+      entries.push_back({span.name, std::make_unique<Agg>()});
       it = std::prev(entries.end());
     }
     ++it->second->count;
-    it->second->total_us += ev.dur_us;
-    it->second->dur_us.observe(static_cast<double>(ev.dur_us));
+    it->second->total_us += span.self_us;
+    it->second->self_us.observe(static_cast<double>(span.self_us));
   }
   std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {
     return a.second->total_us > b.second->total_us;
   });
   TextTable table(
-      {"span", "count", "total ms", "mean ms", "p50 ms", "p95 ms", "p99 ms"});
+      {"span", "count", "self ms", "mean ms", "p50 ms", "p95 ms", "p99 ms"});
   for (const auto& [name, agg] : entries) {
     const double total_ms = static_cast<double>(agg->total_us) / 1000.0;
     table.add_row({name, fmt_count(static_cast<double>(agg->count)),
                    fmt_double(total_ms),
                    fmt_double(total_ms / static_cast<double>(agg->count)),
-                   fmt_double(agg->dur_us.quantile(0.50) / 1000.0),
-                   fmt_double(agg->dur_us.quantile(0.95) / 1000.0),
-                   fmt_double(agg->dur_us.quantile(0.99) / 1000.0)});
+                   fmt_double(agg->self_us.quantile(0.50) / 1000.0),
+                   fmt_double(agg->self_us.quantile(0.95) / 1000.0),
+                   fmt_double(agg->self_us.quantile(0.99) / 1000.0)});
   }
   return table.str();
 }

@@ -1,0 +1,107 @@
+#include "core/worker_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace tlbmap {
+
+struct WorkerPool::Job {
+  std::size_t count = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  const std::function<bool()>* stop = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> settled{0};
+  std::once_flag error_once;
+  std::exception_ptr error;
+};
+
+WorkerPool::WorkerPool(int workers) : workers_(std::max(1, workers)) {
+  threads_.reserve(static_cast<std::size_t>(workers_ - 1));
+  for (int w = 1; w < workers_; ++w) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::work_on(Job& job) {
+  for (;;) {
+    const std::size_t idx = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (idx >= job.count) return;
+    // Cooperative cancellation: once `stop` turns true the remaining
+    // indices are claimed and settled without running, so the caller's
+    // completion wait still terminates promptly.
+    if (job.stop == nullptr || !(*job.stop)()) {
+      try {
+        (*job.fn)(idx);
+      } catch (...) {
+        std::call_once(job.error_once,
+                       [&] { job.error = std::current_exception(); });
+      }
+    }
+    if (job.settled.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        job.count) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    wake_.wait(lock, [&] { return stopping_ || generation_ != seen; });
+    if (stopping_) return;
+    seen = generation_;
+    // Keep a reference of our own: a slow thread may still be draining
+    // this job after the caller has already published the next one.
+    std::shared_ptr<Job> job = job_;
+    lock.unlock();
+    if (job != nullptr) work_on(*job);
+    lock.lock();
+  }
+}
+
+void WorkerPool::run(std::size_t count,
+                     const std::function<void(std::size_t)>& fn,
+                     const std::function<bool()>& stop) {
+  if (count == 0) return;
+  const std::function<bool()>* stop_ptr = stop ? &stop : nullptr;
+  if (workers_ == 1 || count == 1) {
+    for (std::size_t idx = 0; idx < count; ++idx) {
+      if (stop_ptr != nullptr && (*stop_ptr)()) break;
+      fn(idx);
+    }
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->count = count;
+  job->fn = &fn;
+  job->stop = stop_ptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = job;
+    ++generation_;
+  }
+  wake_.notify_all();
+  work_on(*job);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] {
+      return job->settled.load(std::memory_order_acquire) == job->count;
+    });
+    if (job_ == job) job_ = nullptr;
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+}  // namespace tlbmap

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "sim/scan.hpp"
+
 namespace tlbmap {
 
 HmDetector::HmDetector(Machine& machine, int num_threads,
@@ -154,15 +156,29 @@ void HmDetector::sweep_naive() {
       const Tlb& tlb_a = hier.tlb(a);
       const Tlb& tlb_b = hier.tlb(b);
       // Same geometry on every core: walk sets in lockstep and compare only
-      // within a set — Theta(S * ways^2) per pair.
-      for (std::size_t set = 0; set < tlb_a.num_sets(); ++set) {
-        for (const TlbEntry& ea : tlb_a.set_entries(set)) {
-          if (!ea.valid) continue;
-          for (const TlbEntry& eb : tlb_b.set_entries(set)) {
-            if (eb.valid && eb.page == ea.page) {
+      // within a set — Theta(S * ways^2) per pair. The SoA tag mirrors turn
+      // the inner compare into a dense branch-free span scan.
+      if (simd_scan_enabled()) {
+        for (std::size_t set = 0; set < tlb_a.num_sets(); ++set) {
+          const auto tags_b = tlb_b.set_tags(set);
+          for (const std::uint64_t tag : tlb_a.set_tags(set)) {
+            if (tag == kInvalidTag) continue;
+            if (scan_tags(tags_b.data(), tags_b.size(), tag) >= 0) {
               matrix_.add(ta, tb);
               ++matches;
-              break;
+            }
+          }
+        }
+      } else {
+        for (std::size_t set = 0; set < tlb_a.num_sets(); ++set) {
+          for (const TlbEntry& ea : tlb_a.set_entries(set)) {
+            if (!ea.valid) continue;
+            for (const TlbEntry& eb : tlb_b.set_entries(set)) {
+              if (eb.valid && eb.page == ea.page) {
+                matrix_.add(ta, tb);
+                ++matches;
+                break;
+              }
             }
           }
         }
@@ -214,11 +230,22 @@ void HmDetector::sweep_indexed() {
     page_mask_.clear();
     for (std::size_t slot = 0; slot < occupied_.size(); ++slot) {
       const Tlb& tlb = hier.tlb(occupied_[slot].first);
-      for (std::size_t set = 0; set < tlb.num_sets(); ++set) {
-        for (const TlbEntry& e : tlb.set_entries(set)) {
-          if (e.valid) {
-            page_mask_[e.page] |= std::uint64_t{1} << slot;
+      if (simd_scan_enabled()) {
+        // One dense pass over the whole TLB's tag mirror (set-major, the
+        // same enumeration order as the per-set walk below).
+        for (const std::uint64_t tag : tlb.tags()) {
+          if (tag != kInvalidTag) {
+            page_mask_[tag] |= std::uint64_t{1} << slot;
             ++entries;
+          }
+        }
+      } else {
+        for (std::size_t set = 0; set < tlb.num_sets(); ++set) {
+          for (const TlbEntry& e : tlb.set_entries(set)) {
+            if (e.valid) {
+              page_mask_[e.page] |= std::uint64_t{1} << slot;
+              ++entries;
+            }
           }
         }
       }
@@ -237,9 +264,15 @@ void HmDetector::sweep_indexed() {
     page_entries_.clear();
     for (const auto& [core, thread] : occupied_) {
       const Tlb& tlb = hier.tlb(core);
-      for (std::size_t set = 0; set < tlb.num_sets(); ++set) {
-        for (const TlbEntry& e : tlb.set_entries(set)) {
-          if (e.valid) page_entries_.emplace_back(e.page, thread);
+      if (simd_scan_enabled()) {
+        for (const std::uint64_t tag : tlb.tags()) {
+          if (tag != kInvalidTag) page_entries_.emplace_back(tag, thread);
+        }
+      } else {
+        for (std::size_t set = 0; set < tlb.num_sets(); ++set) {
+          for (const TlbEntry& e : tlb.set_entries(set)) {
+            if (e.valid) page_entries_.emplace_back(e.page, thread);
+          }
         }
       }
     }

@@ -92,13 +92,18 @@ std::string utc_timestamp() {
   return buf;
 }
 
-std::string collapsed_stacks(const Tracer& tracer) {
-  // Group completed spans per recording thread, then rebuild nesting from
-  // interval containment: spans sorted by (start, -duration) visit parents
-  // before their children, and a span starting past the stack top's end
-  // pops the finished ancestors.
+namespace {
+
+// Rebuilds span nesting per recording thread from interval containment:
+// spans sorted by (start, -duration) visit parents before their children,
+// and a span starting past the stack top's end pops the finished
+// ancestors. `close(name, path, self_us)` fires once per completed span
+// with its self time (duration minus direct children).
+template <typename CloseFn>
+void walk_span_nesting(const Tracer& tracer, CloseFn&& close) {
   struct Frame {
     std::uint64_t end_us;
+    std::string name;
     std::string path;
     std::uint64_t child_us = 0;  ///< wall time claimed by direct children
   };
@@ -106,7 +111,6 @@ std::string collapsed_stacks(const Tracer& tracer) {
   for (const TraceEvent& ev : tracer.snapshot()) {
     if (ev.kind == TraceEvent::Kind::kSpan) by_tid[ev.tid].push_back(ev);
   }
-  std::map<std::string, std::uint64_t> weights;  // path -> self us
   for (auto& [tid, spans] : by_tid) {
     std::sort(spans.begin(), spans.end(),
               [](const TraceEvent& a, const TraceEvent& b) {
@@ -123,24 +127,46 @@ std::string collapsed_stacks(const Tracer& tracer) {
       const std::uint64_t total = top.end_us - start;
       const std::uint64_t self =
           total > top.child_us ? total - top.child_us : 0;
-      weights[top.path] += self;
+      close(top.name, top.path, self);
       if (!stack.empty()) stack.back().child_us += total;
     };
     for (const TraceEvent& ev : spans) {
       while (!stack.empty() && ev.ts_us >= stack.back().end_us) close_top();
       Frame f;
       f.end_us = ev.ts_us + ev.dur_us;
+      f.name = ev.name;
       f.path = stack.empty() ? ev.name : stack.back().path + ";" + ev.name;
       stack.push_back(std::move(f));
       start_us_stack.push_back(ev.ts_us);
     }
     while (!stack.empty()) close_top();
   }
+}
+
+}  // namespace
+
+std::string collapsed_stacks(const Tracer& tracer) {
+  std::map<std::string, std::uint64_t> weights;  // path -> self us
+  walk_span_nesting(tracer, [&](const std::string& /*name*/,
+                                const std::string& path,
+                                std::uint64_t self_us) {
+    weights[path] += self_us;
+  });
   std::ostringstream out;
   for (const auto& [path, self_us] : weights) {
     out << path << ' ' << self_us << '\n';
   }
   return out.str();
+}
+
+std::vector<SpanSelf> span_self_times(const Tracer& tracer) {
+  std::vector<SpanSelf> out;
+  walk_span_nesting(tracer, [&](const std::string& name,
+                                const std::string& /*path*/,
+                                std::uint64_t self_us) {
+    out.push_back({name, self_us});
+  });
+  return out;
 }
 
 std::string RunManifest::to_json() const {

@@ -54,6 +54,20 @@ const char* build_git_describe();
 /// duration minus direct children), sorted by path. Feed to flamegraph.pl.
 std::string collapsed_stacks(const Tracer& tracer);
 
+/// One completed span with the wall time attributed to it alone.
+struct SpanSelf {
+  std::string name;
+  std::uint64_t self_us = 0;
+};
+
+/// Per-span self time: each completed span's duration minus the wall time
+/// covered by spans nested inside it (same recording thread, nesting by
+/// timestamp/duration containment as in collapsed_stacks). Summing self_us
+/// by name attributes every wall microsecond to exactly one span, so phase
+/// totals add up to real elapsed time instead of double-counting parents of
+/// nested spans. One entry per completed span, in close order per thread.
+std::vector<SpanSelf> span_self_times(const Tracer& tracer);
+
 /// Everything a run records about itself. Written as `manifest.json` by
 /// run_suite (SuiteConfig::manifest_out) and tlbmap_cli (--manifest-out).
 struct RunManifest {

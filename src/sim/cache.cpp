@@ -11,10 +11,15 @@ Cache::Cache(const CacheConfig& config) : config_(config) {
   num_sets_ = config_.num_sets();
   ways_ = config_.ways;
   lines_.resize(num_sets_ * ways_);
+  tags_.assign(num_sets_ * ways_, kInvalidTag);
 }
 
 CacheLine* Cache::find_in_set(std::size_t set, LineAddr addr) {
   CacheLine* base = lines_.data() + set * ways_;
+  if (simd_scan_enabled()) {
+    const int w = scan_tags(tags_.data() + set * ways_, ways_, addr);
+    return w < 0 ? nullptr : &base[w];
+  }
   for (std::size_t w = 0; w < ways_; ++w) {
     if (base[w].valid() && base[w].addr == addr) return &base[w];
   }
@@ -58,6 +63,7 @@ std::optional<Cache::Eviction> Cache::insert(LineAddr addr, MesiState state) {
   victim->addr = addr;
   victim->state = state;
   victim->lru_stamp = ++clock_;
+  tags_[static_cast<std::size_t>(victim - lines_.data())] = addr;
   return evicted;
 }
 
@@ -65,6 +71,7 @@ std::optional<MesiState> Cache::invalidate(LineAddr addr) {
   if (CacheLine* line = find_in_set(set_index(addr), addr)) {
     const MesiState old = line->state;
     line->state = MesiState::kInvalid;
+    tags_[static_cast<std::size_t>(line - lines_.data())] = kInvalidTag;
     return old;
   }
   return std::nullopt;
@@ -72,6 +79,7 @@ std::optional<MesiState> Cache::invalidate(LineAddr addr) {
 
 void Cache::flush() {
   std::fill(lines_.begin(), lines_.end(), CacheLine{});
+  std::fill(tags_.begin(), tags_.end(), kInvalidTag);
   clock_ = 0;
 }
 

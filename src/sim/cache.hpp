@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "sim/config.hpp"
+#include "sim/scan.hpp"
 #include "sim/types.hpp"
 
 namespace tlbmap {
@@ -100,6 +101,10 @@ class Cache {
   std::size_t ways_ = 0;
   std::uint64_t clock_ = 0;
   std::vector<CacheLine> lines_;  ///< num_sets_ * ways_, set-major
+  /// SoA mirror of lines_[i].addr (kInvalidTag when invalid), maintained by
+  /// insert/invalidate/flush so the hot set scan reads one dense uint64
+  /// span instead of striding through 24-byte structs (scan.hpp).
+  std::vector<std::uint64_t> tags_;
 };
 
 }  // namespace tlbmap

@@ -75,6 +75,13 @@ Expected<MachineStats> Machine::try_run(
   }
   if (config.flush_first) hierarchy_.flush_caches();
 
+  // Intra-run parallelism: hand the validated placement to the
+  // epoch-parallel engine (parallel_machine.cpp). machine_workers == 0
+  // keeps the serial reference loop below.
+  if (config.machine_workers > 0) {
+    return try_run_epoch(streams, config);
+  }
+
   obs::TraceSpan run_span(obs::tracer_at(config.obs, obs::ObsLevel::kPhases),
                           "machine.run", "sim");
 
@@ -217,6 +224,12 @@ Expected<MachineStats> Machine::try_run(
   // misbehave; the event budget turns a hang into a structured error.
   const std::uint64_t watchdog_budget = hierarchy_.config().watchdog_max_events;
   std::uint64_t events_issued = 0;
+  // Countdown to the next shutdown poll. Deliberately not derived from
+  // events_issued: a modulo test on the event counter silently skips the
+  // first window whenever a resumed or re-entered loop starts at a
+  // non-aligned count, leaving SIGTERM unseen for up to a full window.
+  // Starting the countdown at 1 makes the very first iteration poll.
+  std::uint32_t shutdown_poll_countdown = 1;
 
   // Interval telemetry (RunConfig::metrics_interval_events): resolve the
   // progress gauges once; only deterministic values feed the series stream.
@@ -246,10 +259,13 @@ Expected<MachineStats> Machine::try_run(
     // microseconds of simulated work, cheap enough to vanish from the hot
     // path. The run stops between events, so the caller's checkpoint sees
     // only completed work.
-    if ((events_issued & 4095u) == 0 && shutdown_requested()) {
-      return Error{ErrorCode::kInterrupted,
-                   "Machine::run: stopped by shutdown request after " +
-                       std::to_string(events_issued) + " events"};
+    if (--shutdown_poll_countdown == 0) {
+      shutdown_poll_countdown = 4096;
+      if (shutdown_requested()) {
+        return Error{ErrorCode::kInterrupted,
+                     "Machine::run: stopped by shutdown request after " +
+                         std::to_string(events_issued) + " events"};
+      }
     }
     if (watchdog_budget != 0 && events_issued >= watchdog_budget) {
       std::ostringstream msg;

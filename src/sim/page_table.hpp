@@ -15,6 +15,12 @@ namespace tlbmap {
 
 class PageTable {
  public:
+  /// One mapped page: its frame and the memory node it is homed on.
+  struct Entry {
+    FrameNum frame;
+    int home_node;
+  };
+
   explicit PageTable(int page_shift) : page_shift_(page_shift) {}
 
   PageNum page_of(VirtAddr addr) const { return addr >> page_shift_; }
@@ -46,15 +52,20 @@ class PageTable {
   /// True if the page has been touched already (no allocation).
   bool mapped(PageNum page) const { return frames_.contains(page); }
 
+  /// Entry of a mapped page, or nullptr if never touched. Never allocates
+  /// and never mutates the table, so concurrent readers are safe as long
+  /// as no allocation runs — the epoch-parallel engine's contract: shards
+  /// only read during an epoch, first-touch claims commit serially between
+  /// epochs.
+  const Entry* find(PageNum page) const {
+    const auto it = frames_.find(page);
+    return it == frames_.end() ? nullptr : &it->second;
+  }
+
   std::size_t mapped_pages() const { return frames_.size(); }
   int page_shift() const { return page_shift_; }
 
  private:
-  struct Entry {
-    FrameNum frame;
-    int home_node;
-  };
-
   int page_shift_;
   FrameNum next_frame_ = 0;
   std::unordered_map<PageNum, Entry> frames_;

@@ -1,0 +1,67 @@
+// Portable SIMD-style scan kernel shared by the TLB, cache and HM-detector
+// sweep hot loops.
+//
+// The associative containers (Tlb, Cache) are stored array-of-structs for
+// clarity, which makes their inner scan — "which way of this set holds tag
+// X?" — a strided, branchy walk: 24-byte stride, a valid-bit test and an
+// early-exit compare per way. This header provides the structure-of-arrays
+// alternative: each container mirrors its tags into one dense uint64 array
+// (kInvalidTag marks invalid ways), and scan_tags() runs a branch-free
+// XOR/compare over four 64-bit lanes per step — exactly the shape compilers
+// map onto 256-bit vector compares, with no per-lane branches to mispredict.
+// The mirror is maintained on insert/invalidate/flush (cold paths); lookup
+// order, LRU decisions and every simulated outcome are bit-identical to the
+// reference walk (test_fastpath_differential proves it), so the toggle below
+// is a pure engine switch, never semantics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstddef>
+
+namespace tlbmap {
+
+/// Tag of an invalid way in the SoA mirrors. Real tags cannot collide with
+/// it: line addresses are physical >> line_shift with frames allocated
+/// sequentially from zero, and page numbers are virtual >> page_shift of
+/// user-space addresses — both far below 2^64 - 1.
+inline constexpr std::uint64_t kInvalidTag = ~std::uint64_t{0};
+
+namespace detail {
+inline std::atomic<bool> g_simd_scan{true};
+}  // namespace detail
+
+/// Runtime toggle for the SoA scan kernels (default on). Scalar mode keeps
+/// the historical reference walks for A/B benchmarking and bisection.
+inline bool simd_scan_enabled() {
+  return detail::g_simd_scan.load(std::memory_order_relaxed);
+}
+inline void set_simd_scan_enabled(bool enabled) {
+  detail::g_simd_scan.store(enabled, std::memory_order_relaxed);
+}
+
+/// Index of `needle` in tags[0..n), or -1. Branch-free four-lane blocks:
+/// the block test is one OR-reduction of lane compares (vectorizable);
+/// lane disambiguation only runs on the rare hit block.
+inline int scan_tags(const std::uint64_t* tags, std::size_t n,
+                     std::uint64_t needle) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const bool h0 = tags[i] == needle;
+    const bool h1 = tags[i + 1] == needle;
+    const bool h2 = tags[i + 2] == needle;
+    const bool h3 = tags[i + 3] == needle;
+    if (h0 | h1 | h2 | h3) {
+      if (h0) return static_cast<int>(i);
+      if (h1) return static_cast<int>(i + 1);
+      if (h2) return static_cast<int>(i + 2);
+      return static_cast<int>(i + 3);
+    }
+  }
+  for (; i < n; ++i) {
+    if (tags[i] == needle) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace tlbmap

@@ -10,10 +10,16 @@ Tlb::Tlb(const TlbConfig& config) : config_(config) {
   num_sets_ = config_.num_sets();
   ways_ = config_.ways;
   entries_.resize(num_sets_ * ways_);
+  tags_.assign(num_sets_ * ways_, kInvalidTag);
 }
 
 TlbEntry* Tlb::find(PageNum page) {
   TlbEntry* base = entries_.data() + set_index(page) * ways_;
+  if (simd_scan_enabled()) {
+    const int w =
+        scan_tags(tags_.data() + set_index(page) * ways_, ways_, page);
+    return w < 0 ? nullptr : &base[w];
+  }
   for (std::size_t w = 0; w < ways_; ++w) {
     if (base[w].valid && base[w].page == page) return &base[w];
   }
@@ -45,6 +51,7 @@ void Tlb::insert(PageNum page) {
   victim->page = page;
   victim->valid = true;
   victim->lru_stamp = ++clock_;
+  tags_[static_cast<std::size_t>(victim - entries_.data())] = page;
 }
 
 bool Tlb::contains(PageNum page) const {
@@ -54,6 +61,7 @@ bool Tlb::contains(PageNum page) const {
 bool Tlb::invalidate(PageNum page) {
   if (TlbEntry* e = find(page)) {
     e->valid = false;
+    tags_[static_cast<std::size_t>(e - entries_.data())] = kInvalidTag;
     return true;
   }
   return false;
@@ -61,6 +69,7 @@ bool Tlb::invalidate(PageNum page) {
 
 void Tlb::flush() {
   std::fill(entries_.begin(), entries_.end(), TlbEntry{});
+  std::fill(tags_.begin(), tags_.end(), kInvalidTag);
   clock_ = 0;
 }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "sim/config.hpp"
+#include "sim/scan.hpp"
 #include "sim/types.hpp"
 
 namespace tlbmap {
@@ -57,6 +58,17 @@ class Tlb {
   /// TLBs in lockstep; the SM detector probes a single set).
   std::span<const TlbEntry> set_entries(std::size_t set) const;
 
+  /// The SoA tag mirror of one set / of the whole TLB: page numbers with
+  /// kInvalidTag in invalid ways, set-major, dense. The HM detector's sweep
+  /// reads these spans instead of striding through TlbEntry structs; the
+  /// values always agree with set_entries() exactly.
+  std::span<const std::uint64_t> set_tags(std::size_t set) const {
+    return {tags_.data() + set * ways_, ways_};
+  }
+  std::span<const std::uint64_t> tags() const {
+    return {tags_.data(), tags_.size()};
+  }
+
   /// Number of valid entries (test/debug aid).
   std::size_t valid_entries() const;
 
@@ -77,6 +89,10 @@ class Tlb {
   std::size_t ways_ = 0;
   std::uint64_t clock_ = 0;
   std::vector<TlbEntry> entries_;  ///< num_sets_ * ways_, set-major
+  /// SoA mirror of entries_[i].page (kInvalidTag when invalid), maintained
+  /// by insert/invalidate/flush; backs the hot lookup scan and the HM
+  /// detector's sweep (scan.hpp).
+  std::vector<std::uint64_t> tags_;
 };
 
 }  // namespace tlbmap

@@ -17,6 +17,7 @@
 #include "mapping/mapping.hpp"
 #include "npb/workload.hpp"
 #include "sim/machine.hpp"
+#include "sim/scan.hpp"
 
 namespace tlbmap {
 namespace {
@@ -162,6 +163,66 @@ TEST(CoherenceDirectoryDifferential, DynamicMigrationRunsMatchBroadcast) {
   EXPECT_EQ(with_directory.migrations, with_broadcast.migrations);
   EXPECT_EQ(with_directory.remap_decisions, with_broadcast.remap_decisions);
   EXPECT_EQ(with_directory.final_mapping, with_broadcast.final_mapping);
+}
+
+/// Restores the process-global scan toggle even if an assertion fires.
+struct ScopedScalarScan {
+  ScopedScalarScan() { set_simd_scan_enabled(false); }
+  ~ScopedScalarScan() { set_simd_scan_enabled(true); }
+};
+
+// The SoA tag-scan kernels (scan.hpp) are the fourth engine fast path:
+// TLB lookups, cache set scans and the HM sweep read dense uint64 tag
+// mirrors instead of striding through structs. Same contract as the rest —
+// the simulated outcome must be bit-identical to the scalar reference
+// walk, on static and detection-driven dynamic runs alike.
+TEST(ScanKernelDifferential, SimdAndScalarScansProduceIdenticalRuns) {
+  for (const char* variant : {"uma", "numa_first_touch"}) {
+    const auto workload = make_npb_workload("SP", small_params());
+    const MachineConfig config = machine_variant(variant);
+    const Mapping mapping = random_mapping(workload->num_threads(),
+                                           config.num_cores(), /*seed=*/53);
+    ASSERT_TRUE(simd_scan_enabled());  // default on
+    const MachineStats simd = run_app(config, *workload, mapping,
+                                      /*fast_hierarchy=*/true,
+                                      /*heap_threshold=*/16, /*seed=*/7);
+    MachineStats scalar;
+    {
+      ScopedScalarScan scoped;
+      scalar = run_app(config, *workload, mapping,
+                       /*fast_hierarchy=*/true, /*heap_threshold=*/16,
+                       /*seed=*/7);
+    }
+    EXPECT_TRUE(simd == scalar)
+        << variant << ": SoA tag scan changed simulated results (tlb "
+        << simd.tlb_hits << "/" << simd.tlb_misses << " vs "
+        << scalar.tlb_hits << "/" << scalar.tlb_misses << ", cycles "
+        << simd.execution_cycles << " vs " << scalar.execution_cycles << ")";
+  }
+}
+
+// The HM detector's sweep reads the tag mirrors directly (naive pairwise
+// and inverted-index paths both); the communication matrix and the dynamic
+// mapping decisions built from it must not notice.
+TEST(ScanKernelDifferential, HmSweepMatchesScalarOnDynamicRuns) {
+  const auto workload = make_npb_workload("CG", small_params());
+  const MachineConfig config = MachineConfig::harpertown();
+  const Mapping initial = random_mapping(workload->num_threads(),
+                                         config.num_cores(), /*seed=*/59);
+  OnlineMapperConfig online;
+  online.remap_every_barriers = 2;
+
+  auto run_dynamic = [&] {
+    Pipeline pipe(config);
+    return pipe.evaluate_dynamic(*workload, initial, online, /*seed=*/9);
+  };
+  const auto simd = run_dynamic();
+  ScopedScalarScan scoped;
+  const auto scalar = run_dynamic();
+  EXPECT_TRUE(simd.stats == scalar.stats);
+  EXPECT_EQ(simd.migrations, scalar.migrations);
+  EXPECT_EQ(simd.remap_decisions, scalar.remap_decisions);
+  EXPECT_EQ(simd.final_mapping, scalar.final_mapping);
 }
 
 // The heap and linear min-clock pickers must choose the same thread at
@@ -313,6 +374,38 @@ TEST(CoherenceDirectoryInvariant, MasksMatchCacheContentsAfterRuns) {
     EXPECT_EQ(coherence.directory_lines(), 0u) << app;
     EXPECT_TRUE(coherence.directory_consistent()) << app;
   }
+}
+
+// The epoch-parallel engine composes with every engine fast path tested
+// above: on the coherence-bound 256-core manycore preset, workers=8 with
+// the full fast-path stack (directory + memo + heap scheduler) must equal
+// workers=1 bit for bit — the acceptance contract of the parallel core
+// (test_parallel_machine.cpp holds the rest of it).
+TEST(ManycoreDifferential, EpochEngineWorkers8MatchWorkers1At256Cores) {
+  WorkloadParams params = small_params(64);
+  params.size_scale = 0.25;
+  params.iter_scale = 0.1;
+  const auto workload = make_npb_workload("SP", params);
+  const MachineConfig config = MachineConfig::manycore();
+  ASSERT_EQ(config.num_cores(), 256);
+  const Mapping mapping = random_mapping(workload->num_threads(),
+                                         config.num_cores(), /*seed=*/71);
+
+  auto run_parallel = [&](int workers) {
+    Machine machine(config);
+    Machine::RunConfig run;
+    run.thread_to_core = mapping;
+    run.machine_workers = workers;
+    return machine.run(streams_of(*workload, /*seed=*/23), run);
+  };
+  const MachineStats reference = run_parallel(1);
+  const MachineStats parallel = run_parallel(8);
+  EXPECT_GT(reference.snoop_transactions, 0u);
+  EXPECT_TRUE(parallel == reference)
+      << "epoch engine: workers=8 diverged from workers=1 (cycles "
+      << parallel.execution_cycles << " vs " << reference.execution_cycles
+      << ", invalidations " << parallel.invalidations << " vs "
+      << reference.invalidations << ")";
 }
 
 // Opting out via MachineConfig::coherence_broadcast leaves the directory

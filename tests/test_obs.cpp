@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdint>
 #include <limits>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -434,6 +435,45 @@ TEST(SelfProf, CollapsedStacksRebuildNesting) {
             "outer 80\n"
             "outer;inner 20\n"
             "tail 5\n");
+}
+
+TEST(SelfProf, SpanSelfTimesAttributeWallToInnermostSpan) {
+  Tracer tracer(16);
+  tracer.set_clock(counting_clock());
+  // outer [0,100) encloses inner [10,30): a naive per-span duration sum
+  // would report 125 us across 105 us of wall time. Self attribution gives
+  // outer 80, inner 20, tail 5 — summing to the real covered wall time.
+  tracer.record_span("outer", "phase", 0, 100);
+  tracer.record_span("inner", "phase", 10, 20);
+  tracer.record_span("tail", "phase", 150, 5);
+  std::map<std::string, std::uint64_t> by_name;
+  std::uint64_t total = 0;
+  for (const SpanSelf& span : span_self_times(tracer)) {
+    by_name[span.name] += span.self_us;
+    total += span.self_us;
+  }
+  EXPECT_EQ(by_name["outer"], 80u);
+  EXPECT_EQ(by_name["inner"], 20u);
+  EXPECT_EQ(by_name["tail"], 5u);
+  EXPECT_EQ(total, 105u);
+}
+
+TEST(SelfProf, SpanSelfTimesDoNotDoubleCountSameNameNesting) {
+  Tracer tracer(16);
+  tracer.set_clock(counting_clock());
+  // A phase nested inside itself (recursive helper, re-entered stage):
+  // summing by name must still yield the enclosing wall time once.
+  tracer.record_span("phase", "work", 0, 100);
+  tracer.record_span("phase", "work", 10, 30);
+  std::uint64_t total = 0;
+  std::size_t count = 0;
+  for (const SpanSelf& span : span_self_times(tracer)) {
+    EXPECT_EQ(span.name, "phase");
+    total += span.self_us;
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);
+  EXPECT_EQ(total, 100u);
 }
 
 TEST(SelfProf, ProfilerAndManifestRender) {
