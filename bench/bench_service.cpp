@@ -1,0 +1,127 @@
+// Engineering bench: mapping-service hot paths (google-benchmark).
+//
+// Not a paper artefact — this prices DESIGN.md Sec. 16: what the hardened
+// ingest path costs per decoded event (bounded queues, deadline slices,
+// round-robin decode into the stream detector), what a decision read costs
+// when it is a cache hit versus a drift re-match, and what sealing /
+// restoring a full service checkpoint costs per session. CI's soak job
+// publishes the JSON as BENCH_service.json for cross-commit comparison.
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "npb/workload.hpp"
+#include "sim/trace_file.hpp"
+#include "svc/service.hpp"
+
+namespace {
+
+using namespace tlbmap;
+using svc::MappingService;
+using svc::ServiceConfig;
+using svc::SessionId;
+
+ServiceConfig bench_config() {
+  ServiceConfig config;
+  config.detector.window_pages = 32;
+  config.detector.sweep_every = 1024;
+  return config;
+}
+
+const std::vector<std::vector<std::uint8_t>>& bench_buffers() {
+  static const auto buffers = [] {
+    WorkloadParams params;
+    params.num_threads = 4;
+    params.size_scale = 0.1;
+    params.iter_scale = 0.1;
+    return record_workload(*make_npb_workload("CG", params), /*seed=*/1);
+  }();
+  return buffers;
+}
+
+/// Streams one tenant start to finish: chunked ingest, pump per round,
+/// backpressure honoured. Returns events decoded (the throughput unit).
+std::uint64_t stream_one_tenant(MappingService& service, SessionId id,
+                                std::size_t chunk) {
+  const auto& buffers = bench_buffers();
+  std::vector<std::size_t> cursor(buffers.size(), 0);
+  std::uint64_t events = 0;
+  for (;;) {
+    bool fed = false;
+    for (ThreadId t = 0; t < static_cast<ThreadId>(buffers.size()); ++t) {
+      if (cursor[t] >= buffers[t].size()) continue;
+      const std::size_t n =
+          std::min(chunk, buffers[t].size() - cursor[t]);
+      if (service.ingest(id, t, buffers[t].data() + cursor[t], n)
+              .has_value()) {
+        cursor[t] += n;
+      }
+      fed = true;
+    }
+    events += service.pump();
+    if (!fed && service.find(id)->status() != svc::SessionStatus::kActive) {
+      break;
+    }
+  }
+  return events;
+}
+
+void BM_ServiceIngestPump(benchmark::State& state) {
+  const std::size_t chunk = static_cast<std::size_t>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    MappingService service(bench_config());
+    const SessionId id = *service.open_session("bench", 4);
+    events += stream_one_tenant(service, id, chunk);
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ServiceIngestPump)->Arg(256)->Arg(4096);
+
+void BM_ServiceDecisionCacheHit(benchmark::State& state) {
+  // Steady state: stream drained, decision cached; every read is the O(1)
+  // cached-placement path the Sec. 16 read contract promises.
+  MappingService service(bench_config());
+  const SessionId id = *service.open_session("bench", 4);
+  stream_one_tenant(service, id, 4096);
+  if (!service.decision(id).has_value()) {
+    state.SkipWithError("no decision from the bench stream");
+    return;
+  }
+  for (auto _ : state) {
+    auto decision = service.decision(id);
+    benchmark::DoNotOptimize(decision);
+  }
+}
+BENCHMARK(BM_ServiceDecisionCacheHit);
+
+void BM_ServiceCheckpointRoundTrip(benchmark::State& state) {
+  // Mid-stream snapshot of N sessions: the SIGTERM path's cost.
+  const int tenants = static_cast<int>(state.range(0));
+  MappingService service(bench_config());
+  const auto& buffers = bench_buffers();
+  for (int k = 0; k < tenants; ++k) {
+    const SessionId id =
+        *service.open_session("bench-" + std::to_string(k), 4);
+    for (ThreadId t = 0; t < static_cast<ThreadId>(buffers.size()); ++t) {
+      (void)service.ingest(id, t, buffers[t].data(),
+                           std::min<std::size_t>(buffers[t].size(), 8192));
+    }
+  }
+  service.pump();
+  for (auto _ : state) {
+    const std::string sealed = service.serialize("bench-extra");
+    MappingService restored(bench_config());
+    auto extra = restored.restore(sealed);
+    benchmark::DoNotOptimize(extra);
+  }
+}
+BENCHMARK(BM_ServiceCheckpointRoundTrip)->Arg(1)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "core/codec.hpp"
 #include "core/io.hpp"
 
 namespace tlbmap {
@@ -20,136 +21,16 @@ constexpr std::size_t kHeaderSize = 28;
 constexpr std::uint64_t kMaxThreads = 4096;
 constexpr std::uint64_t kMaxCount = 1u << 20;
 
-void append_u32(std::string& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    out.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
-  }
-}
-
-void append_u64(std::string& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
-  }
-}
-
-std::uint32_t load_u32(std::string_view bytes, std::size_t at) {
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) {
-    v |= static_cast<std::uint32_t>(
-             static_cast<unsigned char>(bytes[at + static_cast<std::size_t>(i)]))
-         << (8 * i);
-  }
-  return v;
-}
-
-std::uint64_t load_u64(std::string_view bytes, std::size_t at) {
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) {
-    v |= static_cast<std::uint64_t>(
-             static_cast<unsigned char>(bytes[at + static_cast<std::size_t>(i)]))
-         << (8 * i);
-  }
-  return v;
-}
-
 std::string hex(std::uint64_t v) {
   std::ostringstream os;
   os << "0x" << std::hex << v;
   return os.str();
 }
 
-/// Little-endian payload writer.
-class BinWriter {
- public:
-  void u32(std::uint32_t v) { append_u32(out_, v); }
-  void u64(std::uint64_t v) { append_u64(out_, v); }
-  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
-  void boolean(bool v) { out_.push_back(v ? '\1' : '\0'); }
-  void str(std::string_view s) {
-    u64(s.size());
-    out_.append(s);
-  }
-  std::string take() { return std::move(out_); }
+}  // namespace
 
- private:
-  std::string out_;
-};
-
-/// Little-endian payload reader with a sticky structured error. The first
-/// failure records a kCorruptCheckpoint carrying the byte offset; every
-/// later getter returns a zero value without advancing, so decode code can
-/// read a whole record linearly and check ok() once at the end.
-class BinReader {
- public:
-  explicit BinReader(std::string_view data) : data_(data) {}
-
-  std::uint32_t u32() {
-    if (!need(4, "u32")) return 0;
-    const std::uint32_t v = load_u32(data_, pos_);
-    pos_ += 4;
-    return v;
-  }
-  std::uint64_t u64() {
-    if (!need(8, "u64")) return 0;
-    const std::uint64_t v = load_u64(data_, pos_);
-    pos_ += 8;
-    return v;
-  }
-  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
-  bool boolean() {
-    if (!need(1, "bool")) return false;
-    const unsigned char c = static_cast<unsigned char>(data_[pos_]);
-    if (c > 1) {
-      fail("bool field holds " + std::to_string(static_cast<int>(c)));
-      return false;
-    }
-    ++pos_;
-    return c == 1;
-  }
-  std::string str() {
-    const std::uint64_t len = u64();
-    if (!ok()) return {};
-    if (len > data_.size() - pos_) {
-      fail("string length " + std::to_string(len) + " exceeds remaining " +
-           std::to_string(data_.size() - pos_) + " bytes");
-      return {};
-    }
-    std::string s(data_.substr(pos_, static_cast<std::size_t>(len)));
-    pos_ += static_cast<std::size_t>(len);
-    return s;
-  }
-
-  bool ok() const { return !err_.has_value(); }
-  bool at_end() const { return pos_ == data_.size(); }
-  std::size_t pos() const { return pos_; }
-  const Error& error() const { return *err_; }
-
-  /// Records the first failure; the offset in the message is where the
-  /// decode stood when the damage was noticed.
-  void fail(const std::string& what) {
-    if (!err_) {
-      err_ = Error{ErrorCode::kCorruptCheckpoint,
-                   "checkpoint payload: " + what + " at byte " +
-                       std::to_string(pos_)};
-    }
-  }
-
- private:
-  bool need(std::size_t n, const char* what) {
-    if (err_) return false;
-    if (data_.size() - pos_ < n) {
-      fail(std::string("truncated reading ") + what);
-      return false;
-    }
-    return true;
-  }
-
-  std::string_view data_;
-  std::size_t pos_ = 0;
-  std::optional<Error> err_;
-};
-
-// ---- field encoders (shared by the suite and detector-state formats) ----
+// ---- field encoders (shared by the suite, detector-state and service
+// session formats; declared in checkpoint.hpp) ----
 
 void write_stats(BinWriter& w, const MachineStats& s) {
   w.u64(s.accesses);
@@ -226,22 +107,6 @@ CommMatrix read_matrix(BinReader& r) {
   return m;
 }
 
-void write_detection(BinWriter& w, const DetectionResult& d) {
-  w.str(d.mechanism);
-  w.u64(d.searches);
-  write_stats(w, d.stats);
-  write_matrix(w, d.matrix);
-}
-
-DetectionResult read_detection(BinReader& r) {
-  DetectionResult d;
-  d.mechanism = r.str();
-  d.searches = r.u64();
-  d.stats = read_stats(r);
-  d.matrix = read_matrix(r);
-  return d;
-}
-
 void write_mapping(BinWriter& w, const Mapping& m) {
   w.u64(m.size());
   for (const CoreId core : m) w.u32(static_cast<std::uint32_t>(core));
@@ -260,6 +125,24 @@ Mapping read_mapping(BinReader& r) {
     m.push_back(static_cast<CoreId>(r.u32()));
   }
   return m;
+}
+
+namespace {
+
+void write_detection(BinWriter& w, const DetectionResult& d) {
+  w.str(d.mechanism);
+  w.u64(d.searches);
+  write_stats(w, d.stats);
+  write_matrix(w, d.matrix);
+}
+
+DetectionResult read_detection(BinReader& r) {
+  DetectionResult d;
+  d.mechanism = r.str();
+  d.searches = r.u64();
+  d.stats = read_stats(r);
+  d.matrix = read_matrix(r);
+  return d;
 }
 
 void write_sm(BinWriter& w, const SmDetectorState& s) {

@@ -35,6 +35,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/codec.hpp"
 #include "core/dynamic.hpp"
 #include "core/expected.hpp"
 #include "core/pipeline.hpp"
@@ -93,6 +94,16 @@ Expected<void> save_checkpoint(const std::filesystem::path& path,
 /// read_file + parse_checkpoint. kIoError when the file cannot be read.
 Expected<SuiteCheckpoint> load_checkpoint(const std::filesystem::path& path,
                                           std::uint64_t expected_hash);
+
+// Shared field codecs over core/codec.hpp, reused by every payload format
+// in this file and by the service session snapshots (src/svc/): fixed-width
+// little-endian fields, length-prefixed containers, range-checked on read.
+void write_stats(BinWriter& w, const MachineStats& s);
+MachineStats read_stats(BinReader& r);
+void write_matrix(BinWriter& w, const CommMatrix& m);
+CommMatrix read_matrix(BinReader& r);
+void write_mapping(BinWriter& w, const Mapping& m);
+Mapping read_mapping(BinReader& r);
 
 // Mid-run detector / online-mapper snapshots (payload-level encodings;
 // wrap in seal_checkpoint or the save/load helpers below for files).

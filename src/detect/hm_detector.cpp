@@ -70,10 +70,11 @@ Cycles HmDetector::on_tick_faulty(Cycles now) {
   // Outstanding retry of a failed sweep: attempt again once the backoff
   // window has passed. Each attempt — failed or not — still stalls the
   // machine for search_cost (the kernel ran either way).
+  const RetryPolicy retry = sweep_retry_policy();
   if (retry_count_ > 0) {
     if (now < retry_at_) return 0;
     if (fault_->fail_sweep()) {
-      if (retry_count_ >= kMaxSweepRetries) {
+      if (!retry.should_retry(retry_count_ + 1)) {
         // Give up: this detection epoch is lost; the regular cadence
         // resumes at the next interval boundary.
         retry_count_ = 0;
@@ -81,9 +82,8 @@ Cycles HmDetector::on_tick_faulty(Cycles now) {
           obs_->tracer.record_instant("HM.sweep_abandoned", "detector", "");
         }
       } else {
-        retry_at_ = now + (std::max<Cycles>(config_.interval / 8, 1)
-                           << retry_count_);
         ++retry_count_;
+        retry_at_ = now + retry.delay(retry_count_);
       }
       return config_.search_cost;
     }
@@ -104,7 +104,7 @@ Cycles HmDetector::on_tick_faulty(Cycles now) {
   if (fault_->fail_sweep()) {
     // First failure: charge the attempt and schedule a backoff retry.
     retry_count_ = 1;
-    retry_at_ = now + std::max<Cycles>(config_.interval / 8, 1);
+    retry_at_ = now + retry.delay(1);
     if (obs_ != nullptr && obs_->full()) {
       obs_->tracer.record_instant("HM.sweep_failed", "detector", "");
     }

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/fault.hpp"
+#include "core/retry.hpp"
 #include "detect/detector.hpp"
 #include "sim/machine.hpp"
 
@@ -92,6 +93,17 @@ class HmDetector final : public Detector {
   /// std::invalid_argument when the snapshot's matrix size does not match
   /// this detector's thread count.
   void restore(const HmDetectorState& state);
+
+  /// The sweep-retry schedule as the shared RetryPolicy (DESIGN.md
+  /// Sec. 16): kMaxSweepRetries attempts, base interval/8, doubling, no
+  /// jitter — bit-identical to the hand-rolled loop this site had before
+  /// the policy existed (the fault tests pin the cadence).
+  RetryPolicy sweep_retry_policy() const {
+    RetryPolicy policy;
+    policy.max_attempts = kMaxSweepRetries;
+    policy.base_delay = config_.interval / 8 > 0 ? config_.interval / 8 : 1;
+    return policy;
+  }
 
  private:
   /// Fault-aware tick path: identical cadence plus injected sweep delays,

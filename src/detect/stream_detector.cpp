@@ -1,0 +1,129 @@
+#include "detect/stream_detector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace tlbmap {
+
+void StreamDetectorConfig::validate() const {
+  if (window_pages < 1) {
+    throw std::invalid_argument("StreamDetector: window_pages must be >= 1");
+  }
+  if (sweep_every == 0) {
+    throw std::invalid_argument("StreamDetector: sweep_every must be >= 1");
+  }
+  if (sweep_shards < 1) {
+    throw std::invalid_argument("StreamDetector: sweep_shards must be >= 1");
+  }
+}
+
+StreamDetector::StreamDetector(int num_threads, StreamDetectorConfig config)
+    : config_(config), matrix_(num_threads) {
+  config_.validate();
+  if (num_threads < 1) {
+    throw std::invalid_argument("StreamDetector: num_threads must be >= 1");
+  }
+  windows_.resize(static_cast<std::size_t>(num_threads));
+  for (auto& w : windows_) {
+    w.reserve(static_cast<std::size_t>(config_.window_pages));
+  }
+  shards_.assign(static_cast<std::size_t>(config_.sweep_shards),
+                 CommMatrixShard(num_threads));
+}
+
+void StreamDetector::feed(ThreadId thread, PageNum page) {
+  if (thread < 0 || thread >= num_threads()) {
+    throw std::invalid_argument("StreamDetector: thread " +
+                                std::to_string(thread) + " out of range");
+  }
+  std::vector<PageNum>& window = windows_[static_cast<std::size_t>(thread)];
+  // LRU refresh: windows are <= a few hundred entries, so a linear scan
+  // beats hash-map overhead (mirrors the Tlb's set-walk reasoning).
+  const auto it = std::find(window.begin(), window.end(), page);
+  if (it != window.end()) {
+    window.erase(it);
+  } else if (window.size() >= static_cast<std::size_t>(config_.window_pages)) {
+    window.erase(window.begin());
+  }
+  window.push_back(page);
+  ++events_;
+  if (events_ % config_.sweep_every == 0) sweep();
+}
+
+void StreamDetector::sweep() {
+  page_entries_.clear();
+  for (ThreadId t = 0; t < num_threads(); ++t) {
+    for (const PageNum page : windows_[static_cast<std::size_t>(t)]) {
+      page_entries_.emplace_back(page, t);
+    }
+  }
+  // Sort-group by page; a window never holds a page twice, so the group
+  // size is exactly the sharer count (same argument as the HM sweep's
+  // inverted index).
+  std::sort(page_entries_.begin(), page_entries_.end());
+  for (auto& shard : shards_) shard.clear();
+  std::size_t group = 0;
+  std::size_t begin = 0;
+  while (begin < page_entries_.size()) {
+    std::size_t end = begin + 1;
+    while (end < page_entries_.size() &&
+           page_entries_[end].first == page_entries_[begin].first) {
+      ++end;
+    }
+    if (end - begin >= 2) {
+      CommMatrixShard& shard = shards_[group % shards_.size()];
+      for (std::size_t i = begin; i < end; ++i) {
+        for (std::size_t j = i + 1; j < end; ++j) {
+          shard.add(page_entries_[i].second, page_entries_[j].second);
+        }
+      }
+      ++group;
+    }
+    begin = end;
+  }
+  matrix_.merge(shards_);
+  ++sweeps_;
+}
+
+std::size_t StreamDetector::memory_bytes() const {
+  const std::size_t n = static_cast<std::size_t>(matrix_.size());
+  const std::size_t tri = n * (n - 1) / 2;
+  std::size_t bytes = n * n * sizeof(std::uint64_t);  // full matrix cells
+  bytes += shards_.size() * tri * sizeof(std::uint64_t);
+  for (const auto& w : windows_) bytes += w.capacity() * sizeof(PageNum);
+  bytes += page_entries_.capacity() * sizeof(page_entries_[0]);
+  return bytes;
+}
+
+StreamDetectorState StreamDetector::state() const {
+  StreamDetectorState s;
+  s.matrix = matrix_;
+  s.events = events_;
+  s.sweeps = sweeps_;
+  s.windows = windows_;
+  return s;
+}
+
+void StreamDetector::restore(const StreamDetectorState& state) {
+  if (state.matrix.size() != matrix_.size()) {
+    throw std::invalid_argument(
+        "StreamDetector::restore: matrix size mismatch");
+  }
+  if (state.windows.size() != windows_.size()) {
+    throw std::invalid_argument(
+        "StreamDetector::restore: window count mismatch");
+  }
+  for (const auto& w : state.windows) {
+    if (w.size() > static_cast<std::size_t>(config_.window_pages)) {
+      throw std::invalid_argument(
+          "StreamDetector::restore: window exceeds configured size");
+    }
+  }
+  matrix_ = state.matrix;
+  events_ = state.events;
+  sweeps_ = state.sweeps;
+  windows_ = state.windows;
+}
+
+}  // namespace tlbmap

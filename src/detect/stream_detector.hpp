@@ -1,0 +1,100 @@
+// Incremental sharing detection over a streamed trace (DESIGN.md Sec. 16).
+//
+// The batch detectors (SM/HM) observe a *simulated machine's* TLBs; the
+// mapping service has no machine — only per-thread trace streams arriving
+// in fragments. The StreamDetector reconstructs the paper's HM view from
+// the stream alone: each thread keeps a small LRU window of recently
+// touched pages (its TLB stand-in), and every `sweep_every` fed accesses a
+// sweep intersects the windows exactly like HmDetector::sweep_indexed —
+// sort-grouped (page, thread) pairs, C(k, 2) pair counts for every page
+// resident in >= 2 windows, accumulated through CommMatrixShards and
+// folded with CommMatrix::merge so the result is deterministic for any
+// shard count.
+//
+// Everything is bounded by construction: windows are fixed-size, the
+// matrix is O(threads^2), and scratch is reused across sweeps — the
+// service's per-tenant memory accounting leans on memory_bytes() being an
+// honest, deterministic estimate.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "detect/comm_matrix.hpp"
+#include "sim/types.hpp"
+
+namespace tlbmap {
+
+struct StreamDetectorConfig {
+  /// Pages remembered per thread (the TLB-entry stand-in; paper-scale TLBs
+  /// hold 64-512 entries).
+  int window_pages = 64;
+  /// Fed access events between sweeps (the streaming analogue of the HM
+  /// detector's cycle interval).
+  std::uint64_t sweep_every = 4096;
+  /// CommMatrixShards the sweep accumulates into before the deterministic
+  /// merge; >1 exists for parity with the HM sweep's sharding, the result
+  /// is bit-identical for any value.
+  int sweep_shards = 1;
+
+  /// Throws std::invalid_argument on a non-positive window, cadence or
+  /// shard count (matching the config validate() style of the repo).
+  void validate() const;
+};
+
+/// Serializable snapshot (service session checkpoints): restoring into a
+/// fresh detector of the same shape reproduces all future sweeps exactly.
+struct StreamDetectorState {
+  CommMatrix matrix{1};
+  std::uint64_t events = 0;
+  std::uint64_t sweeps = 0;
+  /// Per-thread windows in LRU order (front = coldest).
+  std::vector<std::vector<PageNum>> windows;
+
+  bool operator==(const StreamDetectorState&) const = default;
+};
+
+class StreamDetector {
+ public:
+  StreamDetector(int num_threads, StreamDetectorConfig config = {});
+
+  int num_threads() const { return static_cast<int>(windows_.size()); }
+  const StreamDetectorConfig& config() const { return config_; }
+
+  /// Records one access: O(window) LRU update, plus a sweep when the
+  /// cadence comes due. Out-of-range threads throw std::invalid_argument
+  /// (the service quarantines before this can happen).
+  void feed(ThreadId thread, PageNum page);
+
+  /// Runs one sweep immediately (cadence-independent; the service forces
+  /// one before each mapping decision so the matrix is current).
+  void sweep();
+
+  const CommMatrix& matrix() const { return matrix_; }
+  std::uint64_t events() const { return events_; }
+  std::uint64_t sweeps() const { return sweeps_; }
+
+  /// Deterministic estimate of resident bytes (matrix + windows + shards +
+  /// sweep scratch) for the service's per-tenant budget accounting.
+  std::size_t memory_bytes() const;
+
+  /// Copies out / restores matrix, cursors and windows.
+  StreamDetectorState state() const;
+  /// Throws std::invalid_argument when the snapshot's shape (matrix size,
+  /// window count or length) does not fit this detector.
+  void restore(const StreamDetectorState& state);
+
+ private:
+  StreamDetectorConfig config_;
+  CommMatrix matrix_;
+  std::uint64_t events_ = 0;
+  std::uint64_t sweeps_ = 0;
+  std::vector<std::vector<PageNum>> windows_;  ///< LRU order, MRU at back
+
+  // Sweep scratch, reused so steady-state sweeps allocate nothing.
+  std::vector<std::pair<PageNum, ThreadId>> page_entries_;
+  std::vector<CommMatrixShard> shards_;
+};
+
+}  // namespace tlbmap

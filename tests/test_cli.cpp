@@ -187,6 +187,64 @@ TEST(Cli, CheckpointFlagsValidated) {
                    .ok());
 }
 
+TEST(Cli, ServeFlagsParsed) {
+  const CliOptions opt = parse(
+      {"serve", "--tenants", "6", "--corrupt-tenant", "2", "--serve-ticks",
+       "200", "--chunk-bytes", "256", "--max-sessions", "12",
+       "--queue-bytes", "32768", "--session-budget", "1048576",
+       "--total-budget", "8388608", "--deadline-events", "1024",
+       "--drift-threshold", "0.8", "--window-pages", "32", "--sweep-every",
+       "512", "--serve-out", "/tmp/report.json"});
+  ASSERT_TRUE(opt.ok()) << opt.error;
+  EXPECT_EQ(opt.command, "serve");
+  EXPECT_EQ(opt.tenants, 6);
+  EXPECT_EQ(opt.corrupt_tenant, 2);
+  EXPECT_EQ(opt.serve_ticks, 200u);
+  EXPECT_EQ(opt.chunk_bytes, 256u);
+  EXPECT_EQ(opt.max_sessions, 12);
+  EXPECT_EQ(opt.queue_bytes, 32768u);
+  EXPECT_EQ(opt.session_budget_bytes, 1048576u);
+  EXPECT_EQ(opt.total_budget_bytes, 8388608u);
+  EXPECT_EQ(opt.deadline_events, 1024u);
+  EXPECT_DOUBLE_EQ(opt.drift_threshold, 0.8);
+  EXPECT_EQ(opt.window_pages, 32);
+  EXPECT_EQ(opt.sweep_every, 512u);
+  EXPECT_EQ(opt.serve_out, "/tmp/report.json");
+
+  const CliOptions defaults = parse({"serve"});
+  ASSERT_TRUE(defaults.ok()) << defaults.error;
+  EXPECT_EQ(defaults.tenants, 4);
+  EXPECT_EQ(defaults.corrupt_tenant, -1);  // -1 = no fault injection
+  EXPECT_EQ(defaults.serve_ticks, 0u);     // 0 = run until drained
+  EXPECT_TRUE(defaults.serve_out.empty());
+}
+
+TEST(Cli, ServeFlagsValidated) {
+  EXPECT_FALSE(parse({"serve", "--tenants", "0"}).ok());
+  EXPECT_FALSE(parse({"serve", "--chunk-bytes", "0"}).ok());
+  EXPECT_FALSE(parse({"serve", "--max-sessions", "0"}).ok());
+  EXPECT_FALSE(parse({"serve", "--drift-threshold", "1.5"}).ok());
+  EXPECT_FALSE(parse({"serve", "--drift-threshold", "-0.1"}).ok());
+  // The injected fault must name one of the tenants that exist.
+  EXPECT_FALSE(
+      parse({"serve", "--tenants", "3", "--corrupt-tenant", "3"}).ok());
+  EXPECT_TRUE(
+      parse({"serve", "--tenants", "3", "--corrupt-tenant", "2"}).ok());
+  // Serve flags belong to serve.
+  EXPECT_FALSE(parse({"detect", "--tenants", "4"}).ok());
+}
+
+TEST(Cli, ServeAcceptsCheckpointFlags) {
+  // The crash-safety flags apply to the two long-running commands: the
+  // suite and the serve daemon.
+  const CliOptions opt =
+      parse({"serve", "--checkpoint-dir", "/tmp/svc", "--resume"});
+  ASSERT_TRUE(opt.ok()) << opt.error;
+  EXPECT_EQ(opt.checkpoint_dir, "/tmp/svc");
+  EXPECT_TRUE(opt.resume);
+  EXPECT_FALSE(parse({"serve", "--resume"}).ok());  // needs the dir
+}
+
 TEST(Cli, TopologyAndStrategyFlagsParsed) {
   const CliOptions opt =
       parse({"detect", "--sockets", "32", "--cores-per-socket", "8",

@@ -72,6 +72,9 @@ TEST(ErrorCode, EveryCodeHasADistinctName) {
       ErrorCode::kDegenerateMatrix,   ErrorCode::kMappingFailure,
       ErrorCode::kWorkerFailure,      ErrorCode::kInterrupted,
       ErrorCode::kCorruptCheckpoint,  ErrorCode::kCheckpointMismatch,
+      ErrorCode::kCorruptTrace,       ErrorCode::kAdmissionRejected,
+      ErrorCode::kBackpressure,       ErrorCode::kSessionQuarantined,
+      ErrorCode::kSaturatedMatrix,
   };
   std::set<std::string> names;
   for (const ErrorCode code : all) {

@@ -342,5 +342,169 @@ TEST(TraceFile, CompressionBeatsNaiveEncodingOnNpb) {
   EXPECT_GT(accesses, 10'000u);
 }
 
+// ---------------------------------------------------------------------------
+// TraceStreamDecoder: the incremental, non-throwing decoder behind the
+// mapping service's ingest path (DESIGN.md Sec. 16).
+
+std::vector<std::uint8_t> small_recorded_buffer() {
+  SyntheticSpec spec;
+  spec.pattern = SyntheticSpec::Pattern::kPairs;
+  spec.private_pages = 8;
+  spec.iterations = 2;
+  return record_workload(*make_synthetic(spec), /*seed=*/3)[0];
+}
+
+/// Drains every currently decodable record; returns false on kNeedMore,
+/// true on kEnd, FAILs the test on a structured error.
+bool drain_decoder(TraceStreamDecoder& decoder,
+                   std::vector<TraceEvent>* out) {
+  for (;;) {
+    TraceEvent event;
+    const auto status = decoder.next(&event);
+    if (!status.has_value()) {
+      ADD_FAILURE() << status.error().message;
+      return true;
+    }
+    if (*status == TraceStreamDecoder::Status::kNeedMore) return false;
+    if (*status == TraceStreamDecoder::Status::kEnd) return true;
+    out->push_back(event);
+  }
+}
+
+TEST(TraceStreamDecoder, ByteAtATimeMatchesWholeBufferReplay) {
+  const auto bytes = small_recorded_buffer();
+  TraceReader reader(bytes);
+  const std::vector<TraceEvent> expected = drain(reader);
+
+  TraceStreamDecoder decoder;
+  std::vector<TraceEvent> streamed;
+  bool ended = false;
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    decoder.feed(&bytes[i], 1);  // worst-case fragmentation
+    ended = drain_decoder(decoder, &streamed);
+  }
+  EXPECT_TRUE(ended);
+  EXPECT_TRUE(decoder.finished());
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+  EXPECT_EQ(decoder.offset(), bytes.size());
+  ASSERT_EQ(streamed.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(streamed[i].kind, expected[i].kind) << i;
+    if (expected[i].kind == TraceEvent::Kind::kAccess) {
+      ASSERT_EQ(streamed[i].access.addr, expected[i].access.addr) << i;
+      ASSERT_EQ(streamed[i].access.type, expected[i].access.type) << i;
+      ASSERT_EQ(streamed[i].access.compute_gap,
+                expected[i].access.compute_gap)
+          << i;
+    }
+  }
+}
+
+TEST(TraceStreamDecoder, NeedMoreMidRecordThenResumes) {
+  // Header + one access whose varint splits across feeds.
+  const std::vector<std::uint8_t> bytes = {'T', 'L', 'B', 'T', 1,
+                                           0x02, 0x80, 0x20, 0x01};
+  TraceStreamDecoder decoder;
+  TraceEvent event;
+  decoder.feed(bytes.data(), 7);  // ends inside the address varint
+  auto status = decoder.next(&event);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(*status, TraceStreamDecoder::Status::kNeedMore);
+  EXPECT_EQ(decoder.buffered_bytes(), 2u);  // undecoded record tail
+
+  decoder.feed(bytes.data() + 7, 2);
+  status = decoder.next(&event);
+  ASSERT_TRUE(status.has_value());
+  ASSERT_EQ(*status, TraceStreamDecoder::Status::kEvent);
+  EXPECT_EQ(event.kind, TraceEvent::Kind::kAccess);
+  EXPECT_EQ(event.access.addr, 0x1000u);  // varint 0x80 0x20 = 4096
+
+  status = decoder.next(&event);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(*status, TraceStreamDecoder::Status::kEnd);
+  // kEnd is terminal and idempotent.
+  EXPECT_EQ(*decoder.next(&event), TraceStreamDecoder::Status::kEnd);
+}
+
+TEST(TraceStreamDecoder, CorruptCorpusYieldsStructuredStickyErrors) {
+  struct Fixture {
+    const char* label;
+    std::vector<std::uint8_t> bytes;
+    ErrorCode expected;
+  };
+  std::vector<std::uint8_t> overlong = {'T', 'L', 'B', 'T', 1, 0x02};
+  for (int i = 0; i < 11; ++i) overlong.push_back(0x80);
+  overlong.push_back(0x01);
+  // Access with the gap flag whose gap varint decodes above 32 bits: the
+  // writer never emits one, so it is corruption, not just bad framing.
+  const std::vector<std::uint8_t> wide_gap = {'T', 'L', 'B', 'T', 1,
+                                              0x0a, 0x05, 0x80, 0x80, 0x80,
+                                              0x80, 0x20};
+  const std::vector<Fixture> fixtures = {
+      {"bad magic", {'X', 'L', 'B', 'T', 1}, ErrorCode::kMalformedTrace},
+      {"bad version", {'T', 'L', 'B', 'T', 9}, ErrorCode::kMalformedTrace},
+      {"bad record header", {'T', 'L', 'B', 'T', 1, 0x00, 0x41},
+       ErrorCode::kMalformedTrace},
+      {"overlong varint", overlong, ErrorCode::kMalformedTrace},
+      {"oversize gap", wide_gap, ErrorCode::kCorruptTrace},
+  };
+  for (const Fixture& f : fixtures) {
+    TraceStreamDecoder decoder;
+    decoder.feed(f.bytes);
+    TraceEvent event;
+    Expected<TraceStreamDecoder::Status> status = decoder.next(&event);
+    while (status.has_value() &&
+           *status == TraceStreamDecoder::Status::kEvent) {
+      status = decoder.next(&event);
+    }
+    ASSERT_FALSE(status.has_value()) << f.label;
+    EXPECT_EQ(status.error().code, f.expected) << f.label;
+    EXPECT_NE(status.error().message.find("at byte"), std::string::npos)
+        << f.label << ": " << status.error().message;
+    // Sticky: the decoder stays failed, even across more feed() calls.
+    const auto again = decoder.next(&event);
+    ASSERT_FALSE(again.has_value()) << f.label;
+    EXPECT_EQ(again.error().code, f.expected) << f.label;
+    decoder.feed({0x00});
+    EXPECT_FALSE(decoder.next(&event).has_value()) << f.label;
+  }
+}
+
+TEST(TraceStreamDecoder, StateRestoreResumesMidStream) {
+  const auto bytes = small_recorded_buffer();
+  const std::size_t split = bytes.size() / 3;
+
+  // Reference: one decoder over the whole stream.
+  TraceStreamDecoder reference;
+  reference.feed(bytes);
+  std::vector<TraceEvent> expected;
+  ASSERT_TRUE(drain_decoder(reference, &expected));
+
+  // Interrupted: decode a prefix, snapshot, restore into a fresh decoder
+  // (simulating a service checkpoint), feed the remainder.
+  TraceStreamDecoder first;
+  first.feed(bytes.data(), split);
+  std::vector<TraceEvent> events;
+  EXPECT_FALSE(drain_decoder(first, &events));
+  const TraceStreamDecoder::State snapshot = first.state();
+  EXPECT_EQ(snapshot.consumed + snapshot.pending.size(), split);
+
+  TraceStreamDecoder resumed;
+  resumed.restore(snapshot);
+  EXPECT_EQ(resumed.state(), snapshot);
+  resumed.feed(bytes.data() + split, bytes.size() - split);
+  ASSERT_TRUE(drain_decoder(resumed, &events));
+  EXPECT_TRUE(resumed.finished());
+  EXPECT_EQ(resumed.offset(), bytes.size());
+  EXPECT_EQ(resumed.records(), reference.records());
+  ASSERT_EQ(events.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(events[i].kind, expected[i].kind) << i;
+    if (expected[i].kind == TraceEvent::Kind::kAccess) {
+      ASSERT_EQ(events[i].access.addr, expected[i].access.addr) << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace tlbmap
