@@ -1,0 +1,89 @@
+// Engineering bench: cost of self-correcting online remapping
+// (google-benchmark).
+//
+// Not a paper artefact — this prices DESIGN.md Sec. 17: what a dynamic run
+// costs with the full canary/rollback machinery on versus the pre-PR-10
+// commit-blind mapper (canary windows off), measured over the adversarial
+// phase-churn workload, plus the microcost of one PhaseDetector
+// observation. CI's fault-matrix job publishes the JSON as
+// BENCH_dynamic.json; the bench-regression job gates it against
+// bench/baseline/BENCH_dynamic.json.
+#include <benchmark/benchmark.h>
+
+#include "core/dynamic.hpp"
+#include "core/pipeline.hpp"
+#include "detect/phase_detector.hpp"
+#include "npb/synthetic.hpp"
+
+namespace {
+
+using namespace tlbmap;
+
+SyntheticSpec churn_spec() {
+  SyntheticSpec spec;
+  spec.pattern = SyntheticSpec::Pattern::kScheduled;
+  spec.num_threads = 8;
+  spec.shift_schedule = {0, 0, 0, 0, 0, 0, 1, 1, 0, 0, 0, 0, 0, 0};
+  spec.churn_phase_iters = 1;
+  spec.shared_accesses = 4096;
+  spec.private_accesses = 512;
+  return spec;
+}
+
+OnlineMapperConfig online_config(bool canary) {
+  OnlineMapperConfig cfg;
+  cfg.remap_every_barriers = 2;
+  cfg.min_matrix_total = 1;
+  cfg.detector.sample_threshold = 1;
+  if (!canary) cfg.canary_barriers = 0;  // pre-PR-10 commit-blind mapper
+  return cfg;
+}
+
+/// One full dynamic run over the phase-churn bait. arg 0: canary/rollback
+/// off (the historical mapper); arg 1: the self-correcting configuration.
+void BM_OnlineRemap(benchmark::State& state) {
+  const auto workload = make_synthetic(churn_spec());
+  const OnlineMapperConfig cfg = online_config(state.range(0) == 1);
+  Pipeline pipe((MachineConfig::harpertown()));
+  std::uint64_t accesses = 0;
+  int migrations = 0;
+  int rollbacks = 0;
+  for (auto _ : state) {
+    const auto result =
+        pipe.evaluate_dynamic(*workload, identity_mapping(8), cfg, 3);
+    benchmark::DoNotOptimize(result.stats.execution_cycles);
+    accesses += result.stats.accesses;
+    migrations += result.migrations;
+    rollbacks += result.rollbacks;
+  }
+  state.counters["accesses_per_sec"] = benchmark::Counter(
+      static_cast<double>(accesses), benchmark::Counter::kIsRate);
+  state.counters["migrations"] = static_cast<double>(migrations);
+  state.counters["rollbacks"] = static_cast<double>(rollbacks);
+}
+BENCHMARK(BM_OnlineRemap)->Arg(0)->Arg(1);
+
+/// Microcost of one phase observation (cosine drift + miss-rate deltas)
+/// at the paper's 8 threads and at manycore width.
+void BM_PhaseObserve(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  PhaseDetector detector(threads);
+  CommMatrix pairs(threads);
+  for (int t = 0; t + 1 < threads; t += 2) pairs.add(t, t + 1, 1000);
+  // Anchor once so the steady-state path (similarity against a reference)
+  // is what the loop measures.
+  detector.observe(pairs);
+  std::uint64_t observations = 0;
+  for (auto _ : state) {
+    for (ThreadId t = 0; t < threads; ++t) detector.on_access(t, t % 7 == 0);
+    benchmark::DoNotOptimize(detector.observe(pairs));
+    ++observations;
+  }
+  state.counters["observes_per_sec"] = benchmark::Counter(
+      static_cast<double>(observations), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PhaseObserve)->Arg(8)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

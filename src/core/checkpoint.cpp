@@ -161,6 +161,46 @@ SmDetectorState read_sm(BinReader& r) {
   return s;
 }
 
+void write_u64_vec(BinWriter& w, const std::vector<std::uint64_t>& v) {
+  w.u64(v.size());
+  for (const std::uint64_t x : v) w.u64(x);
+}
+
+std::vector<std::uint64_t> read_u64_vec(BinReader& r) {
+  const std::uint64_t n = r.u64();
+  if (!r.ok()) return {};
+  if (n > kMaxThreads) {
+    r.fail("counter vector length " + std::to_string(n) + " out of range");
+    return {};
+  }
+  std::vector<std::uint64_t> v;
+  v.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(r.u64());
+  return v;
+}
+
+void write_phase(BinWriter& w, const PhaseDetectorState& s) {
+  w.u64(s.epoch);
+  w.boolean(s.has_reference);
+  write_matrix(w, s.reference);
+  write_u64_vec(w, s.ref_accesses);
+  write_u64_vec(w, s.ref_misses);
+  write_u64_vec(w, s.window_accesses);
+  write_u64_vec(w, s.window_misses);
+}
+
+PhaseDetectorState read_phase(BinReader& r) {
+  PhaseDetectorState s;
+  s.epoch = r.u64();
+  s.has_reference = r.boolean();
+  s.reference = read_matrix(r);
+  s.ref_accesses = read_u64_vec(r);
+  s.ref_misses = read_u64_vec(r);
+  s.window_accesses = read_u64_vec(r);
+  s.window_misses = read_u64_vec(r);
+  return s;
+}
+
 /// Runs a payload-level parse: decode via `body`, then require a clean
 /// reader with no trailing bytes.
 template <typename T, typename Body>
@@ -364,6 +404,23 @@ std::string serialize_mapper_state(const OnlineMapperState& state) {
   w.i32(state.remap_decisions);
   w.i32(state.degraded_decisions);
   w.i32(state.cooldown_left);
+  // Self-stabilization trail (format version 2, DESIGN.md Sec. 17).
+  w.i32(state.rollbacks);
+  w.i32(state.canary_commits);
+  w.i32(state.backoff_skips);
+  w.i32(state.canary_left);
+  w.i32(state.backoff_left);
+  w.i32(state.phase_rollbacks);
+  write_mapping(w, state.canary_prev);
+  w.u64(state.canary_cost);
+  w.u64(state.canary_accesses);
+  w.u64(state.baseline_cost);
+  w.u64(state.baseline_accesses);
+  w.u64(state.decision_cost);
+  w.u64(state.decision_accesses);
+  w.u64(state.phase_cost);
+  w.u64(state.phase_accesses);
+  write_phase(w, state.phase);
   return w.take();
 }
 
@@ -376,6 +433,22 @@ Expected<OnlineMapperState> parse_mapper_state(std::string_view payload) {
     s.remap_decisions = r.i32();
     s.degraded_decisions = r.i32();
     s.cooldown_left = r.i32();
+    s.rollbacks = r.i32();
+    s.canary_commits = r.i32();
+    s.backoff_skips = r.i32();
+    s.canary_left = r.i32();
+    s.backoff_left = r.i32();
+    s.phase_rollbacks = r.i32();
+    s.canary_prev = read_mapping(r);
+    s.canary_cost = r.u64();
+    s.canary_accesses = r.u64();
+    s.baseline_cost = r.u64();
+    s.baseline_accesses = r.u64();
+    s.decision_cost = r.u64();
+    s.decision_accesses = r.u64();
+    s.phase_cost = r.u64();
+    s.phase_accesses = r.u64();
+    s.phase = read_phase(r);
     return s;
   });
 }

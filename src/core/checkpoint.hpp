@@ -4,7 +4,7 @@
 //
 //   offset  size  field
 //   0       4     magic "TLBK"
-//   4       4     format version (u32 LE, currently 1)
+//   4       4     format version (u32 LE, currently 2)
 //   8       8     config hash (u64 LE) — suite_config_hash() of the run
 //   16      8     payload size (u64 LE)
 //   24      4     CRC-32 of the payload (u32 LE, IEEE polynomial)
@@ -44,7 +44,10 @@
 namespace tlbmap {
 
 /// Current checkpoint format version (envelope field at offset 4).
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+/// Version history: 1 = PR 5 seed formats; 2 = PR 10, OnlineMapperState
+/// grew the self-stabilization trail (canary transaction, phase detector,
+/// rollback damping), so older mapper snapshots no longer parse.
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 /// Progress snapshot of one run_suite invocation. Task indices are the
 /// suite's stable global indices: detect task i covers app i/3 with

@@ -107,6 +107,32 @@ std::string cli_usage() {
       "  --mapping 0,1,...    evaluate/replay: explicit thread->core list\n"
       "  --out DIR / --in DIR record/replay trace directory\n"
       "\n"
+      "online mapper (dynamic only; DESIGN.md Sec. 17):\n"
+      "  --remap-every-barriers N\n"
+      "                       consider remapping every N barriers\n"
+      "                       (default 4; 0 = never remap)\n"
+      "  --improvement-threshold X\n"
+      "                       migrate only when the candidate placement is\n"
+      "                       at least this fraction cheaper (default 0.15)\n"
+      "  --migration-cooldown N\n"
+      "                       remap decisions to sit out after a migration\n"
+      "                       (default 1; 0 = the historical\n"
+      "                       always-eligible behaviour)\n"
+      "  --matrix-decay X     matrix ageing factor per remap decision,\n"
+      "                       in (0, 1] (default 0.5)\n"
+      "  --min-matrix-total N sampled matrix mass required before a remap\n"
+      "                       decision is trusted (default 32; lower it for\n"
+      "                       sparse workloads like CHURN)\n"
+      "  --canary-barriers N  measure each migration's realized cost over\n"
+      "                       N barriers before judging it (default 2;\n"
+      "                       0 = no canary windows, no rollback)\n"
+      "  --regression-threshold X\n"
+      "                       roll back when the canary window's cycles per\n"
+      "                       access exceed the phase baseline by more than\n"
+      "                       this fraction (default 0.25)\n"
+      "  --no-rollback        measure canary verdicts but never act on a\n"
+      "                       regression (the commit-blind control arm)\n"
+      "\n"
       "mapping service (serve only; DESIGN.md Sec. 16):\n"
       "  --tenants N          synthetic tenant sessions (default 4)\n"
       "  --corrupt-tenant K   deterministically corrupt tenant K's thread-0\n"
@@ -190,6 +216,7 @@ CliOptions parse_cli(int argc, const char* const* argv) {
   }
 
   bool serve_flag_used = false;
+  bool dynamic_flag_used = false;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next_value = [&]() -> const char* {
@@ -299,6 +326,42 @@ CliOptions parse_cli(int argc, const char* const* argv) {
         }
       } else if (arg == "--out" || arg == "--in") {
         if (const char* v = next_value()) opt.dir = v;
+      } else if (arg == "--remap-every-barriers") {
+        dynamic_flag_used = true;
+        if (const char* v = next_value()) {
+          opt.online.remap_every_barriers = to_int(v);
+        }
+      } else if (arg == "--improvement-threshold") {
+        dynamic_flag_used = true;
+        if (const char* v = next_value()) {
+          opt.online.improvement_threshold = to_double(v);
+        }
+      } else if (arg == "--migration-cooldown") {
+        dynamic_flag_used = true;
+        if (const char* v = next_value()) {
+          opt.online.migration_cooldown = to_int(v);
+        }
+      } else if (arg == "--matrix-decay") {
+        dynamic_flag_used = true;
+        if (const char* v = next_value()) opt.online.decay = to_double(v);
+      } else if (arg == "--min-matrix-total") {
+        dynamic_flag_used = true;
+        if (const char* v = next_value()) {
+          opt.online.min_matrix_total = to_u64(v);
+        }
+      } else if (arg == "--canary-barriers") {
+        dynamic_flag_used = true;
+        if (const char* v = next_value()) {
+          opt.online.canary_barriers = to_int(v);
+        }
+      } else if (arg == "--regression-threshold") {
+        dynamic_flag_used = true;
+        if (const char* v = next_value()) {
+          opt.online.regression_threshold = to_double(v);
+        }
+      } else if (arg == "--no-rollback") {
+        dynamic_flag_used = true;
+        opt.online.rollback = false;
       } else if (arg == "--tenants") {
         serve_flag_used = true;
         if (const char* v = next_value()) opt.tenants = to_int(v);
@@ -397,6 +460,18 @@ CliOptions parse_cli(int argc, const char* const* argv) {
   }
   if (opt.error.empty() && serve_flag_used && opt.command != "serve") {
     opt.error = "mapping-service flags only apply to serve";
+  }
+  if (opt.error.empty() && dynamic_flag_used && opt.command != "dynamic") {
+    opt.error = "online-mapper flags only apply to dynamic";
+  }
+  if (opt.error.empty() && dynamic_flag_used) {
+    // Range checks live in the library config: the CLI reports the struct's
+    // own invalid_argument message as a structured usage error.
+    try {
+      opt.online.validate();
+    } catch (const std::exception& e) {
+      opt.error = e.what();
+    }
   }
   if (opt.error.empty() && opt.command == "serve") {
     if (opt.tenants < 1) opt.error = "tenants must be positive";
@@ -548,13 +623,16 @@ int cmd_dynamic(const CliOptions& opt, obs::ObsContext* obs) {
   const auto workload = make_npb_workload(opt.app, params_for(opt));
   const Mapping start = random_mapping(
       opt.threads, machine_for(opt).num_cores(), opt.seed + 99);
-  OnlineMapperConfig config;
-  const auto result = pipe.evaluate_dynamic(*workload, start, config,
+  const auto result = pipe.evaluate_dynamic(*workload, start, opt.online,
                                             opt.seed);
   print_stats_row("dynamic", result.stats);
   std::printf("migrations %d (decisions %d), final: %s\n", result.migrations,
               result.remap_decisions,
               to_string(result.final_mapping).c_str());
+  std::printf(
+      "rollbacks %d, canary commits %d, backoff skips %d, phase epochs %llu\n",
+      result.rollbacks, result.canary_commits, result.backoff_skips,
+      static_cast<unsigned long long>(result.phase_epochs));
   const MachineStats still = pipe.evaluate(*workload, start, opt.seed);
   print_stats_row("static start", still);
   return 0;

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "core/dynamic.hpp"
 #include "core/fault.hpp"
 #include "mapping/mapping.hpp"
 
@@ -78,6 +79,14 @@ struct CliOptions {
   std::vector<std::string> apps;  ///< suite only; empty = all nine
   Mapping mapping;                ///< evaluate/replay; empty = detect+map
   std::string dir;                ///< record --out / replay --in
+  /// Online-mapper knobs (dynamic only; DESIGN.md Sec. 17), populated by
+  /// --remap-every-barriers / --improvement-threshold / --migration-cooldown
+  /// / --matrix-decay / --canary-barriers / --regression-threshold /
+  /// --no-rollback. Embedding the config struct keeps the CLI defaults
+  /// identical to the library defaults by construction; out-of-range values
+  /// surface through OnlineMapperConfig::validate() as structured parse
+  /// errors.
+  OnlineMapperConfig online{};
   // Mapping-service daemon (serve only; DESIGN.md Sec. 16). Tenant streams
   // are synthetic NPB recordings; --corrupt-tenant injects deterministic
   // stream corruption into one of them, which must quarantine exactly that

@@ -1,5 +1,7 @@
 #include "core/dynamic.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
@@ -7,14 +9,60 @@
 #include "obs/json.hpp"
 
 namespace tlbmap {
+namespace {
+
+/// Saturating subtraction: cumulative counters are monotone within a run,
+/// but restored anchors driven against a fresh stats block must degrade to
+/// an empty window, not wrap.
+std::uint64_t sub_sat(std::uint64_t a, std::uint64_t b) {
+  return a >= b ? a - b : 0;
+}
+
+/// Ceiling on a single backoff sentence, in remap decisions. delay()
+/// saturates at the u64 ceiling; an int cursor needs a sane bound.
+constexpr std::uint64_t kMaxBackoffDecisions = 1u << 20;
+
+}  // namespace
+
+void OnlineMapperConfig::validate() const {
+  if (remap_every_barriers < 0) {
+    throw std::invalid_argument(
+        "OnlineMapperConfig: remap_every_barriers must be non-negative");
+  }
+  if (!std::isfinite(decay) || decay <= 0.0 || decay > 1.0) {
+    throw std::invalid_argument(
+        "OnlineMapperConfig: decay must be in (0, 1]");
+  }
+  if (!std::isfinite(improvement_threshold) || improvement_threshold < 0.0 ||
+      improvement_threshold >= 1.0) {
+    throw std::invalid_argument(
+        "OnlineMapperConfig: improvement_threshold must be in [0, 1)");
+  }
+  if (migration_cooldown < 0) {
+    throw std::invalid_argument(
+        "OnlineMapperConfig: migration_cooldown must be non-negative");
+  }
+  if (canary_barriers < 0) {
+    throw std::invalid_argument(
+        "OnlineMapperConfig: canary_barriers must be non-negative");
+  }
+  if (!std::isfinite(regression_threshold) || regression_threshold < 0.0) {
+    throw std::invalid_argument(
+        "OnlineMapperConfig: regression_threshold must be non-negative");
+  }
+  rollback_backoff.validate();
+  phase.validate();
+}
 
 OnlineMapper::OnlineMapper(Machine& machine, int num_threads,
                            Mapping initial, OnlineMapperConfig config)
     : detector_(machine, num_threads, config.detector),
+      phase_(num_threads, config.phase),
       mapper_(machine.topology()),
       topology_(&machine.topology()),
       config_(config),
       current_(std::move(initial)) {
+  config_.validate();
   const FaultPlan& plan = machine.config().fault;
   if (plan.matrix_flip_rate > 0.0 || plan.matrix_zero_rate > 0.0) {
     fault_.emplace(plan, FaultInjector::kOnlineSalt);
@@ -29,6 +77,22 @@ OnlineMapperState OnlineMapper::state() const {
   s.remap_decisions = remap_decisions_;
   s.degraded_decisions = degraded_decisions_;
   s.cooldown_left = cooldown_left_;
+  s.rollbacks = rollbacks_;
+  s.canary_commits = canary_commits_;
+  s.backoff_skips = backoff_skips_;
+  s.canary_left = canary_left_;
+  s.backoff_left = backoff_left_;
+  s.phase_rollbacks = phase_rollbacks_;
+  s.canary_prev = canary_prev_;
+  s.canary_cost = canary_cost_;
+  s.canary_accesses = canary_accesses_;
+  s.baseline_cost = baseline_cost_;
+  s.baseline_accesses = baseline_accesses_;
+  s.decision_cost = decision_cost_;
+  s.decision_accesses = decision_accesses_;
+  s.phase_cost = phase_cost_;
+  s.phase_accesses = phase_accesses_;
+  s.phase = phase_.state();
   return s;
 }
 
@@ -37,22 +101,131 @@ void OnlineMapper::restore(const OnlineMapperState& state) {
     throw std::invalid_argument(
         "OnlineMapper::restore: snapshot mapping length mismatch");
   }
+  if (!state.canary_prev.empty() &&
+      state.canary_prev.size() != current_.size()) {
+    throw std::invalid_argument(
+        "OnlineMapper::restore: snapshot canary placement length mismatch");
+  }
   detector_.restore(state.detector);  // throws on matrix-size mismatch
+  phase_.restore(state.phase);        // throws on shape mismatch
   current_ = state.mapping;
   migrations_ = state.migrations;
   remap_decisions_ = state.remap_decisions;
   degraded_decisions_ = state.degraded_decisions;
   cooldown_left_ = state.cooldown_left;
+  rollbacks_ = state.rollbacks;
+  canary_commits_ = state.canary_commits;
+  backoff_skips_ = state.backoff_skips;
+  canary_left_ = state.canary_left;
+  backoff_left_ = state.backoff_left;
+  phase_rollbacks_ = state.phase_rollbacks;
+  canary_prev_ = state.canary_prev;
+  canary_cost_ = state.canary_cost;
+  canary_accesses_ = state.canary_accesses;
+  baseline_cost_ = state.baseline_cost;
+  baseline_accesses_ = state.baseline_accesses;
+  decision_cost_ = state.decision_cost;
+  decision_accesses_ = state.decision_accesses;
+  phase_cost_ = state.phase_cost;
+  phase_accesses_ = state.phase_accesses;
 }
 
 Cycles OnlineMapper::on_access(ThreadId thread, CoreId core, VirtAddr addr,
                                PageNum page, AccessType type, bool tlb_miss,
                                Cycles now) {
+  phase_.on_access(thread, tlb_miss);
   return detector_.on_access(thread, core, addr, page, type, tlb_miss, now);
 }
 
-std::vector<CoreId> OnlineMapper::on_barrier(int barrier_index,
-                                             Cycles /*now*/) {
+std::vector<CoreId> OnlineMapper::on_barrier(int barrier_index, Cycles now) {
+  // Legacy entry without machine counters: cost windows stay empty, so
+  // canary transactions never open and decisions reduce to the historical
+  // hysteresis + cooldown behaviour.
+  return on_barrier(barrier_index, now, MachineStats{});
+}
+
+std::vector<CoreId> OnlineMapper::close_canary(int barrier_index,
+                                               std::uint64_t cum_cost,
+                                               std::uint64_t cum_accesses) {
+  const std::uint64_t win_cost = sub_sat(cum_cost, canary_cost_);
+  const std::uint64_t win_accesses = sub_sat(cum_accesses, canary_accesses_);
+  // Cross-multiplied rate comparison (integer inputs, one deterministic
+  // float expression): regressed iff
+  //   win_cost / win_accesses > (baseline_cost / baseline_accesses)
+  //                             * (1 + regression_threshold).
+  bool regressed = false;
+  if (win_accesses > 0 && baseline_accesses_ > 0) {
+    const double lhs = static_cast<double>(win_cost) *
+                       static_cast<double>(baseline_accesses_);
+    const double rhs = static_cast<double>(baseline_cost_) *
+                       static_cast<double>(win_accesses) *
+                       (1.0 + config_.regression_threshold);
+    regressed = lhs > rhs;
+  }
+  if (obs::Tracer* tracer = obs::tracer_at(obs_, obs::ObsLevel::kFull)) {
+    std::ostringstream args;
+    args << "\"barrier\":" << barrier_index << ",\"canary_cost\":" << win_cost
+         << ",\"canary_accesses\":" << win_accesses
+         << ",\"baseline_cost\":" << baseline_cost_
+         << ",\"baseline_accesses\":" << baseline_accesses_
+         << ",\"regressed\":" << (regressed ? "true" : "false");
+    tracer->record_instant("online.canary_verdict", "mapper", args.str());
+  }
+  if (regressed && config_.rollback && !canary_prev_.empty()) {
+    current_ = canary_prev_;
+    canary_prev_.clear();
+    ++rollbacks_;
+    ++phase_rollbacks_;
+    const int attempt = std::min(phase_rollbacks_, 30);
+    backoff_left_ = static_cast<int>(std::min<std::uint64_t>(
+        config_.rollback_backoff.delay(attempt), kMaxBackoffDecisions));
+    if (obs::MetricsRegistry* metrics =
+            obs::metrics_at(obs_, obs::ObsLevel::kPhases)) {
+      metrics->counter("online.rollbacks").add();
+    }
+    if (obs::Tracer* tracer = obs::tracer_at(obs_, obs::ObsLevel::kPhases)) {
+      std::ostringstream args;
+      args << "\"barrier\":" << barrier_index
+           << ",\"backoff\":" << backoff_left_;
+      tracer->record_instant("online.rollback", "mapper", args.str());
+    }
+    return current_;
+  }
+  canary_prev_.clear();
+  ++canary_commits_;
+  if (obs::MetricsRegistry* metrics =
+          obs::metrics_at(obs_, obs::ObsLevel::kPhases)) {
+    metrics->counter("online.canary_commits").add();
+  }
+  return {};
+}
+
+std::vector<CoreId> OnlineMapper::on_barrier(int barrier_index, Cycles now,
+                                             const MachineStats& stats) {
+  // Realized cost = simulated cycles per access. Barrier-release time is
+  // the one live metric that directly prices a placement's stall/locality
+  // impact: coherence event *counts* barely change when only the distance
+  // of the traffic changes, their latency does.
+  const std::uint64_t cum_cost = now;
+  const std::uint64_t cum_accesses = stats.accesses;
+
+  // An open canary window ticks down on every barrier; when it closes, a
+  // realized regression restores the recorded pre-move placement.
+  if (canary_left_ > 0) {
+    --canary_left_;
+    if (canary_left_ == 0) {
+      std::vector<CoreId> rolled =
+          close_canary(barrier_index, cum_cost, cum_accesses);
+      if (!rolled.empty()) {
+        // The rollback itself consumed this barrier's decision slot; the
+        // next window starts from the restored placement.
+        decision_cost_ = cum_cost;
+        decision_accesses_ = cum_accesses;
+        return rolled;
+      }
+    }
+  }
+
   if (config_.remap_every_barriers <= 0 ||
       barrier_index % config_.remap_every_barriers != 0) {
     return {};
@@ -63,6 +236,54 @@ std::vector<CoreId> OnlineMapper::on_barrier(int barrier_index,
           obs::metrics_at(obs_, obs::ObsLevel::kPhases)) {
     metrics->counter("online.remap_decisions").add();
   }
+
+  // Realized-cost window since the last remap decision feeds the
+  // phase-anchored baseline the next canary compares against.
+  const std::uint64_t win_cost = sub_sat(cum_cost, decision_cost_);
+  const std::uint64_t win_accesses = sub_sat(cum_accesses, decision_accesses_);
+  decision_cost_ = cum_cost;
+  decision_accesses_ = cum_accesses;
+  phase_cost_ += win_cost;
+  phase_accesses_ += win_accesses;
+
+  // Phase detection runs on the clean matrix (decay and injected noise
+  // model a corrupted read-out, not corrupted history). A new epoch resets
+  // the rollback damping and the baseline anchor: a genuine phase change
+  // deserves a fresh chance to move, and the old phase's cost rate no
+  // longer describes "normal".
+  if (phase_.observe(detector_.matrix())) {
+    phase_rollbacks_ = 0;
+    backoff_left_ = 0;
+    // The boundary window mixes the old and new phase, so it is unusable
+    // as a baseline: start the new phase's accumulation empty. Migrations
+    // then defer until one clean window exists (see below).
+    phase_cost_ = 0;
+    phase_accesses_ = 0;
+    // A canary still open across a phase boundary would be judged against
+    // a baseline from the phase that just ended — abort it as inconclusive
+    // rather than risk a stale verdict either way.
+    if (canary_left_ > 0) {
+      canary_left_ = 0;
+      canary_prev_.clear();
+      if (obs::Tracer* tracer = obs::tracer_at(obs_, obs::ObsLevel::kFull)) {
+        std::ostringstream abort_args;
+        abort_args << "\"barrier\":" << barrier_index;
+        tracer->record_instant("online.canary_aborted", "mapper",
+                               abort_args.str());
+      }
+    }
+    if (obs::MetricsRegistry* metrics =
+            obs::metrics_at(obs_, obs::ObsLevel::kPhases)) {
+      metrics->counter("online.phase_epochs").add();
+    }
+    if (obs::Tracer* tracer = obs::tracer_at(obs_, obs::ObsLevel::kPhases)) {
+      std::ostringstream args;
+      args << "\"barrier\":" << barrier_index
+           << ",\"epoch\":" << phase_.epoch();
+      tracer->record_instant("online.phase_epoch", "mapper", args.str());
+    }
+  }
+
   // Under matrix fault injection the decision runs on a noisy copy; the
   // detector's accumulated matrix itself stays clean (faults model a
   // corrupted read-out, not corrupted detection history).
@@ -119,6 +340,32 @@ std::vector<CoreId> OnlineMapper::on_barrier(int barrier_index,
   if (next_cost > current_cost * (1.0 - config_.improvement_threshold)) {
     return {};
   }
+  // Never stack a migration inside an open canary window: the measurement
+  // would attribute the second move's cost to the first. (Only while
+  // rollback is live — with rollback off, canaries are pure telemetry and
+  // the decision flow is the historical pre-PR-10 one.)
+  if (config_.rollback && canary_left_ > 0) return {};
+  // Exponential per-phase damping after rollbacks (RetryPolicy schedule).
+  // Past the attempt cap the phase has proven migration-hostile: block
+  // until the phase detector declares a new epoch.
+  const bool phase_exhausted =
+      config_.rollback_backoff.max_attempts > 0 &&
+      phase_rollbacks_ > config_.rollback_backoff.max_attempts;
+  if (backoff_left_ > 0 || phase_exhausted) {
+    if (backoff_left_ > 0) --backoff_left_;
+    ++backoff_skips_;
+    if (obs::MetricsRegistry* metrics =
+            obs::metrics_at(obs_, obs::ObsLevel::kPhases)) {
+      metrics->counter("online.backoff_skips").add();
+    }
+    if (obs::Tracer* tracer = obs::tracer_at(obs_, obs::ObsLevel::kFull)) {
+      std::ostringstream args;
+      args << "\"barrier\":" << barrier_index
+           << ",\"backoff_left\":" << backoff_left_;
+      tracer->record_instant("online.backoff_skip", "mapper", args.str());
+    }
+    return {};
+  }
   // Cooldown: recently migrated — let the aged matrix re-confirm the
   // pattern before moving again (anti-oscillation under noisy input).
   if (cooldown_left_ > 0) {
@@ -128,7 +375,46 @@ std::vector<CoreId> OnlineMapper::on_barrier(int barrier_index,
     }
     return {};
   }
+  // Defer rule: with rollback live and machine counters flowing, a
+  // migration may only open against a baseline measured inside the current
+  // phase. Right after a phase epoch no such window exists yet — wait one
+  // decision; the window that accrues meanwhile is exactly the comparison
+  // the canary needs (the new phase under the old placement). Does not
+  // consume the cooldown.
+  if (config_.rollback && config_.canary_barriers > 0 && cum_accesses > 0 &&
+      phase_accesses_ == 0) {
+    if (obs::Tracer* tracer = obs::tracer_at(obs_, obs::ObsLevel::kFull)) {
+      std::ostringstream args;
+      args << "\"barrier\":" << barrier_index;
+      tracer->record_instant("online.migration_deferred", "mapper",
+                             args.str());
+    }
+    return {};
+  }
   cooldown_left_ = config_.migration_cooldown;
+  // Canary transaction: record the pre-move placement and the
+  // phase-anchored baseline; the next canary_barriers barriers measure the
+  // realized cost of the move. Without a baseline window (no counters at
+  // all, e.g. the legacy stats-free entry) the migration commits blind, as
+  // before PR 10.
+  if (config_.canary_barriers > 0 && phase_accesses_ > 0) {
+    canary_prev_ = current_;
+    canary_left_ = config_.canary_barriers;
+    canary_cost_ = cum_cost;
+    canary_accesses_ = cum_accesses;
+    baseline_cost_ = phase_cost_;
+    baseline_accesses_ = phase_accesses_;
+    if (obs::MetricsRegistry* metrics =
+            obs::metrics_at(obs_, obs::ObsLevel::kPhases)) {
+      metrics->counter("online.canary_windows").add();
+    }
+    if (obs::Tracer* tracer = obs::tracer_at(obs_, obs::ObsLevel::kFull)) {
+      std::ostringstream args;
+      args << "\"barrier\":" << barrier_index
+           << ",\"window\":" << config_.canary_barriers;
+      tracer->record_instant("online.canary_open", "mapper", args.str());
+    }
+  }
   current_ = std::move(next);
   ++migrations_;
   if (obs::MetricsRegistry* metrics =

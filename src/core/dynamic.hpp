@@ -8,12 +8,23 @@
 // that barrier. The matrix is aged (multiplicative decay) at each remap so
 // old phases stop dominating — the matrix-level analogue of the TLB's own
 // entry lifetime.
+//
+// Since PR 10 the mapper is self-stabilizing (DESIGN.md Sec. 17): a
+// PhaseDetector tracks phase epochs from matrix drift and miss-rate
+// deltas, every migration opens a canary transaction that prices the
+// realized post-move cost against a phase-anchored baseline from the
+// machine's live counters, a regression rolls the threads back to the
+// recorded pre-move placement, and repeated rollbacks within one phase
+// back off exponentially (RetryPolicy) so a noisy phase cannot cause a
+// migration storm.
 #pragma once
 
 #include <memory>
 #include <optional>
 
 #include "core/fault.hpp"
+#include "core/retry.hpp"
+#include "detect/phase_detector.hpp"
 #include "detect/sm_detector.hpp"
 #include "mapping/hierarchical.hpp"
 #include "sim/machine.hpp"
@@ -21,7 +32,8 @@
 namespace tlbmap {
 
 struct OnlineMapperConfig {
-  /// Consider remapping after every this many barriers.
+  /// Consider remapping after every this many barriers. 0 = never remap
+  /// (the never-migrate control of the churn differential).
   int remap_every_barriers = 4;
   /// Matrix ageing factor applied at each remap decision.
   double decay = 0.5;
@@ -36,17 +48,54 @@ struct OnlineMapperConfig {
   /// After a migration, sit out this many remap decisions before migrating
   /// again. Second oscillation guard, for inputs noisy enough (e.g. under
   /// matrix fault injection) that single-decision hysteresis is beaten by
-  /// two alternating "15 % better" illusions. 0 (default) disables it —
-  /// the historical behaviour.
-  int migration_cooldown = 0;
+  /// two alternating "15 % better" illusions. Default 1 (PR 10): one aged
+  /// decision window must re-confirm the pattern before the next move —
+  /// measured on the phase-churn workloads as the smallest value that
+  /// stops alternating-illusion storms without delaying convergence on
+  /// stable patterns. 0 restores the historical always-eligible behaviour
+  /// (reachable via --migration-cooldown on the CLI).
+  int migration_cooldown = 1;
+  /// Canary transaction length: after a migration, realized cost is
+  /// measured over this many barriers and compared against the
+  /// phase-anchored baseline. 0 disables canary windows (and with them
+  /// rollback) entirely — the pre-PR-10 commit-blind behaviour.
+  int canary_barriers = 2;
+  /// Rollback trigger: the canary window's realized cost rate — simulated
+  /// cycles per access, which prices the stall/locality impact of a
+  /// placement directly (coherence *counts* barely move when only the
+  /// distance of the traffic changes) — exceeding
+  /// baseline * (1 + regression_threshold) reverts to the recorded
+  /// pre-move placement.
+  double regression_threshold = 0.25;
+  /// When false, canary windows still measure and publish verdicts but a
+  /// regression is never acted on (the rollback-disabled arm of the churn
+  /// differential; --no-rollback on the CLI).
+  bool rollback = true;
+  /// Damping of repeated rollbacks within one phase: after the k-th
+  /// rollback since the current phase epoch began, migrations are blocked
+  /// for delay(k) further remap decisions (capped exponential; jitter off
+  /// keeps decisions bit-reproducible). A new phase epoch resets the
+  /// counter — a genuine phase change deserves a fresh chance to move.
+  RetryPolicy rollback_backoff{/*max_attempts=*/8, /*base_delay=*/1,
+                               /*factor=*/2};
+  /// Phase-epoch detection over the clean (un-decayed, fault-free) matrix
+  /// plus per-thread miss-rate windows.
+  PhaseDetectorConfig phase{};
   SmDetectorConfig detector{/*sample_threshold=*/10, /*search_cost=*/231};
+
+  /// Throws std::invalid_argument on out-of-range knobs (decay outside
+  /// (0, 1], negative thresholds/counts, bad sub-configs) — the structured
+  /// validation surface the CLI reports through.
+  void validate() const;
 };
 
-/// Serializable decision state of an OnlineMapper (DESIGN.md Sec. 12): the
-/// embedded SM detector's snapshot plus the current placement and the
-/// decision/hysteresis cursors. Restoring it into a fresh mapper of the
-/// same shape reproduces the original's future remap decisions exactly
-/// (faultless plans).
+/// Serializable decision state of an OnlineMapper (DESIGN.md Sec. 12/17):
+/// the embedded SM detector's snapshot, the current placement, the
+/// decision/hysteresis cursors, and the whole self-stabilization trail —
+/// open canary transaction, phase-anchored baseline, rollback/backoff
+/// damping and phase-detector snapshot. Restoring it into a fresh mapper
+/// of the same shape reproduces the original's future remap decisions,
+/// canary verdicts and rollbacks exactly (faultless plans).
 struct OnlineMapperState {
   SmDetectorState detector;
   Mapping mapping;
@@ -54,6 +103,26 @@ struct OnlineMapperState {
   std::int32_t remap_decisions = 0;
   std::int32_t degraded_decisions = 0;
   std::int32_t cooldown_left = 0;
+  // Self-stabilization trail (PR 10).
+  std::int32_t rollbacks = 0;
+  std::int32_t canary_commits = 0;
+  std::int32_t backoff_skips = 0;
+  std::int32_t canary_left = 0;       ///< > 0 = a canary window is open
+  std::int32_t backoff_left = 0;      ///< remap decisions still damped
+  std::int32_t phase_rollbacks = 0;   ///< rollbacks since the phase began
+  Mapping canary_prev;                ///< pre-move placement (empty = none)
+  // "cost" below is simulated cycles (barrier-release time): the canary
+  // verdict compares cycles-per-access rates, the one counter pair that
+  // directly prices a placement's stall/locality impact.
+  std::uint64_t canary_cost = 0;      ///< cumulative cycles at canary open
+  std::uint64_t canary_accesses = 0;  ///< cumulative accesses at canary open
+  std::uint64_t baseline_cost = 0;    ///< phase cycle sum at canary open
+  std::uint64_t baseline_accesses = 0;
+  std::uint64_t decision_cost = 0;    ///< cumulative cycles at last decision
+  std::uint64_t decision_accesses = 0;
+  std::uint64_t phase_cost = 0;       ///< cycles accumulated this phase
+  std::uint64_t phase_accesses = 0;
+  PhaseDetectorState phase;
 
   bool operator==(const OnlineMapperState&) const = default;
 };
@@ -62,17 +131,23 @@ class OnlineMapper final : public MachineObserver, public MigrationPolicy {
  public:
   /// `machine` must outlive the mapper; `initial` is the starting placement
   /// (also what Machine::RunConfig::thread_to_core should be set to).
+  /// Throws std::invalid_argument when `config` fails validate().
   OnlineMapper(Machine& machine, int num_threads, Mapping initial,
                OnlineMapperConfig config = {});
 
-  // MachineObserver: forward to the embedded SM detector.
+  // MachineObserver: forward to the embedded SM detector and the phase
+  // detector's miss-rate windows.
   Cycles on_access(ThreadId thread, CoreId core, VirtAddr addr,
                    PageNum page, AccessType type, bool tlb_miss,
                    Cycles now) override;
   Cycles on_tick(Cycles /*now*/) override { return 0; }
 
-  // MigrationPolicy.
+  // MigrationPolicy. The serial event loop calls the stats-carrying form;
+  // without stats (legacy callers, epoch engine) the canary machinery sees
+  // empty cost windows and stays inert, leaving the pre-PR-10 behaviour.
   std::vector<CoreId> on_barrier(int barrier_index, Cycles now) override;
+  std::vector<CoreId> on_barrier(int barrier_index, Cycles now,
+                                 const MachineStats& stats) override;
 
   const CommMatrix& matrix() const { return detector_.matrix(); }
   const Mapping& current_mapping() const { return current_; }
@@ -81,6 +156,15 @@ class OnlineMapper final : public MachineObserver, public MigrationPolicy {
   /// Decisions where the matrix was degenerate (empty/uniform) and the
   /// mapper fell back to the previous placement instead of remapping.
   int degraded_decisions() const { return degraded_decisions_; }
+  /// Canary windows whose realized cost regressed past the threshold and
+  /// were reverted to the recorded pre-move placement.
+  int rollbacks() const { return rollbacks_; }
+  /// Canary windows whose migration survived its measurement window.
+  int canary_commits() const { return canary_commits_; }
+  /// Remap decisions skipped under post-rollback exponential damping.
+  int backoff_skips() const { return backoff_skips_; }
+  /// Phase epochs the phase detector has emitted so far.
+  std::uint64_t phase_epochs() const { return phase_.epoch(); }
   /// Injected-fault tally of the mapper's own matrix-noise injector (null
   /// when the plan has no matrix faults).
   const FaultCounters* fault_counters() const {
@@ -88,7 +172,8 @@ class OnlineMapper final : public MachineObserver, public MigrationPolicy {
   }
 
   /// Forwards the context to the embedded detector and records remap
-  /// decisions / migrations as trace instants and counters.
+  /// decisions / migrations / canary verdicts as trace instants and
+  /// counters.
   void set_observability(obs::ObsContext* obs) {
     obs_ = obs;
     detector_.set_observability(obs);
@@ -98,12 +183,18 @@ class OnlineMapper final : public MachineObserver, public MigrationPolicy {
   OnlineMapperState state() const;
   /// Overwrites the decision state from a snapshot. Throws
   /// std::invalid_argument when the snapshot's shape (matrix size, mapping
-  /// length) does not match this mapper's.
+  /// length, phase windows) does not match this mapper's.
   void restore(const OnlineMapperState& state);
 
  private:
+  /// Evaluates a closing canary window; returns the restored pre-move
+  /// placement on rollback, empty otherwise.
+  std::vector<CoreId> close_canary(int barrier_index, std::uint64_t cum_cost,
+                                   std::uint64_t cum_accesses);
+
   obs::ObsContext* obs_ = nullptr;
   SmDetector detector_;
+  PhaseDetector phase_;
   HierarchicalMapper mapper_;
   const Topology* topology_;
   OnlineMapperConfig config_;
@@ -112,6 +203,21 @@ class OnlineMapper final : public MachineObserver, public MigrationPolicy {
   int remap_decisions_ = 0;
   int degraded_decisions_ = 0;
   int cooldown_left_ = 0;
+  int rollbacks_ = 0;
+  int canary_commits_ = 0;
+  int backoff_skips_ = 0;
+  int canary_left_ = 0;
+  int backoff_left_ = 0;
+  int phase_rollbacks_ = 0;
+  Mapping canary_prev_;
+  std::uint64_t canary_cost_ = 0;
+  std::uint64_t canary_accesses_ = 0;
+  std::uint64_t baseline_cost_ = 0;
+  std::uint64_t baseline_accesses_ = 0;
+  std::uint64_t decision_cost_ = 0;
+  std::uint64_t decision_accesses_ = 0;
+  std::uint64_t phase_cost_ = 0;
+  std::uint64_t phase_accesses_ = 0;
   /// Engaged only when the machine's plan carries matrix faults: the
   /// decision then runs on a noisy copy of the detected matrix.
   std::optional<FaultInjector> fault_;

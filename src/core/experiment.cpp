@@ -18,6 +18,7 @@
 #include "core/io.hpp"
 #include "core/shutdown.hpp"
 #include "core/worker_pool.hpp"
+#include "npb/synthetic.hpp"
 #include "obs/selfprof.hpp"
 
 namespace tlbmap {
@@ -875,6 +876,58 @@ SuiteResult run_suite(const SuiteConfig& config, std::ostream* progress,
     }
   }
   write_manifest(result, false);
+  return result;
+}
+
+CommMatrix pair_truth_matrix(int num_threads, int shift) {
+  CommMatrix m(num_threads);
+  const int n = num_threads;
+  for (int t = 0; t < n; ++t) {
+    // Under shift s, partner pairs are (s, s+1), (s+2, s+3), ... mod n;
+    // add each pair's unit edge once (from its even-rank member).
+    const int r = ((t - shift) % n + n) % n;
+    if (r % 2 == 0 && t != (t + 1) % n) {
+      m.add(static_cast<ThreadId>(t), static_cast<ThreadId>((t + 1) % n), 1);
+    }
+  }
+  return m;
+}
+
+ChurnScenarioResult run_churn_scenario(const ChurnScenarioConfig& config) {
+  if (config.shifts.empty()) {
+    throw std::invalid_argument("churn scenario: shifts must be non-empty");
+  }
+  SyntheticSpec spec;
+  spec.pattern = SyntheticSpec::Pattern::kScheduled;
+  spec.num_threads = config.num_threads;
+  spec.shift_schedule = config.shifts;
+  spec.churn_phase_iters = 1;
+  spec.shared_accesses = config.shared_accesses;
+  spec.private_accesses = config.private_accesses;
+  const auto workload = make_synthetic(spec);
+
+  Pipeline pipe(config.machine);
+  const Mapping initial = config.initial.empty()
+                              ? identity_mapping(config.num_threads)
+                              : config.initial;
+  const CommMatrix tail =
+      pair_truth_matrix(config.num_threads, config.shifts.back());
+
+  auto run_arm = [&](const OnlineMapperConfig& arm) {
+    ChurnArmResult r;
+    r.run = pipe.evaluate_dynamic(*workload, initial, arm, config.seed);
+    r.final_cost = mapping_cost(tail, r.run.final_mapping, pipe.topology());
+    return r;
+  };
+
+  ChurnScenarioResult result;
+  OnlineMapperConfig never = config.online;
+  never.remap_every_barriers = 0;  // 0 = remapping disabled
+  result.never_remap = run_arm(never);
+  OnlineMapperConfig noroll = config.online;
+  noroll.rollback = false;
+  result.no_rollback = run_arm(noroll);
+  result.canary = run_arm(config.online);
   return result;
 }
 

@@ -162,6 +162,69 @@ SuiteResult run_suite(const SuiteConfig& config,
                       std::ostream* progress = nullptr,
                       obs::ObsContext* obs = nullptr);
 
+// ---------------------------------------------------------------------------
+// Phase-churn differential (DESIGN.md Sec. 17).
+//
+// A seeded adversarial phase flip: the workload runs a pairwise sharing
+// pattern whose partner shift follows `shifts` (one barrier-terminated
+// iteration per entry, long stretches expressed by repetition — e.g.
+// {0,0,0,0, 1,1, 0,0,0,0} is a long shift-0 phase, a brief shift-1 burst,
+// and a shift-0 tail). The burst baits an online mapper into migrating to a
+// placement the tail then punishes. The scenario runs the same workload
+// under three OnlineMapper arms so tests and benches can compare how each
+// one weathers the bait.
+
+struct ChurnScenarioConfig {
+  MachineConfig machine{};  // Harpertown defaults
+  int num_threads = 8;
+  /// Pair-shift schedule; entry i runs one barrier-terminated iteration of
+  /// the pairs pattern under that shift.
+  std::vector<int> shifts = {0, 0, 0, 0, 1, 1, 0, 0, 0, 0};
+  std::uint64_t shared_accesses = 4096;
+  std::uint64_t private_accesses = 512;
+  /// Base OnlineMapper config shared by all three arms (each arm then
+  /// overrides remap_every_barriers / rollback as its identity demands).
+  /// Defaults are tuned to the scenario's short traces: dense sampling and
+  /// a low matrix floor (the runs are a dozen barriers, not millions of
+  /// misses), a 2-barrier decision cadence, and phase detection made
+  /// near-insensitive so the brief bait burst is judged by the canary's
+  /// realized-cost measurement rather than declared a new phase (the
+  /// phase-epoch path has its own tests).
+  OnlineMapperConfig online = [] {
+    OnlineMapperConfig c;
+    c.remap_every_barriers = 2;
+    c.min_matrix_total = 1;
+    c.detector.sample_threshold = 1;
+    c.phase.drift_threshold = 0.05;
+    c.phase.miss_rate_delta = 100.0;
+    return c;
+  }();
+  std::uint64_t seed = 3;
+  /// Start placement for every arm; empty = identity.
+  Mapping initial;
+};
+
+/// One arm's outcome: the dynamic run plus the communication cost of its
+/// final placement under the ground-truth matrix of the *tail* phase (the
+/// pattern the application ends — and would continue — in).
+struct ChurnArmResult {
+  Pipeline::DynamicRunResult run;
+  double final_cost = 0.0;
+};
+
+struct ChurnScenarioResult {
+  ChurnArmResult never_remap;   ///< remapping disabled (static placement)
+  ChurnArmResult no_rollback;   ///< remaps, but canary verdicts are ignored
+  ChurnArmResult canary;        ///< full self-correcting configuration
+};
+
+/// Ground truth for the pairs pattern under `shift`: unit weight between
+/// each partner pair (the matrix the detector would converge to).
+CommMatrix pair_truth_matrix(int num_threads, int shift);
+
+/// Runs the three-arm differential described above.
+ChurnScenarioResult run_churn_scenario(const ChurnScenarioConfig& config);
+
 /// Cache plumbing (exposed for tests).
 std::string suite_cache_key(const SuiteConfig& config);
 /// Result-affecting fingerprint of a config (the cache key's hash): two

@@ -205,6 +205,10 @@ Pipeline::DynamicRunResult Pipeline::evaluate_dynamic(
   result.migrations = online.migrations();
   result.remap_decisions = online.remap_decisions();
   result.degraded_decisions = online.degraded_decisions();
+  result.rollbacks = online.rollbacks();
+  result.canary_commits = online.canary_commits();
+  result.backoff_skips = online.backoff_skips();
+  result.phase_epochs = online.phase_epochs();
   result.final_mapping = online.current_mapping();
   if (const FaultCounters* injected = online.fault_counters()) {
     publish_fault_counters(obs::metrics_at(obs_, obs::ObsLevel::kPhases),

@@ -78,6 +78,10 @@ class Pipeline {
     int migrations = 0;          ///< placements actually changed
     int remap_decisions = 0;     ///< matcher invocations
     int degraded_decisions = 0;  ///< decisions fallen back on degenerate input
+    int rollbacks = 0;           ///< canary windows reverted (DESIGN.md Sec. 17)
+    int canary_commits = 0;      ///< canary windows that kept their migration
+    int backoff_skips = 0;       ///< remap decisions suppressed by backoff
+    std::uint64_t phase_epochs = 0;  ///< phase-change epochs detected
     Mapping final_mapping;
   };
 

@@ -1,0 +1,32 @@
+// Multiprogrammed scenarios: several applications co-scheduled as one
+// workload on a shared machine (ROADMAP "scenario diversity"; cf. the
+// multiprogramming thread-mapping strategy of arXiv:1403.8020).
+//
+// App k's threads occupy the contiguous global id range
+// [offset_k, offset_k + threads_k). Each app keeps its own virtual address
+// space: every address its streams emit is displaced by a per-app offset
+// far above the shared Arena, so apps never share a page and the detected
+// communication matrix is block-diagonal — the mapper has to arbitrate
+// placements *between* tenants, not just within one.
+//
+// Barriers stay machine-global (the simulator's barrier releases when every
+// live thread arrives), which models gang-scheduled co-execution: apps
+// proceed in lockstep while both run, and a finished app's threads stop
+// participating. Phase changes of one app therefore perturb the observed
+// miss rates of the other — exactly the regime the self-stabilizing
+// OnlineMapper (DESIGN.md Sec. 17) has to survive.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/workload.hpp"
+
+namespace tlbmap {
+
+/// Combines `apps` into one co-scheduled workload. Needs at least one app;
+/// takes ownership. Thread ids are assigned app-major in the given order.
+std::unique_ptr<Workload> make_multiprogram(
+    std::vector<std::unique_ptr<Workload>> apps);
+
+}  // namespace tlbmap

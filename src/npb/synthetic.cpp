@@ -5,6 +5,16 @@
 namespace tlbmap {
 namespace {
 
+/// splitmix64 finaliser (same public-domain constants as core/fault.cpp):
+/// the shift of churn phase p is a pure function of (seed, p), so schedules
+/// are reproducible without generator state.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
 class SyntheticWorkload final : public ProgramWorkload {
  public:
   explicit SyntheticWorkload(const SyntheticSpec& spec)
@@ -14,6 +24,11 @@ class SyntheticWorkload final : public ProgramWorkload {
         spec_(spec) {
     if (spec.num_threads < 2) {
       throw std::invalid_argument("synthetic: need at least 2 threads");
+    }
+    if (spec.pattern == SyntheticSpec::Pattern::kScheduled ||
+        spec.pattern == SyntheticSpec::Pattern::kPhaseChurn) {
+      // Surface a bad schedule at construction, not at first stream read.
+      churn_schedule(spec);
     }
     const auto n = static_cast<std::uint64_t>(spec.num_threads);
     Arena arena;
@@ -95,6 +110,25 @@ class SyntheticWorkload final : public ProgramWorkload {
         prog.iterations = 1;
         break;
       }
+      case SyntheticSpec::Pattern::kScheduled:
+      case SyntheticSpec::Pattern::kPhaseChurn: {
+        // Each schedule entry is one application phase: churn_phase_iters
+        // barrier-separated iterations of the kPairs pattern under that
+        // entry's shift. Every iteration ends in a barrier, so online
+        // mappers get migration points throughout every phase.
+        const std::vector<int> schedule = churn_schedule(spec_);
+        const std::uint32_t per_phase =
+            std::max<std::uint32_t>(1, spec_.churn_phase_iters);
+        for (const int shift : schedule) {
+          Phase ph = base_phase(t);
+          add_shared(ph, edge_for(pair_edge(t, shift)));
+          for (std::uint32_t i = 0; i < per_phase; ++i) {
+            prog.phases.push_back(ph);
+          }
+        }
+        prog.iterations = 1;
+        break;
+      }
     }
     return prog;
   }
@@ -114,6 +148,8 @@ class SyntheticWorkload final : public ProgramWorkload {
       case SyntheticSpec::Pattern::kPrivate: return "synthetic private";
       case SyntheticSpec::Pattern::kPhaseShift: return "synthetic phase shift";
       case SyntheticSpec::Pattern::kFalseShare: return "synthetic false sharing";
+      case SyntheticSpec::Pattern::kScheduled: return "synthetic scheduled shifts";
+      case SyntheticSpec::Pattern::kPhaseChurn: return "synthetic phase churn";
     }
     return "synthetic";
   }
@@ -155,6 +191,26 @@ class SyntheticWorkload final : public ProgramWorkload {
 };
 
 }  // namespace
+
+std::vector<int> churn_schedule(const SyntheticSpec& spec) {
+  if (spec.pattern == SyntheticSpec::Pattern::kScheduled) {
+    if (spec.shift_schedule.empty()) {
+      throw std::invalid_argument(
+          "synthetic: kScheduled needs a non-empty shift_schedule");
+    }
+    return spec.shift_schedule;
+  }
+  std::vector<int> schedule;
+  const std::uint32_t phases = std::max<std::uint32_t>(1, spec.churn_phases);
+  const auto n = static_cast<std::uint64_t>(std::max(2, spec.num_threads));
+  schedule.reserve(phases);
+  for (std::uint32_t p = 0; p < phases; ++p) {
+    schedule.push_back(
+        static_cast<int>(mix64(spec.churn_seed * 0x9E3779B97F4A7C15ull + p) %
+                         n));
+  }
+  return schedule;
+}
 
 std::unique_ptr<Workload> make_synthetic(const SyntheticSpec& spec) {
   return std::make_unique<SyntheticWorkload>(spec);

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "npb/workload.hpp"
 
@@ -22,6 +23,12 @@ struct SyntheticSpec {
     kFalseShare,  ///< all threads touch the same pages but strictly disjoint
                   ///< cache lines: page-granularity detectors report
                   ///< communication, line-granularity ground truth says none
+    kScheduled,   ///< pair pattern whose shift follows `shift_schedule`:
+                  ///< entry p runs for `churn_phase_iters` barrier-separated
+                  ///< iterations (the adversarial-flip scenarios of the
+                  ///< robustness differential, DESIGN.md Sec. 17)
+    kPhaseChurn,  ///< kScheduled with a seeded pseudo-random schedule of
+                  ///< `churn_phases` pair shifts drawn from `churn_seed`
   };
 
   Pattern pattern = Pattern::kPairs;
@@ -36,8 +43,21 @@ struct SyntheticSpec {
   std::uint32_t iterations = 4;
   std::uint32_t compute_gap = 1;
   std::uint32_t gap_jitter = 0;
+  // Phase-churn controls (kScheduled / kPhaseChurn only).
+  /// Barrier-separated iterations each schedule entry runs for.
+  std::uint32_t churn_phase_iters = 2;
+  /// kPhaseChurn: number of seeded phases in the generated schedule.
+  std::uint32_t churn_phases = 4;
+  /// kPhaseChurn: seed of the shift sequence (splitmix64 over (seed, p)).
+  std::uint64_t churn_seed = 1;
+  /// kScheduled: explicit per-phase pair shifts (must be non-empty).
+  std::vector<int> shift_schedule;
 };
 
 std::unique_ptr<Workload> make_synthetic(const SyntheticSpec& spec);
+
+/// The pair-shift schedule a kPhaseChurn spec expands to (exposed so tests
+/// and scenario builders can derive the ground truth of each phase).
+std::vector<int> churn_schedule(const SyntheticSpec& spec);
 
 }  // namespace tlbmap

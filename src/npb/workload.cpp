@@ -4,6 +4,10 @@
 #include <cctype>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
+
+#include "npb/multiprogram.hpp"
+#include "npb/synthetic.hpp"
 
 namespace tlbmap {
 
@@ -41,6 +45,47 @@ std::unique_ptr<Workload> make_npb_workload(std::string_view name,
   std::string upper(name);
   std::transform(upper.begin(), upper.end(), upper.begin(),
                  [](unsigned char c) { return std::toupper(c); });
+  // Co-scheduled multiprogram: "MP:SP+CG" runs both kernels as one
+  // workload sharing the machine, with disjoint address spaces and
+  // app-major thread ids (each app gets `params.num_threads` threads).
+  if (upper.rfind("MP:", 0) == 0) {
+    std::vector<std::unique_ptr<Workload>> apps;
+    std::string rest = upper.substr(3);
+    std::size_t start = 0;
+    while (start <= rest.size()) {
+      const std::size_t plus = rest.find('+', start);
+      const std::string app =
+          rest.substr(start, plus == std::string::npos ? plus : plus - start);
+      if (app.empty()) {
+        throw std::invalid_argument("multiprogram spec needs MP:APP+APP: " +
+                                    std::string(name));
+      }
+      apps.push_back(make_npb_workload(app, params));
+      if (plus == std::string::npos) break;
+      start = plus + 1;
+    }
+    if (apps.size() < 2) {
+      throw std::invalid_argument("multiprogram spec needs at least 2 apps: " +
+                                  std::string(name));
+    }
+    return make_multiprogram(std::move(apps));
+  }
+  // Seeded phase-churn synthetic: sharing pattern flips between seeded
+  // pair shifts every few barriers (iter_scale stretches each phase).
+  if (upper == "CHURN") {
+    SyntheticSpec spec;
+    spec.pattern = SyntheticSpec::Pattern::kPhaseChurn;
+    spec.num_threads = params.num_threads;
+    spec.gap_jitter = params.gap_jitter;
+    spec.churn_phases = 4;
+    spec.churn_phase_iters = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(2 * params.iter_scale));
+    spec.shared_accesses = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(2048 * params.size_scale));
+    spec.private_accesses = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(2048 * params.size_scale));
+    return make_synthetic(spec);
+  }
   if (upper == "BT") return make_bt(params);
   if (upper == "CG") return make_cg(params);
   if (upper == "EP") return make_ep(params);

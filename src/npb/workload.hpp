@@ -85,7 +85,12 @@ class ProgramWorkload : public Workload {
 const std::vector<std::string>& npb_workload_names();
 
 /// Factory; throws std::invalid_argument for unknown names. Accepts the
-/// NPB names (case-insensitive): bt cg ep ft is lu mg sp ua.
+/// NPB names (case-insensitive): bt cg ep ft is lu mg sp ua. Two scenario
+/// names extend the registry (ROADMAP "scenario diversity"): "CHURN" is a
+/// seeded phase-churn synthetic whose sharing pattern flips every few
+/// barriers, and "MP:APP+APP[+APP...]" co-schedules several apps as one
+/// multiprogrammed workload with disjoint address spaces (each app gets
+/// params.num_threads threads).
 std::unique_ptr<Workload> make_npb_workload(std::string_view name,
                                             const WorkloadParams& params = {});
 

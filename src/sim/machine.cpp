@@ -213,7 +213,7 @@ Expected<MachineStats> Machine::try_run(
     }
     if (config.migration != nullptr) {
       apply_migration(config.migration->on_barrier(
-          barrier_count, latest + config.barrier_latency));
+          barrier_count, latest + config.barrier_latency, stats));
     }
     // Every released thread has a fresh clock; reseed the scheduler heap.
     push_all_ready();

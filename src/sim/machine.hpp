@@ -35,6 +35,18 @@ class MigrationPolicy {
   /// Called after each barrier release. Return a full new thread->core
   /// mapping to migrate, or an empty vector to keep the current placement.
   virtual std::vector<CoreId> on_barrier(int barrier_index, Cycles now) = 0;
+
+  /// Richer form used by the serial event loop: `stats` is the run's live
+  /// cumulative counter block at the barrier, so a policy can price the
+  /// realized cost of its own past migrations (the OnlineMapper's canary
+  /// windows, DESIGN.md Sec. 17). Default forwards to the two-argument
+  /// overload, so existing policies are unaffected. The epoch-parallel
+  /// engine calls the two-argument form (its counters are only merged at
+  /// the end of the run).
+  virtual std::vector<CoreId> on_barrier(int barrier_index, Cycles now,
+                                         const MachineStats& /*stats*/) {
+    return on_barrier(barrier_index, now);
+  }
 };
 
 /// Hook interface implemented by the communication detectors.

@@ -245,7 +245,7 @@ TEST(Checkpoint, BadMagicIsCorrupt) {
 
 TEST(Checkpoint, VersionSkewIsCorruptWithVersionInMessage) {
   std::string bytes = seal_checkpoint("payload", 1);
-  bytes[4] = 2;  // version field, offset 4
+  bytes[4] = static_cast<char>(kCheckpointVersion + 1);  // version, offset 4
   const auto r = unseal_checkpoint(bytes, 1);
   ASSERT_FALSE(r.has_value());
   EXPECT_EQ(r.error().code, ErrorCode::kCorruptCheckpoint);
@@ -426,6 +426,32 @@ TEST(Checkpoint, MapperStateRoundTripAndFileTag) {
   state.remap_decisions = 5;
   state.degraded_decisions = 1;
   state.cooldown_left = 2;
+  // Self-stabilization trail (PR 10): an open canary transaction with its
+  // phase-anchored baseline, rollback damping, and phase-detector snapshot
+  // must all survive the codec.
+  state.rollbacks = 2;
+  state.canary_commits = 4;
+  state.backoff_skips = 6;
+  state.canary_left = 1;
+  state.backoff_left = 3;
+  state.phase_rollbacks = 2;
+  state.canary_prev = {0, 1, 2, 3};
+  state.canary_cost = 123'456;
+  state.canary_accesses = 9'876;
+  state.baseline_cost = 55'555;
+  state.baseline_accesses = 4'444;
+  state.decision_cost = 222'222;
+  state.decision_accesses = 11'111;
+  state.phase_cost = 77'777;
+  state.phase_accesses = 6'666;
+  state.phase.epoch = 5;
+  state.phase.has_reference = true;
+  state.phase.reference = CommMatrix(4);
+  state.phase.reference.add(1, 2, 40);
+  state.phase.ref_accesses = {10, 20, 30, 40};
+  state.phase.ref_misses = {1, 2, 3, 4};
+  state.phase.window_accesses = {5, 6, 7, 8};
+  state.phase.window_misses = {0, 1, 0, 2};
 
   const auto back = parse_mapper_state(serialize_mapper_state(state));
   ASSERT_TRUE(back.has_value());

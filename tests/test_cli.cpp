@@ -158,6 +158,64 @@ TEST(Cli, FaultFlagsValidated) {
                    .ok());
 }
 
+TEST(Cli, OnlineMapperFlagsParsed) {
+  const CliOptions opt = parse(
+      {"dynamic", "--remap-every-barriers", "2", "--improvement-threshold",
+       "0.05", "--migration-cooldown", "0", "--matrix-decay", "0.75",
+       "--min-matrix-total", "1", "--canary-barriers", "4",
+       "--regression-threshold", "0.5", "--no-rollback"});
+  ASSERT_TRUE(opt.ok()) << opt.error;
+  EXPECT_EQ(opt.online.remap_every_barriers, 2);
+  EXPECT_DOUBLE_EQ(opt.online.improvement_threshold, 0.05);
+  EXPECT_EQ(opt.online.migration_cooldown, 0);
+  EXPECT_DOUBLE_EQ(opt.online.decay, 0.75);
+  EXPECT_EQ(opt.online.min_matrix_total, 1u);
+  EXPECT_EQ(opt.online.canary_barriers, 4);
+  EXPECT_DOUBLE_EQ(opt.online.regression_threshold, 0.5);
+  EXPECT_FALSE(opt.online.rollback);
+}
+
+TEST(Cli, OnlineMapperDefaultsMatchTheLibrary) {
+  // CliOptions embeds OnlineMapperConfig, so the CLI's defaults are the
+  // library's by construction — including the measured non-zero cooldown.
+  const CliOptions opt = parse({"dynamic"});
+  ASSERT_TRUE(opt.ok());
+  const OnlineMapperConfig lib;
+  EXPECT_EQ(opt.online.remap_every_barriers, lib.remap_every_barriers);
+  EXPECT_DOUBLE_EQ(opt.online.improvement_threshold,
+                   lib.improvement_threshold);
+  EXPECT_EQ(opt.online.migration_cooldown, lib.migration_cooldown);
+  EXPECT_EQ(opt.online.migration_cooldown, 1);
+  EXPECT_DOUBLE_EQ(opt.online.decay, lib.decay);
+  EXPECT_EQ(opt.online.canary_barriers, lib.canary_barriers);
+  EXPECT_TRUE(opt.online.rollback);
+}
+
+TEST(Cli, OnlineMapperFlagsValidated) {
+  // Out-of-range knobs surface the library's own validation message as a
+  // structured usage error.
+  const CliOptions bad = parse({"dynamic", "--matrix-decay", "1.5"});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_NE(bad.error.find("OnlineMapperConfig"), std::string::npos);
+  EXPECT_FALSE(parse({"dynamic", "--matrix-decay", "0"}).ok());
+  EXPECT_FALSE(parse({"dynamic", "--improvement-threshold", "1.0"}).ok());
+  EXPECT_FALSE(parse({"dynamic", "--migration-cooldown", "-1"}).ok());
+  EXPECT_FALSE(parse({"dynamic", "--canary-barriers", "-2"}).ok());
+  EXPECT_FALSE(parse({"dynamic", "--regression-threshold", "-0.1"}).ok());
+  EXPECT_FALSE(parse({"dynamic", "--remap-every-barriers", "-4"}).ok());
+  // Garbage values are caught by the strict numeric parser.
+  EXPECT_FALSE(parse({"dynamic", "--canary-barriers", "two"}).ok());
+}
+
+TEST(Cli, OnlineMapperFlagsOnlyApplyToDynamic) {
+  EXPECT_FALSE(parse({"evaluate", "--canary-barriers", "2"}).ok());
+  EXPECT_FALSE(parse({"suite", "--remap-every-barriers", "2"}).ok());
+  EXPECT_FALSE(parse({"detect", "--no-rollback"}).ok());
+  const CliOptions wrong = parse({"serve", "--migration-cooldown", "0"});
+  EXPECT_FALSE(wrong.ok());
+  EXPECT_NE(wrong.error.find("dynamic"), std::string::npos);
+}
+
 TEST(Cli, CheckpointFlagsParsed) {
   const CliOptions opt =
       parse({"suite", "--checkpoint-dir", "/tmp/ckpt",

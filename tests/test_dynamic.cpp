@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/checkpoint.hpp"
+#include "core/experiment.hpp"
 #include "core/pipeline.hpp"
 #include "npb/synthetic.hpp"
 #include "sim/machine.hpp"
@@ -146,6 +148,10 @@ TEST(OnlineMapper, MigratesAndImproves) {
   OnlineMapperConfig cfg;
   cfg.remap_every_barriers = 2;
   cfg.detector.sample_threshold = 3;
+  // This run is only ~12 barriers long; the default cooldown's damping
+  // would eat a sizable slice of it, so react at full speed here (the
+  // damped default path is covered by the Canary/Rollback tests below).
+  cfg.migration_cooldown = 0;
 
   // Start from an adversarial placement: partners split across sockets.
   const Mapping bad_start = {0, 4, 1, 5, 2, 6, 3, 7};
@@ -197,6 +203,216 @@ TEST(OnlineMapper, RejectsInvalidInitialMapping) {
   EXPECT_THROW(pipe.evaluate_dynamic(*workload, Mapping{0, 0, 1, 2, 3, 4, 5, 6},
                                      OnlineMapperConfig{}, 1),
                std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Canary transactions, rollback and checkpointed decision state (PR 10).
+//
+// These drive OnlineMapper directly: the detected matrix is seeded through
+// restore() and barriers carry fabricated cycle/access counters, so every
+// cost rate the canary compares is chosen exactly.
+
+OnlineMapperConfig canary_config() {
+  OnlineMapperConfig cfg;
+  cfg.remap_every_barriers = 1;
+  cfg.min_matrix_total = 1;
+  cfg.improvement_threshold = 0.0;
+  cfg.migration_cooldown = 0;
+  cfg.canary_barriers = 3;
+  cfg.regression_threshold = 0.25;
+  // Keep the phase detector quiet: these tests exercise the canary path,
+  // and a phase epoch would abort the open window (that path has its own
+  // tests in test_phase_detector).
+  cfg.phase.drift_threshold = 0.0;
+  cfg.phase.miss_rate_delta = 0.0;
+  return cfg;
+}
+
+/// Seeds the mapper's detected matrix via its own restore path: pairs
+/// (0,1) and (2,3) share heavily, nothing else communicates.
+void seed_pairs_matrix(OnlineMapper& mapper) {
+  OnlineMapperState s = mapper.state();
+  s.detector.matrix = CommMatrix(4);
+  s.detector.matrix.add(0, 1, 1000);
+  s.detector.matrix.add(2, 3, 1000);
+  mapper.restore(s);
+}
+
+MachineStats stats_of(std::uint64_t accesses) {
+  MachineStats s;
+  s.accesses = accesses;
+  return s;
+}
+
+/// Partners split across L2 domains on Harpertown — the matcher will move.
+const Mapping kSplitStart = {0, 2, 4, 6};
+
+TEST(OnlineMapper, DefaultCooldownIsMeasuredNonZero) {
+  // PR 10 satellite: one aged decision window must re-confirm a pattern
+  // before the next migration; 0 (the historical behaviour) stays legal
+  // and reachable via --migration-cooldown.
+  EXPECT_EQ(OnlineMapperConfig{}.migration_cooldown, 1);
+  OnlineMapperConfig zero;
+  zero.migration_cooldown = 0;
+  EXPECT_NO_THROW(zero.validate());
+}
+
+TEST(OnlineMapper, ConfigValidationRejectsBadKnobs) {
+  Machine machine(MachineConfig::harpertown());
+  const auto reject = [&](auto mutate) {
+    OnlineMapperConfig cfg;
+    mutate(cfg);
+    EXPECT_THROW(OnlineMapper(machine, 4, kSplitStart, cfg),
+                 std::invalid_argument);
+  };
+  reject([](OnlineMapperConfig& c) { c.decay = 0.0; });
+  reject([](OnlineMapperConfig& c) { c.decay = 1.5; });
+  reject([](OnlineMapperConfig& c) { c.improvement_threshold = 1.0; });
+  reject([](OnlineMapperConfig& c) { c.migration_cooldown = -1; });
+  reject([](OnlineMapperConfig& c) { c.canary_barriers = -1; });
+  reject([](OnlineMapperConfig& c) { c.regression_threshold = -0.5; });
+  reject([](OnlineMapperConfig& c) { c.remap_every_barriers = -2; });
+}
+
+TEST(OnlineMapper, CanaryRollbackRestoresPreMovePlacement) {
+  Machine machine(MachineConfig::harpertown());
+  OnlineMapper mapper(machine, 4, kSplitStart, canary_config());
+  seed_pairs_matrix(mapper);
+
+  // Barrier 0: baseline rate 1.0 cycles/access, migration opens a canary.
+  const auto moved = mapper.on_barrier(0, 1000, stats_of(1000));
+  ASSERT_FALSE(moved.empty());
+  EXPECT_NE(moved, kSplitStart);
+  EXPECT_EQ(mapper.migrations(), 1);
+  EXPECT_GT(mapper.state().canary_left, 0);
+
+  // The canary window runs at 4x the baseline rate: cycles race ahead of
+  // accesses. The window closes on the third tick and must roll back.
+  EXPECT_TRUE(mapper.on_barrier(1, 3000, stats_of(1500)).empty());
+  EXPECT_TRUE(mapper.on_barrier(2, 5000, stats_of(2000)).empty());
+  const auto rolled = mapper.on_barrier(3, 7000, stats_of(2500));
+  EXPECT_EQ(rolled, kSplitStart);
+  EXPECT_EQ(mapper.current_mapping(), kSplitStart);
+  EXPECT_EQ(mapper.rollbacks(), 1);
+  EXPECT_EQ(mapper.canary_commits(), 0);
+  EXPECT_EQ(mapper.state().canary_left, 0);
+}
+
+TEST(OnlineMapper, CanaryCommitKeepsMigration) {
+  Machine machine(MachineConfig::harpertown());
+  OnlineMapper mapper(machine, 4, kSplitStart, canary_config());
+  seed_pairs_matrix(mapper);
+
+  const auto moved = mapper.on_barrier(0, 1000, stats_of(1000));
+  ASSERT_FALSE(moved.empty());
+
+  // Post-move rate equals the baseline: the migration survives its window.
+  EXPECT_TRUE(mapper.on_barrier(1, 2000, stats_of(2000)).empty());
+  EXPECT_TRUE(mapper.on_barrier(2, 3000, stats_of(3000)).empty());
+  EXPECT_TRUE(mapper.on_barrier(3, 4000, stats_of(4000)).empty());
+  EXPECT_EQ(mapper.current_mapping(), moved);
+  EXPECT_EQ(mapper.canary_commits(), 1);
+  EXPECT_EQ(mapper.rollbacks(), 0);
+}
+
+TEST(OnlineMapper, RollbackDisabledMeasuresButNeverReverts) {
+  Machine machine(MachineConfig::harpertown());
+  OnlineMapperConfig cfg = canary_config();
+  cfg.rollback = false;
+  OnlineMapper mapper(machine, 4, kSplitStart, cfg);
+  seed_pairs_matrix(mapper);
+
+  const auto moved = mapper.on_barrier(0, 1000, stats_of(1000));
+  ASSERT_FALSE(moved.empty());
+  // Same regressed window as the rollback test; the verdict is recorded
+  // (telemetry) but the placement must stand.
+  EXPECT_TRUE(mapper.on_barrier(1, 3000, stats_of(1500)).empty());
+  EXPECT_TRUE(mapper.on_barrier(2, 5000, stats_of(2000)).empty());
+  EXPECT_TRUE(mapper.on_barrier(3, 7000, stats_of(2500)).empty());
+  EXPECT_EQ(mapper.current_mapping(), moved);
+  EXPECT_EQ(mapper.rollbacks(), 0);
+}
+
+TEST(OnlineMapper, BackoffDampsRemigrationAfterRollback) {
+  Machine machine(MachineConfig::harpertown());
+  OnlineMapper mapper(machine, 4, kSplitStart, canary_config());
+  seed_pairs_matrix(mapper);
+
+  ASSERT_FALSE(mapper.on_barrier(0, 1000, stats_of(1000)).empty());
+  mapper.on_barrier(1, 3000, stats_of(1500));
+  mapper.on_barrier(2, 5000, stats_of(2000));
+  ASSERT_EQ(mapper.on_barrier(3, 7000, stats_of(2500)), kSplitStart);
+  ASSERT_EQ(mapper.rollbacks(), 1);
+
+  // Re-seed the matrix (decay has aged it) so the matcher would migrate
+  // again immediately — the first post-rollback decision must instead be
+  // suppressed by the exponential damping.
+  seed_pairs_matrix(mapper);
+  EXPECT_TRUE(mapper.on_barrier(4, 8000, stats_of(3500)).empty());
+  EXPECT_GE(mapper.backoff_skips(), 1);
+  EXPECT_EQ(mapper.migrations(), 1);
+}
+
+TEST(OnlineMapper, CheckpointMidCanaryReplaysBitIdentically) {
+  // Acceptance (PR 10): checkpoint/resume while a canary transaction is in
+  // flight reproduces the decision sequence — including the rollback —
+  // bit-for-bit.
+  Machine machine(MachineConfig::harpertown());
+  OnlineMapper original(machine, 4, kSplitStart, canary_config());
+  seed_pairs_matrix(original);
+
+  ASSERT_FALSE(original.on_barrier(0, 1000, stats_of(1000)).empty());
+  original.on_barrier(1, 3000, stats_of(1500));
+  const OnlineMapperState snapshot = original.state();
+  ASSERT_GT(snapshot.canary_left, 0);  // mid-window
+
+  // Seal through the on-disk codec, not just a struct copy.
+  const auto parsed = parse_mapper_state(serialize_mapper_state(snapshot));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(*parsed == snapshot);
+  OnlineMapper resumed(machine, 4, kSplitStart, canary_config());
+  resumed.restore(*parsed);
+
+  // Replay an identical tail into both mappers; every returned placement
+  // and every piece of decision state must match exactly.
+  const std::uint64_t cycles[] = {5000, 7000, 9000, 11000, 13000};
+  const std::uint64_t accesses[] = {2000, 2500, 3500, 4500, 5500};
+  bool rolled_back = false;
+  for (int i = 0; i < 5; ++i) {
+    const auto a = original.on_barrier(2 + i, cycles[i], stats_of(accesses[i]));
+    const auto b = resumed.on_barrier(2 + i, cycles[i], stats_of(accesses[i]));
+    EXPECT_EQ(a, b) << "diverged at barrier " << 2 + i;
+    EXPECT_TRUE(original.state() == resumed.state())
+        << "state diverged at barrier " << 2 + i;
+    rolled_back = rolled_back || !a.empty();
+  }
+  EXPECT_TRUE(rolled_back);  // the replayed window did regress
+  EXPECT_EQ(original.rollbacks(), resumed.rollbacks());
+  EXPECT_EQ(original.rollbacks(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// The adversarial phase-flip differential (PR 10 acceptance).
+
+TEST(ChurnDifferential, CanarySurvivesAdversarialPhaseFlip) {
+  ChurnScenarioConfig cfg;
+  // Long shift-0 phase, a 2-barrier shift-1 bait, then the shift-0 tail
+  // that punishes whoever chased the bait.
+  cfg.shifts = {0, 0, 0, 0, 0, 0, 1, 1, 0, 0, 0, 0, 0, 0};
+  const ChurnScenarioResult r = run_churn_scenario(cfg);
+
+  // The bait must actually bait: the rollback-disabled arm migrates and is
+  // stuck with the flipped placement at the end.
+  EXPECT_GE(r.no_rollback.run.migrations, 1);
+  EXPECT_EQ(r.no_rollback.run.rollbacks, 0);
+  EXPECT_EQ(r.never_remap.run.migrations, 0);
+
+  // Self-correction: the canary arm measures the regression, rolls back,
+  // and ends no worse than never remapping — and strictly better than the
+  // arm that cannot undo its mistake.
+  EXPECT_GE(r.canary.run.rollbacks, 1);
+  EXPECT_LE(r.canary.final_cost, r.never_remap.final_cost);
+  EXPECT_LT(r.canary.final_cost, r.no_rollback.final_cost);
 }
 
 }  // namespace

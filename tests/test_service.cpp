@@ -196,6 +196,52 @@ TEST(DecisionCache, DegenerateInputDegradesButNeverOverwrites) {
   EXPECT_EQ(cache.degraded_serves(), 1u);
 }
 
+TEST(DecisionCache, DegradedThenRecoveredResumesCleanService) {
+  // The full outage arc (PR 10 satellite): good signal -> degenerate
+  // stretch served degraded from the stale cache -> signal returns and the
+  // very next read is clean again, re-matching only if the shape moved.
+  Topology topology{MachineConfig::harpertown()};
+  MappingConfig mapping_config;
+  DecisionCache cache;
+
+  const auto good = cache.decide(paired_matrix(500, 5), topology,
+                                 mapping_config);
+  ASSERT_TRUE(good.has_value());
+  const std::uint64_t epoch = good->epoch;
+
+  // Degraded stretch: every read serves the stale placement, flagged.
+  const CommMatrix empty(4);
+  for (int i = 0; i < 3; ++i) {
+    const auto degraded = cache.decide(empty, topology, mapping_config);
+    ASSERT_TRUE(degraded.has_value());
+    EXPECT_TRUE(degraded->degraded);
+    EXPECT_EQ(degraded->epoch, epoch);
+    EXPECT_EQ(degraded->mapping, good->mapping);
+  }
+  EXPECT_EQ(cache.degraded_serves(), 3u);
+  EXPECT_EQ(cache.rematches(), 1u);
+
+  // Recovery with the same shape: clean serve, no re-match, epoch holds.
+  const auto recovered = cache.decide(paired_matrix(500, 5), topology,
+                                      mapping_config);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_FALSE(recovered->degraded);
+  EXPECT_EQ(recovered->epoch, epoch);
+  EXPECT_EQ(cache.rematches(), 1u);
+
+  // Recovery into a *different* shape: the first clean read re-matches.
+  CommMatrix flipped(4);
+  flipped.add(0, 2, 800);
+  flipped.add(1, 3, 800);
+  const auto refreshed = cache.decide(flipped, topology, mapping_config);
+  ASSERT_TRUE(refreshed.has_value());
+  EXPECT_FALSE(refreshed->degraded);
+  EXPECT_EQ(refreshed->epoch, epoch + 1);
+  EXPECT_EQ(cache.rematches(), 2u);
+  // The degraded tally is history, not live state: it never resets.
+  EXPECT_EQ(cache.degraded_serves(), 3u);
+}
+
 TEST(DecisionCache, SaturatedMatrixIsStructural) {
   Topology topology{MachineConfig::harpertown()};
   MappingConfig mapping_config;

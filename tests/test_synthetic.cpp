@@ -132,5 +132,78 @@ TEST(Synthetic, NameReflectsPattern) {
             "synthetic");
 }
 
+// ---------------------------------------------------------------------------
+// Phase-churn workloads (PR 10): schedule-driven pair shifts.
+
+TEST(Synthetic, ScheduledFollowsItsShiftSchedule) {
+  // A one-entry schedule is just kPairs at that shift: shift 1 pairs
+  // (1,2)(3,4)...(n-1,0), so thread 0 no longer shares with thread 1.
+  SyntheticSpec spec = small_spec(SyntheticSpec::Pattern::kScheduled);
+  spec.churn_phase_iters = 1;
+  spec.shift_schedule = {1};
+  const auto w = make_synthetic(spec);
+  EXPECT_GT(overlap(pages_touched(*w, 1), pages_touched(*w, 2)), 0u);
+  EXPECT_EQ(overlap(pages_touched(*w, 0), pages_touched(*w, 1)), 0u);
+}
+
+TEST(Synthetic, ScheduledMultiPhaseVisitsEveryPartnerSet) {
+  // Schedule {0, 1}: across the whole stream thread 1 shares with both its
+  // shift-0 partner (thread 0) and its shift-1 partner (thread 2).
+  SyntheticSpec spec = small_spec(SyntheticSpec::Pattern::kScheduled);
+  spec.churn_phase_iters = 1;
+  spec.shift_schedule = {0, 1};
+  const auto w = make_synthetic(spec);
+  EXPECT_GT(overlap(pages_touched(*w, 0), pages_touched(*w, 1)), 0u);
+  EXPECT_GT(overlap(pages_touched(*w, 1), pages_touched(*w, 2)), 0u);
+
+  // One barrier-terminated iteration per schedule entry per phase iter.
+  const auto stream = w->stream(0, 1);
+  int barriers = 0;
+  for (;;) {
+    const TraceEvent ev = stream->next();
+    if (ev.kind == TraceEvent::Kind::kEnd) break;
+    if (ev.kind == TraceEvent::Kind::kBarrier) ++barriers;
+  }
+  EXPECT_EQ(barriers, 2);
+}
+
+TEST(Synthetic, ScheduledRejectsEmptySchedule) {
+  SyntheticSpec spec = small_spec(SyntheticSpec::Pattern::kScheduled);
+  spec.shift_schedule.clear();
+  EXPECT_THROW(make_synthetic(spec), std::invalid_argument);
+}
+
+TEST(Synthetic, ChurnScheduleIsSeededAndBounded) {
+  SyntheticSpec spec = small_spec(SyntheticSpec::Pattern::kPhaseChurn);
+  spec.churn_phases = 16;
+  spec.churn_seed = 7;
+  const auto schedule = churn_schedule(spec);
+  EXPECT_EQ(schedule.size(), 16u);
+  for (const int shift : schedule) {
+    EXPECT_GE(shift, 0);
+    EXPECT_LT(shift, spec.num_threads);
+  }
+  // Deterministic per seed, different across seeds.
+  EXPECT_EQ(schedule, churn_schedule(spec));
+  SyntheticSpec other = spec;
+  other.churn_seed = 8;
+  EXPECT_NE(schedule, churn_schedule(other));
+}
+
+TEST(Synthetic, PhaseChurnRunsItsSeededSchedule) {
+  SyntheticSpec spec = small_spec(SyntheticSpec::Pattern::kPhaseChurn);
+  spec.churn_phases = 3;
+  spec.churn_phase_iters = 2;
+  const auto w = make_synthetic(spec);
+  const auto stream = w->stream(0, 1);
+  int barriers = 0;
+  for (;;) {
+    const TraceEvent ev = stream->next();
+    if (ev.kind == TraceEvent::Kind::kEnd) break;
+    if (ev.kind == TraceEvent::Kind::kBarrier) ++barriers;
+  }
+  EXPECT_EQ(barriers, 6);  // churn_phases * churn_phase_iters
+}
+
 }  // namespace
 }  // namespace tlbmap

@@ -297,5 +297,41 @@ TEST(WorkloadsRegion, SliceElems) {
   EXPECT_THROW(r.slice_elems(510, 5), std::out_of_range);
 }
 
+// ---------------------------------------------------------------------------
+// Scenario names (PR 10): multiprogrammed and phase-churn workloads ride
+// the same factory as the nine kernels.
+
+TEST(WorkloadRegistry, MultiprogramCoSchedulesApps) {
+  WorkloadParams p = fast_params();
+  p.num_threads = 4;
+  const auto w = make_npb_workload("MP:SP+CG", p);
+  // App-major thread ids: each app contributes its own num_threads.
+  EXPECT_EQ(w->num_threads(), 8);
+  // Per-app virtual address spaces are displaced: no cross-app sharing.
+  EXPECT_EQ(overlap(pages_touched(*w, 0), pages_touched(*w, 4)), 0u);
+  // Intra-app sharing survives the combination.
+  const auto sp = make_npb_workload("SP", p);
+  EXPECT_EQ(overlap(pages_touched(*w, 0), pages_touched(*w, 1)),
+            overlap(pages_touched(*sp, 0), pages_touched(*sp, 1)));
+}
+
+TEST(WorkloadRegistry, MultiprogramSpecValidated) {
+  EXPECT_THROW(make_npb_workload("MP:SP"), std::invalid_argument);
+  EXPECT_THROW(make_npb_workload("MP:"), std::invalid_argument);
+  EXPECT_THROW(make_npb_workload("MP:SP+"), std::invalid_argument);
+  EXPECT_THROW(make_npb_workload("MP:SP+DC"), std::invalid_argument);
+}
+
+TEST(WorkloadRegistry, ChurnIsASeededPhaseFlipper) {
+  WorkloadParams p = fast_params();
+  const auto w = make_npb_workload("CHURN", p);
+  EXPECT_EQ(w->num_threads(), p.num_threads);
+  for (ThreadId t = 0; t < w->num_threads(); ++t) {
+    EXPECT_FALSE(pages_touched(*w, t).empty()) << "t" << t;
+  }
+  // Same factory call, same streams (the schedule is seeded, not random).
+  EXPECT_EQ(pages_touched(*w, 0), pages_touched(*make_npb_workload("CHURN", p), 0));
+}
+
 }  // namespace
 }  // namespace tlbmap
